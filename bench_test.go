@@ -1,0 +1,310 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// benchSeed keeps every benchmark on the same deterministic world.
+const benchSeed = 42
+
+// printOnce renders each experiment's tables a single time per process so
+// `go test -bench .` doubles as the reproduction report.
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, name string, metricKeys ...string) {
+	b.Helper()
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(name, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(name, true); !done {
+		fmt.Print(res.Render())
+	}
+	for _, k := range metricKeys {
+		if v, ok := res.Metrics[k]; ok {
+			// testing.B forbids whitespace in metric units.
+			b.ReportMetric(v, strings.ReplaceAll(k, " ", "_"))
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I: harvest monitored data, train the
+// seven predictors, validate on the 66/34 split.
+func BenchmarkTableI(b *testing.B) {
+	runExperiment(b, "table1", "corr:VM CPU", "corr:VM MEM", "corr:VM SLA")
+}
+
+// BenchmarkFigure4IntraDC regenerates Figure 4: BF vs BF-OB vs BF+ML on
+// one DC for 24 simulated hours.
+func BenchmarkFigure4IntraDC(b *testing.B) {
+	runExperiment(b, "fig4", "sla:BF", "sla:BF-OB", "sla:BF+ML", "watts:BF+ML")
+}
+
+// BenchmarkFigure5FollowLoad regenerates Figure 5: the follow-the-load
+// placement of a single VM over 48 hours.
+func BenchmarkFigure5FollowLoad(b *testing.B) {
+	runExperiment(b, "fig5", "colocatedFrac", "moves")
+}
+
+// BenchmarkDelocation regenerates the §V-C de-location benefit check.
+func BenchmarkDelocation(b *testing.B) {
+	runExperiment(b, "delocation", "slaStatic", "slaDynamic", "benefitPerVMd")
+}
+
+// BenchmarkFigure6InterDC regenerates Figure 6: the full inter-DC run with
+// the minute-70..90 flash crowd.
+func BenchmarkFigure6InterDC(b *testing.B) {
+	runExperiment(b, "fig6", "avgSLA", "migrations", "slaCrowd", "slaCalm")
+}
+
+// BenchmarkFigure7StaticVsDynamic regenerates Figure 7 and Table III:
+// static-global vs dynamic multi-DC management.
+func BenchmarkFigure7StaticVsDynamic(b *testing.B) {
+	runExperiment(b, "fig7", "watts:static", "watts:dynamic", "sla:static", "sla:dynamic", "energySaving")
+}
+
+// BenchmarkFigure8Tradeoff regenerates Figure 8: the SLA/energy/load
+// characteristic surface.
+func BenchmarkFigure8Tradeoff(b *testing.B) {
+	runExperiment(b, "fig8", "wattsForSLA95@40rps", "wattsForSLA95@120rps")
+}
+
+// BenchmarkSchedulerScaling regenerates the §IV-C heuristic-vs-exact
+// comparison (the GUROBI blow-up).
+func BenchmarkSchedulerScaling(b *testing.B) {
+	runExperiment(b, "scaling", "nodes:8x6", "bnbNodes:8x6")
+}
+
+// BenchmarkGreenEnergy regenerates the green-energy (follow-the-sun)
+// extension of the paper's future work.
+func BenchmarkGreenEnergy(b *testing.B) {
+	runExperiment(b, "green", "energyCut", "sla:dynamic")
+}
+
+// BenchmarkOnlineLearning regenerates the online-retraining extension
+// (future-work item 4): adapting to a silent software update.
+func BenchmarkOnlineLearning(b *testing.B) {
+	runExperiment(b, "online", "slaPost:frozen", "slaPost:online", "retrains")
+}
+
+// BenchmarkHeuristics regenerates the classical-heuristics comparison
+// (Round-Robin / First-Fit / Worst-Fit vs profit-driven Best-Fit).
+func BenchmarkHeuristics(b *testing.B) {
+	runExperiment(b, "heuristics", "profit:BestFit+ML", "profit:RoundRobin")
+}
+
+// BenchmarkHierarchy regenerates the two-layer vs flat scheduling ablation
+// (the paper's structural contribution measured directly).
+func BenchmarkHierarchy(b *testing.B) {
+	runExperiment(b, "hierarchy", "flatMs:48", "hierMs:48")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation and substrate micro-benchmarks.
+
+func harvestForBench(b *testing.B) *predict.Harvest {
+	b.Helper()
+	opts := predict.DefaultHarvestOpts(benchSeed)
+	opts.Ticks = 400
+	h, err := predict.Collect(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkM5PSmoothing is the quality/cost ablation for Quinlan smoothing:
+// it reports validation MAE with and without the along-path blend.
+func BenchmarkM5PSmoothing(b *testing.B) {
+	h := harvestForBench(b)
+	train, test := h.VMRT.Split(0.66, rng.New(benchSeed, 5))
+	for _, mode := range []struct {
+		name   string
+		smooth bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := ml.DefaultM5PConfig(4)
+			cfg.Smoothing = mode.smooth
+			var mae float64
+			for i := 0; i < b.N; i++ {
+				m, err := ml.TrainM5P(train, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mae = ml.Evaluate(m, test).MAE
+			}
+			b.ReportMetric(mae, "val-MAE")
+		})
+	}
+}
+
+// BenchmarkM5PTrain measures model-tree training on a harvested dataset.
+func BenchmarkM5PTrain(b *testing.B) {
+	h := harvestForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainM5P(h.VMRT, ml.DefaultM5PConfig(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(h.VMRT.Len()), "rows")
+}
+
+// BenchmarkM5PPredict measures single-row inference on a trained tree.
+func BenchmarkM5PPredict(b *testing.B) {
+	h := harvestForBench(b)
+	m, err := ml.TrainM5P(h.VMRT, ml.DefaultM5PConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := h.VMRT.X[len(h.VMRT.X)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(row)
+	}
+}
+
+// BenchmarkKNN compares the kd-tree index against the brute-force scan —
+// the ablation for the k-NN acceleration structure.
+func BenchmarkKNN(b *testing.B) {
+	h := harvestForBench(b)
+	for _, cfg := range []struct {
+		name string
+		knn  ml.KNNConfig
+	}{
+		{"kdtree", ml.KNNConfig{K: 4, UseKDTree: true, DistanceWeight: true}},
+		{"brute", ml.KNNConfig{K: 4, UseKDTree: false, DistanceWeight: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			k, err := ml.TrainKNN(h.VMSLA, cfg.knn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row := h.VMSLA.X[len(h.VMSLA.X)/3]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = k.Predict(row)
+			}
+		})
+	}
+}
+
+// BenchmarkLinearTrain measures QR least squares on harvested data.
+func BenchmarkLinearTrain(b *testing.B) {
+	h := harvestForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainLinear(h.VMCPU, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimStep measures one world tick of the standard 4-DC scenario.
+func BenchmarkSimStep(b *testing.B) {
+	sc, err := sim.NewScenario(sim.ScenarioOpts{
+		Seed: benchSeed, VMs: 5, PMsPerDC: 2, DCs: 4, LoadScale: 1.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.World.Step()
+	}
+}
+
+// BenchmarkBestFitRound measures one full scheduling decision, serial vs
+// parallel candidate evaluation (the hpc ablation).
+func BenchmarkBestFitRound(b *testing.B) {
+	problem := syntheticProblem(b, 24, 16)
+	cost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"serial", false}, {"parallel", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			bf := sched.NewBestFit(cost, sched.NewObserved())
+			bf.Parallel = mode.parallel
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Schedule(problem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace synthesis for a full fleet
+// tick.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	sc, err := sim.NewScenario(sim.ScenarioOpts{
+		Seed: benchSeed, VMs: 10, PMsPerDC: 2, DCs: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Generator.Loads(i % model.TicksPerDay)
+	}
+}
+
+// syntheticProblem builds a larger scheduling round for the solver benches.
+func syntheticProblem(b *testing.B, vms, hosts int) *sched.Problem {
+	b.Helper()
+	stream := rng.New(benchSeed, 99)
+	p := &sched.Problem{}
+	for i := 0; i < vms; i++ {
+		lv := make(model.LoadVector, 4)
+		lv[i%4] = model.Load{
+			RPS:        stream.Uniform(5, 80),
+			BytesInReq: 500, BytesOutRq: 20000,
+			CPUTimeReq: stream.Uniform(0.004, 0.02),
+		}
+		info := sched.VMInfo{
+			Spec: model.VMSpec{
+				ID: model.VMID(i), ImageSizeGB: 4, BaseMemMB: 256, MaxMemMB: 1024,
+				Terms: model.DefaultSLATerms, PriceEURh: 0.17,
+			},
+			Load: lv, Total: lv.Total(),
+			Current: model.NoPM, CurrentDC: -1,
+			Observed: model.Resources{
+				CPUPct: stream.Uniform(20, 200),
+				MemMB:  stream.Uniform(256, 700),
+				BWMbps: stream.Uniform(2, 40),
+			},
+			HasObserved: true,
+		}
+		p.VMs = append(p.VMs, info)
+	}
+	for j := 0; j < hosts; j++ {
+		p.Hosts = append(p.Hosts, sched.HostInfo{Spec: model.PMSpec{
+			ID: model.PMID(j), DC: model.DCID(j % 4),
+			Capacity: model.Resources{CPUPct: 400, MemMB: 4096, BWMbps: 1000},
+			Cores:    4,
+		}})
+	}
+	return p
+}

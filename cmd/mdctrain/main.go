@@ -1,0 +1,107 @@
+// Command mdctrain harvests monitored training data from the simulated
+// multi-DC fleet, trains the paper's seven predictors and prints the
+// Table I validation report. With -csv it also dumps the harvested
+// datasets for external analysis.
+//
+// Usage:
+//
+//	mdctrain -seed 42
+//	mdctrain -seed 42 -days 4 -csv /tmp/harvest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/model"
+	"repro/internal/predict"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "root seed")
+	days := flag.Int("days", 2, "harvest length in simulated days")
+	csvDir := flag.String("csv", "", "directory to dump harvested datasets as CSV (optional)")
+	save := flag.String("save", "", "write the trained bundle to this JSON file")
+	flag.Parse()
+
+	opts := predict.DefaultHarvestOpts(*seed)
+	opts.Ticks = *days * model.TicksPerDay
+
+	start := time.Now()
+	h, err := predict.Collect(opts)
+	if err != nil {
+		fail(err)
+	}
+	collectDur := time.Since(start)
+
+	start = time.Now()
+	bundle, err := predict.Train(h, predict.DefaultTrainConfig(*seed))
+	if err != nil {
+		fail(err)
+	}
+	trainDur := time.Since(start)
+
+	fmt.Printf("harvested %d simulated days in %s, trained 7 models in %s\n\n",
+		*days, collectDur.Round(time.Millisecond), trainDur.Round(time.Millisecond))
+	for _, rep := range bundle.Reports {
+		fmt.Println(rep.String())
+	}
+
+	if *save != "" {
+		if err := bundle.Save(*save); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\ntrained bundle written to %s\n", *save)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+		dump := map[string]*ml.Dataset{
+			"vm_cpu.csv": h.VMCPU, "vm_mem.csv": h.VMMem,
+			"vm_in.csv": h.VMIn, "vm_out.csv": h.VMOut,
+			"pm_cpu.csv": h.PMCPU, "vm_rt.csv": h.VMRT, "vm_sla.csv": h.VMSLA,
+		}
+		for name, d := range dump {
+			if err := writeCSV(filepath.Join(*csvDir, name), d); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("\ndatasets written to %s\n", *csvDir)
+	}
+}
+
+func writeCSV(path string, d *ml.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i, n := range d.Names {
+		if i > 0 {
+			fmt.Fprint(f, ",")
+		}
+		fmt.Fprint(f, n)
+	}
+	fmt.Fprintln(f, ",target")
+	for i, row := range d.X {
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(f, ",")
+			}
+			fmt.Fprintf(f, "%g", v)
+		}
+		fmt.Fprintf(f, ",%g\n", d.Y[i])
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mdctrain:", err)
+	os.Exit(1)
+}

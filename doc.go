@@ -1,0 +1,17 @@
+// Package repro is a production-quality Go reproduction of Berral,
+// Gavaldà and Torres, "Power-aware Multi-DataCenter Management using
+// Machine Learning" (ICPP 2013).
+//
+// The repository implements the paper's full stack from scratch on the Go
+// standard library: the multi-datacenter simulator standing in for the
+// Atom/VirtualBox/OpenNebula testbed (internal/sim and its substrates), a
+// learning library with M5P model trees, linear regression and k-NN
+// (internal/ml), the seven predictors of Table I (internal/predict), the
+// profit-driven schedulers of Figure 3 and Algorithm 1 (internal/sched),
+// the hierarchical two-layer manager (internal/core), and one experiment
+// harness per table and figure of the evaluation (internal/experiments).
+//
+// The benchmarks in bench_test.go regenerate every table and figure; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for paper-vs-
+// measured results.
+package repro

@@ -1,0 +1,82 @@
+// Quickstart: build the paper's four-datacenter world, train the
+// predictors on monitored data, and let the ML-enhanced Best-Fit manage
+// five web-services for six simulated hours.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func main() {
+	const seed = 7
+
+	// 1. A multi-DC world: Brisbane, Bangaluru, Barcelona, Boston (Table II
+	//    prices and latencies), one Atom host per DC, five web-services.
+	sc, err := sim.NewScenario(sim.ScenarioOpts{
+		Seed: seed, VMs: 5, PMsPerDC: 1, DCs: 4, LoadScale: 1.2,
+		NoiseSD: 0.2, HomeBias: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train the seven predictors of Table I on monitored harvest runs.
+	fmt.Println("training predictors (one simulated day of monitoring)...")
+	opts := predict.DefaultHarvestOpts(seed)
+	opts.Ticks = model.TicksPerDay
+	harvest, err := predict.Collect(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := predict.Train(harvest, predict.DefaultTrainConfig(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range bundle.Reports {
+		fmt.Printf("  %-7s corr=%.3f\n", rep.Name, rep.Correlation)
+	}
+
+	// 3. Wire the management loop: ML-enhanced Best-Fit deciding every
+	//    10 minutes over the Figure 3 profit objective.
+	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	manager, err := core.NewManager(core.ManagerConfig{
+		World:      sc.World,
+		Scheduler:  sched.NewBestFit(cost, sched.NewML(bundle)),
+		RoundTicks: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run eighteen hours and watch the fleet consolidate and spread.
+	fmt.Println("\ntick  SLA    watts  PMs  placement of vm0")
+	err = manager.Run(18*model.TicksPerHour, func(st sim.TickStats) {
+		if st.Tick%60 != 0 {
+			return
+		}
+		dc := sc.World.State().DCOfVM(0)
+		fmt.Printf("%4d  %.3f  %5.1f  %d    %s\n",
+			st.Tick, st.AvgSLA, st.FacilityWatts, st.ActivePMs, sc.Topology.Name(dc))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ledger := sc.World.Ledger()
+	fmt.Printf("\n18h summary: revenue %.3f€, energy %.3f€, penalties %.3f€, profit %.3f€ (%d migrations)\n",
+		ledger.Revenue(), ledger.EnergyCost(), ledger.Penalties(), ledger.Profit(),
+		sc.World.TotalMigrations())
+}

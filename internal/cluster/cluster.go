@@ -1,0 +1,248 @@
+// Package cluster maintains the physical inventory of the multi-DC system
+// and the current placement: which PM hosts which VM, what everyone's
+// capacities are, and how a host's resources are split among its guests
+// (the fOccupation function of Figure 3, constraint 5.2).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Inventory is the static description of the fleet: every PM, every VM and
+// which DC each PM belongs to. It is immutable after construction.
+type Inventory struct {
+	pms     []model.PMSpec
+	vms     []model.VMSpec
+	pmByID  map[model.PMID]int
+	vmByID  map[model.VMID]int
+	pmsOfDC map[model.DCID][]model.PMID
+	numDCs  int
+}
+
+// NewInventory builds and validates an inventory.
+func NewInventory(pms []model.PMSpec, vms []model.VMSpec) (*Inventory, error) {
+	if len(pms) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one PM")
+	}
+	inv := &Inventory{
+		pms:     append([]model.PMSpec(nil), pms...),
+		vms:     append([]model.VMSpec(nil), vms...),
+		pmByID:  make(map[model.PMID]int, len(pms)),
+		vmByID:  make(map[model.VMID]int, len(vms)),
+		pmsOfDC: make(map[model.DCID][]model.PMID),
+	}
+	for i, pm := range inv.pms {
+		if _, dup := inv.pmByID[pm.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate PM id %v", pm.ID)
+		}
+		if !pm.Capacity.NonNegative() || pm.Capacity.CPUPct == 0 {
+			return nil, fmt.Errorf("cluster: PM %v has invalid capacity %v", pm.ID, pm.Capacity)
+		}
+		inv.pmByID[pm.ID] = i
+		inv.pmsOfDC[pm.DC] = append(inv.pmsOfDC[pm.DC], pm.ID)
+		if int(pm.DC) >= inv.numDCs {
+			inv.numDCs = int(pm.DC) + 1
+		}
+	}
+	for i, vm := range inv.vms {
+		if _, dup := inv.vmByID[vm.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate VM id %v", vm.ID)
+		}
+		inv.vmByID[vm.ID] = i
+	}
+	return inv, nil
+}
+
+// PMs returns all physical machines.
+func (inv *Inventory) PMs() []model.PMSpec { return inv.pms }
+
+// VMs returns all virtual machines.
+func (inv *Inventory) VMs() []model.VMSpec { return inv.vms }
+
+// PM returns one PM's spec.
+func (inv *Inventory) PM(id model.PMID) (model.PMSpec, bool) {
+	i, ok := inv.pmByID[id]
+	if !ok {
+		return model.PMSpec{}, false
+	}
+	return inv.pms[i], true
+}
+
+// VM returns one VM's spec.
+func (inv *Inventory) VM(id model.VMID) (model.VMSpec, bool) {
+	i, ok := inv.vmByID[id]
+	if !ok {
+		return model.VMSpec{}, false
+	}
+	return inv.vms[i], true
+}
+
+// NumDCs returns the number of distinct datacenters (max DC index + 1).
+func (inv *Inventory) NumDCs() int { return inv.numDCs }
+
+// PMsOfDC returns the PMs of one datacenter, in stable order.
+func (inv *Inventory) PMsOfDC(dc model.DCID) []model.PMID {
+	return inv.pmsOfDC[dc]
+}
+
+// DCOf returns the datacenter of a PM, or -1 for NoPM / unknown hosts.
+func (inv *Inventory) DCOf(pm model.PMID) model.DCID {
+	if i, ok := inv.pmByID[pm]; ok {
+		return inv.pms[i].DC
+	}
+	return -1
+}
+
+// State is the mutable placement state of the fleet. It tracks which VMs
+// sit on which PMs and offers the occupancy arithmetic every scheduler
+// needs. State is not safe for concurrent mutation.
+type State struct {
+	inv       *Inventory
+	placement model.Placement
+	guests    map[model.PMID][]model.VMID
+}
+
+// NewState builds a state with every VM unplaced.
+func NewState(inv *Inventory) *State {
+	s := &State{
+		inv:       inv,
+		placement: make(model.Placement, len(inv.vms)),
+		guests:    make(map[model.PMID][]model.VMID, len(inv.pms)),
+	}
+	for _, vm := range inv.vms {
+		s.placement[vm.ID] = model.NoPM
+	}
+	return s
+}
+
+// Inventory returns the static fleet description.
+func (s *State) Inventory() *Inventory { return s.inv }
+
+// Placement returns a copy of the current VM -> PM map.
+func (s *State) Placement() model.Placement { return s.placement.Clone() }
+
+// HostOf returns the PM hosting a VM (NoPM if unplaced).
+func (s *State) HostOf(vm model.VMID) model.PMID {
+	pm, ok := s.placement[vm]
+	if !ok {
+		return model.NoPM
+	}
+	return pm
+}
+
+// DCOfVM returns the datacenter currently hosting the VM, or -1.
+func (s *State) DCOfVM(vm model.VMID) model.DCID {
+	return s.inv.DCOf(s.HostOf(vm))
+}
+
+// GuestsOf returns the VMs on one PM in stable (sorted) order.
+func (s *State) GuestsOf(pm model.PMID) []model.VMID {
+	gs := s.guests[pm]
+	out := append([]model.VMID(nil), gs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Place moves a VM onto a PM (or NoPM to evict it). It returns an error
+// for unknown VMs or hosts; capacity is not enforced here because
+// oversubscription is a legal (if painful) state the occupation function
+// resolves.
+func (s *State) Place(vm model.VMID, pm model.PMID) error {
+	if _, ok := s.inv.vmByID[vm]; !ok {
+		return fmt.Errorf("cluster: unknown VM %v", vm)
+	}
+	if pm != model.NoPM {
+		if _, ok := s.inv.pmByID[pm]; !ok {
+			return fmt.Errorf("cluster: unknown PM %v", pm)
+		}
+	}
+	old := s.placement[vm]
+	if old == pm {
+		return nil
+	}
+	if old != model.NoPM {
+		s.guests[old] = removeVM(s.guests[old], vm)
+	}
+	s.placement[vm] = pm
+	if pm != model.NoPM {
+		s.guests[pm] = append(s.guests[pm], vm)
+	}
+	return nil
+}
+
+// Apply replaces the whole placement, returning the VMs that moved.
+func (s *State) Apply(p model.Placement) ([]model.VMID, error) {
+	moved := s.placement.Diff(p)
+	for vm, pm := range p {
+		if err := s.Place(vm, pm); err != nil {
+			return nil, err
+		}
+	}
+	return moved, nil
+}
+
+// ActivePMs returns the hosts with at least one guest, in stable order.
+func (s *State) ActivePMs() []model.PMID {
+	var out []model.PMID
+	for _, pm := range s.inv.pms {
+		if len(s.guests[pm.ID]) > 0 {
+			out = append(out, pm.ID)
+		}
+	}
+	return out
+}
+
+// removeVM deletes one VM from a guest list preserving order.
+func removeVM(gs []model.VMID, vm model.VMID) []model.VMID {
+	for i, g := range gs {
+		if g == vm {
+			return append(gs[:i], gs[i+1:]...)
+		}
+	}
+	return gs
+}
+
+// Occupation resolves how one PM's capacity splits among its guests given
+// each guest's required resources — fOccupation of Figure 3. When the sum
+// of requirements exceeds capacity, every guest receives a proportional
+// share per resource dimension (processor-sharing semantics); otherwise
+// each guest receives exactly what it requires.
+func Occupation(capacity model.Resources, required map[model.VMID]model.Resources) map[model.VMID]model.Resources {
+	grants := make(map[model.VMID]model.Resources, len(required))
+	var sum model.Resources
+	for _, r := range required {
+		sum = sum.Add(r)
+	}
+	shareCPU := shareFactor(sum.CPUPct, capacity.CPUPct)
+	shareMem := shareFactor(sum.MemMB, capacity.MemMB)
+	shareBW := shareFactor(sum.BWMbps, capacity.BWMbps)
+	for vm, r := range required {
+		grants[vm] = model.Resources{
+			CPUPct: r.CPUPct * shareCPU,
+			MemMB:  r.MemMB * shareMem,
+			BWMbps: r.BWMbps * shareBW,
+		}
+	}
+	return grants
+}
+
+func shareFactor(demand, capacity float64) float64 {
+	if demand <= capacity || demand <= 0 {
+		return 1
+	}
+	return capacity / demand
+}
+
+// FreeCapacity returns how much of a PM's capacity remains after granting
+// the given requirements (clamped at zero when oversubscribed).
+func FreeCapacity(capacity model.Resources, required map[model.VMID]model.Resources) model.Resources {
+	var sum model.Resources
+	for _, r := range required {
+		sum = sum.Add(r)
+	}
+	free := capacity.Sub(sum)
+	return free.Max(model.Resources{})
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/par"
+	"repro/internal/sched"
+)
+
+// Hierarchical is the paper's two-layer decomposition (Section III-B):
+// every datacenter first solves its own intra-DC placement with Best-Fit,
+// then exports a narrow interface to the global layer — the VMs that may
+// benefit from moving (poor local SLA) and a few candidate hosts — and a
+// global Best-Fit round decides the inter-DC moves. The interface keeps
+// the global problem small: "each DC only provides to the global scheduler
+// a set of available physical machines and a set of VM's that may benefit
+// if scheduled somewhere else".
+type Hierarchical struct {
+	Inv  *cluster.Inventory
+	Cost sched.CostModel
+	Est  sched.Estimator
+	// ExportSLA is the local-fulfilment threshold below which a VM is
+	// offered to the global round.
+	ExportSLA float64
+	// HostsPerDC is how many candidate hosts each DC exports.
+	HostsPerDC int
+	// Workers bounds the per-DC parallelism of the local rounds.
+	Workers int
+}
+
+// NewHierarchical builds the two-layer scheduler with paper-ish defaults.
+func NewHierarchical(inv *cluster.Inventory, cost sched.CostModel, est sched.Estimator) *Hierarchical {
+	return &Hierarchical{
+		Inv: inv, Cost: cost, Est: est,
+		ExportSLA:  0.98,
+		HostsPerDC: 1,
+	}
+}
+
+// Name implements sched.Scheduler.
+func (h *Hierarchical) Name() string { return "hierarchical-" + h.Est.Name() }
+
+// Schedule implements sched.Scheduler.
+func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
+	if h.Inv == nil {
+		return nil, fmt.Errorf("core: Hierarchical.Inv is nil")
+	}
+	nDC := h.Inv.NumDCs()
+	hostsByDC := make(map[model.DCID][]sched.HostInfo)
+	for _, host := range p.Hosts {
+		hostsByDC[host.Spec.DC] = append(hostsByDC[host.Spec.DC], host)
+	}
+	vmsByDC := make(map[model.DCID][]sched.VMInfo)
+	var homeless []sched.VMInfo // entering VMs go straight to the global round
+	for _, vm := range p.VMs {
+		if vm.CurrentDC < 0 {
+			homeless = append(homeless, vm)
+			continue
+		}
+		vmsByDC[vm.CurrentDC] = append(vmsByDC[vm.CurrentDC], vm)
+	}
+
+	// Phase 1: intra-DC rounds, one per datacenter, in parallel. Each DC's
+	// problem touches only its own VMs and hosts, so no state is shared.
+	type localResult struct {
+		placement model.Placement
+		exports   []sched.VMInfo
+		offers    []sched.HostInfo
+		err       error
+	}
+	dcs := make([]model.DCID, 0, nDC)
+	for dc := 0; dc < nDC; dc++ {
+		dcs = append(dcs, model.DCID(dc))
+	}
+	results := par.Map(dcs, h.Workers, func(dc model.DCID) localResult {
+		local := &sched.Problem{VMs: vmsByDC[dc], Hosts: hostsByDC[dc]}
+		if len(local.Hosts) == 0 {
+			return localResult{placement: model.Placement{}}
+		}
+		bf := sched.NewBestFit(h.Cost, h.Est)
+		placement, err := bf.Schedule(local)
+		if err != nil {
+			return localResult{err: err}
+		}
+		slas, err := h.estimateSLAs(local, placement)
+		if err != nil {
+			return localResult{err: err}
+		}
+		var exports []sched.VMInfo
+		for _, vm := range local.VMs {
+			if slas[vm.Spec.ID] < h.ExportSLA {
+				// The export carries its local assignment as Current so the
+				// global round's hysteresis can keep it home: without a
+				// "stay" option, a strained DC's exports would all cram onto
+				// the few offered hosts.
+				if pm, ok := placement[vm.Spec.ID]; ok && pm != model.NoPM {
+					vm.Current = pm
+					vm.CurrentDC = dc
+				}
+				exports = append(exports, vm)
+			}
+		}
+		offers := h.offerHosts(local, placement, exports)
+		return localResult{placement: placement, exports: exports, offers: offers}
+	})
+
+	merged := make(model.Placement, len(p.VMs))
+	var globalVMs []sched.VMInfo
+	var globalHosts []sched.HostInfo
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for vm, pm := range r.placement {
+			merged[vm] = pm
+		}
+		globalVMs = append(globalVMs, r.exports...)
+		globalHosts = append(globalHosts, r.offers...)
+	}
+	globalVMs = append(globalVMs, homeless...)
+
+	// Phase 2: the global inter-DC round over the narrow interface.
+	if len(globalVMs) > 0 && len(globalHosts) > 0 {
+		gbf := sched.NewBestFit(h.Cost, h.Est)
+		gPlacement, err := gbf.Schedule(&sched.Problem{VMs: globalVMs, Hosts: globalHosts})
+		if err != nil {
+			return nil, err
+		}
+		for vm, pm := range gPlacement {
+			merged[vm] = pm
+		}
+	} else if len(globalVMs) > 0 {
+		// No offers anywhere (degenerate fleet): keep them where they are.
+		for _, vm := range globalVMs {
+			if vm.Current != model.NoPM {
+				merged[vm.Spec.ID] = vm.Current
+			}
+		}
+	}
+	return merged, nil
+}
+
+// estimateSLAs scores every VM's fulfilment under a local placement using
+// proportional occupation, the same arithmetic the simulator applies.
+func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement) (map[model.VMID]float64, error) {
+	req := make(map[model.VMID]model.Resources, len(p.VMs))
+	byHost := make(map[model.PMID]map[model.VMID]model.Resources)
+	infoByID := make(map[model.VMID]*sched.VMInfo, len(p.VMs))
+	for i := range p.VMs {
+		vm := &p.VMs[i]
+		infoByID[vm.Spec.ID] = vm
+		req[vm.Spec.ID] = h.Est.Required(vm)
+		pm, ok := placement[vm.Spec.ID]
+		if !ok || pm == model.NoPM {
+			continue
+		}
+		if byHost[pm] == nil {
+			byHost[pm] = make(map[model.VMID]model.Resources)
+		}
+		byHost[pm][vm.Spec.ID] = req[vm.Spec.ID]
+	}
+	capOf := make(map[model.PMID]model.Resources, len(p.Hosts))
+	dcOf := make(map[model.PMID]model.DCID, len(p.Hosts))
+	for _, host := range p.Hosts {
+		capOf[host.Spec.ID] = host.Spec.Capacity.Sub(host.Resident).Max(model.Resources{})
+		dcOf[host.Spec.ID] = host.Spec.DC
+	}
+	out := make(map[model.VMID]float64, len(p.VMs))
+	for pm, reqs := range byHost {
+		grants := cluster.Occupation(capOf[pm], reqs)
+		for vmID, grant := range grants {
+			vm := infoByID[vmID]
+			lat := h.Cost.Top.MeanLatencyFrom(dcOf[pm], vm.Load)
+			memDef := 0.0
+			if r := reqs[vmID]; r.MemMB > 0 && grant.MemMB < r.MemMB {
+				memDef = (r.MemMB - grant.MemMB) / r.MemMB
+			}
+			if v, ok := h.Est.SLA(vm, grant.CPUPct, memDef, lat); ok {
+				out[vmID] = v
+			} else {
+				out[vmID] = sched.HeuristicSLA(vm, reqs[vmID], grant, lat)
+			}
+		}
+	}
+	// VMs that ended up unplaced fulfil nothing.
+	for _, vm := range p.VMs {
+		if _, ok := out[vm.Spec.ID]; !ok {
+			out[vm.Spec.ID] = 0
+		}
+	}
+	return out, nil
+}
+
+// offerHosts exposes the DC's least-loaded hosts to the global round plus
+// every host currently holding an exported VM (so "leave it where the
+// local round put it" stays on the table). Resident aggregates describe
+// the guests that stay.
+func (h *Hierarchical) offerHosts(p *sched.Problem, placement model.Placement, exports []sched.VMInfo) []sched.HostInfo {
+	exported := make(map[model.VMID]bool, len(exports))
+	holdsExport := make(map[model.PMID]bool, len(exports))
+	for _, vm := range exports {
+		exported[vm.Spec.ID] = true
+		if pm, ok := placement[vm.Spec.ID]; ok && pm != model.NoPM {
+			holdsExport[pm] = true
+		}
+	}
+	type loaded struct {
+		host sched.HostInfo
+		cpu  float64
+	}
+	var hosts []loaded
+	for _, host := range p.Hosts {
+		resident := host.Resident
+		guests := host.ResidentGuests
+		rps := host.ResidentRPS
+		cpuUse := host.ResidentCPUUsage
+		for i := range p.VMs {
+			vm := &p.VMs[i]
+			if placement[vm.Spec.ID] != host.Spec.ID || exported[vm.Spec.ID] {
+				continue
+			}
+			r := h.Est.Required(vm)
+			resident = resident.Add(r)
+			guests++
+			rps += vm.Total.RPS
+			cpuUse += h.Est.VMCPUUsage(vm, r.CPUPct)
+		}
+		offered := host
+		offered.Resident = resident.Min(host.Spec.Capacity)
+		offered.ResidentGuests = guests
+		offered.ResidentRPS = rps
+		offered.ResidentCPUUsage = cpuUse
+		hosts = append(hosts, loaded{offered, resident.CPUPct})
+	}
+	sort.SliceStable(hosts, func(a, b int) bool { return hosts[a].cpu < hosts[b].cpu })
+	n := h.HostsPerDC
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]sched.HostInfo, 0, n)
+	seen := make(map[model.PMID]bool)
+	for i, l := range hosts {
+		if i < n || holdsExport[l.host.Spec.ID] {
+			if !seen[l.host.Spec.ID] {
+				seen[l.host.Spec.ID] = true
+				out = append(out, l.host)
+			}
+		}
+	}
+	return out
+}
+
+var _ sched.Scheduler = (*Hierarchical)(nil)

@@ -1,0 +1,136 @@
+// Package core glues the reproduction together: the Monitor-Analyze-Plan-
+// Execute management loop that drives a simulated multi-DC fleet with a
+// scheduler, and the paper's primary contribution — the hierarchical
+// two-layer scheduler where each datacenter solves its own placement
+// problem and exports only a narrow interface (movable VMs and candidate
+// hosts) to the global inter-DC round.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ManagerConfig assembles a management loop.
+type ManagerConfig struct {
+	World     *sim.World
+	Scheduler sched.Scheduler
+	// RoundTicks is the scheduling period in ticks (paper: every 10 min).
+	RoundTicks int
+	// Movable filters which VMs participate in rounds (nil = all).
+	Movable func(model.VMID) bool
+}
+
+// Manager runs the MAPE loop: observe the world, build the scheduling
+// problem, plan with the scheduler, execute the placement, repeat.
+type Manager struct {
+	cfg    ManagerConfig
+	rounds int
+}
+
+// NewManager validates and builds a manager.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("core: World is required")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("core: Scheduler is required")
+	}
+	if cfg.RoundTicks <= 0 {
+		cfg.RoundTicks = 10
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// Rounds returns how many scheduling rounds have executed.
+func (m *Manager) Rounds() int { return m.rounds }
+
+// BuildProblem assembles the scheduler's view of the world from monitored
+// data: gateway load characteristics (with per-source split), queue
+// backlogs, window-averaged usage and the current placement.
+func (m *Manager) BuildProblem() *sched.Problem {
+	w := m.cfg.World
+	inv := w.Inventory()
+	obs := w.Observer()
+	p := &sched.Problem{Tick: w.Tick()}
+	for _, spec := range inv.VMs() {
+		if m.cfg.Movable != nil && !m.cfg.Movable(spec.ID) {
+			continue
+		}
+		info := sched.VMInfo{
+			Spec:      spec,
+			Current:   w.State().HostOf(spec.ID),
+			CurrentDC: w.State().DCOfVM(spec.ID),
+		}
+		if truth, ok := w.VMTruthAt(spec.ID); ok {
+			// The gateway sees per-source request streams; that is public
+			// middleware knowledge, not hidden simulator state.
+			info.Load = truth.Load.Clone()
+			info.Total = info.Load.Total()
+		} else {
+			info.Load = make(model.LoadVector, w.Topology().NumDCs())
+		}
+		if avg, ok := obs.WindowAvgLoad(spec.ID); ok && avg.RPS > 0 {
+			// Size against the round-averaged gateway statistics, not one
+			// noisy tick; keep the per-source shares of the current vector.
+			if info.Total.RPS > 0 {
+				k := avg.RPS / info.Total.RPS
+				for i := range info.Load {
+					info.Load[i] = info.Load[i].Scale(k)
+				}
+			}
+			info.Total = avg
+		}
+		if s, ok := obs.LastVM(spec.ID); ok {
+			info.QueueLen = s.QueueLen
+		}
+		if avg, ok := obs.WindowAvgVM(spec.ID); ok {
+			info.Observed = avg
+			info.HasObserved = true
+		}
+		p.VMs = append(p.VMs, info)
+	}
+	for _, pm := range inv.PMs() {
+		if w.IsFailed(pm.ID) {
+			continue // failed hosts are not candidates
+		}
+		p.Hosts = append(p.Hosts, sched.HostInfo{Spec: pm})
+	}
+	return p
+}
+
+// Step advances the world one tick, running a scheduling round first
+// whenever the tick index is a round boundary (and at least one tick of
+// observations exists).
+func (m *Manager) Step() (sim.TickStats, error) {
+	w := m.cfg.World
+	if t := w.Tick(); t > 0 && t%m.cfg.RoundTicks == 0 {
+		problem := m.BuildProblem()
+		placement, err := m.cfg.Scheduler.Schedule(problem)
+		if err != nil {
+			return sim.TickStats{}, fmt.Errorf("core: scheduling round at tick %d: %w", t, err)
+		}
+		if err := w.ApplySchedule(placement); err != nil {
+			return sim.TickStats{}, fmt.Errorf("core: applying schedule: %w", err)
+		}
+		m.rounds++
+	}
+	return w.Step(), nil
+}
+
+// Run advances n ticks, invoking cb after each.
+func (m *Manager) Run(n int, cb func(sim.TickStats)) error {
+	for i := 0; i < n; i++ {
+		st, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if cb != nil {
+			cb(st)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V). Each experiment is a pure function of a seed,
+// returning tables and series shaped like the paper's outputs; the bench
+// harness at the repository root regenerates them all.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	TableI            — learning quality of the seven predictors
+//	Figure4           — intra-DC: BF vs BF-OB vs BF+ML over 24 h
+//	Figure5           — follow-the-load placement of a single VM
+//	Delocation        — §V-C fixed DC vs de-location benefit
+//	Figure6           — full inter-DC scheduling with flash crowd
+//	Figure7TableIII   — static vs dynamic multi-DC comparison
+//	Figure8           — SLA vs energy vs load trade-off surface
+//	SchedulerScaling  — Best-Fit vs exhaustive solver blow-up (§IV-C)
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Result is the uniform output of one experiment.
+type Result struct {
+	Name   string
+	Tables []report.Table
+	Charts []report.Chart
+	Notes  []string
+	// Metrics exposes headline numbers for tests and benches.
+	Metrics map[string]float64
+}
+
+// Render returns the whole result as printable text.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("== %s ==\n", r.Name)
+	for i := range r.Tables {
+		out += r.Tables[i].Render() + "\n"
+	}
+	for i := range r.Charts {
+		out += r.Charts[i].Render() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// bundleCache memoises trained predictor bundles per seed: several
+// experiments share the same models, and training is the expensive step.
+var bundleCache sync.Map // uint64 -> *predict.Bundle
+
+// TrainedBundle returns the predictor bundle for a seed, training it on
+// first use.
+func TrainedBundle(seed uint64) (*predict.Bundle, error) {
+	if v, ok := bundleCache.Load(seed); ok {
+		return v.(*predict.Bundle), nil
+	}
+	h, err := predict.Collect(predict.DefaultHarvestOpts(seed))
+	if err != nil {
+		return nil, err
+	}
+	b, err := predict.Train(h, predict.DefaultTrainConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := bundleCache.LoadOrStore(seed, b)
+	return actual.(*predict.Bundle), nil
+}
+
+// RoundTicks is the scheduling period used across experiments (10 min).
+const RoundTicks = 10
+
+// HorizonHours is the profit horizon of one scheduling round.
+const HorizonHours = float64(RoundTicks) / 60
+
+// PolicyRun summarises one (scenario, scheduler) execution.
+type PolicyRun struct {
+	Policy      string
+	Ticks       int
+	AvgSLA      float64
+	MinSLA      float64
+	AvgWatts    float64
+	AvgEuroH    float64 // profit per hour
+	RevenueEUR  float64
+	EnergyEUR   float64
+	PenaltyEUR  float64
+	Migrations  int
+	AvgActive   float64
+	SLASeries   []float64
+	WattsSeries []float64
+	ActiveSer   []float64
+	DCSeries    []float64 // hosting DC of VM 0 (for placement plots)
+	// sunlitFrac is used by the green-energy extension: the share of ticks
+	// vm0 spent on renewable-discounted power.
+	sunlitFrac float64
+}
+
+// RunPolicy executes a scheduler-managed run on a fresh scenario.
+func RunPolicy(opts sim.ScenarioOpts, mkSched func(*sim.Scenario) (sched.Scheduler, error),
+	initial func(*sim.Scenario) model.Placement, ticks int) (*PolicyRun, error) {
+	sc, err := sim.NewScenario(opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := mkSched(sc)
+	if err != nil {
+		return nil, err
+	}
+	if initial != nil {
+		if err := sc.World.PlaceInitial(initial(sc)); err != nil {
+			return nil, err
+		}
+	}
+	run := &PolicyRun{Policy: s.Name(), Ticks: ticks, MinSLA: 1}
+	mgr, err := newManager(sc, s)
+	if err != nil {
+		return nil, err
+	}
+	var sumSLA, sumWatts, sumActive float64
+	err = mgr.Run(ticks, func(st sim.TickStats) {
+		sumSLA += st.AvgSLA
+		sumWatts += st.FacilityWatts
+		sumActive += float64(st.ActivePMs)
+		if st.AvgSLA < run.MinSLA {
+			run.MinSLA = st.AvgSLA
+		}
+		run.Migrations += st.Migrations
+		run.SLASeries = append(run.SLASeries, st.AvgSLA)
+		run.WattsSeries = append(run.WattsSeries, st.FacilityWatts)
+		run.ActiveSer = append(run.ActiveSer, float64(st.ActivePMs))
+		run.DCSeries = append(run.DCSeries, float64(sc.World.State().DCOfVM(0)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(ticks)
+	run.AvgSLA = sumSLA / n
+	run.AvgWatts = sumWatts / n
+	run.AvgActive = sumActive / n
+	ledger := sc.World.Ledger()
+	run.AvgEuroH = ledger.AvgProfitPerHour(sim.TickHours)
+	run.RevenueEUR = ledger.Revenue()
+	run.EnergyEUR = ledger.EnergyCost()
+	run.PenaltyEUR = ledger.Penalties()
+	return run, nil
+}
+
+// newManager wires the standard management loop around a scheduler.
+func newManager(sc *sim.Scenario, s sched.Scheduler) (*core.Manager, error) {
+	return core.NewManager(core.ManagerConfig{
+		World: sc.World, Scheduler: s, RoundTicks: RoundTicks,
+	})
+}
+
+// CostModel builds the standard Figure 3 objective for a scenario.
+func CostModel(sc *sim.Scenario) sched.CostModel {
+	return sched.NewCostModel(sc.Topology, power.Atom{}, HorizonHours)
+}
+
+// summaryTable renders PolicyRuns side by side.
+func summaryTable(caption string, runs []*PolicyRun) report.Table {
+	t := report.Table{
+		Caption: caption,
+		Headers: []string{"policy", "avg SLA", "min SLA", "avg W", "profit €/h", "migrations", "avg PMs on"},
+	}
+	for _, r := range runs {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.4f", r.AvgSLA),
+			fmt.Sprintf("%.4f", r.MinSLA),
+			fmt.Sprintf("%.1f", r.AvgWatts),
+			fmt.Sprintf("%.4f", r.AvgEuroH),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%.2f", r.AvgActive),
+		)
+	}
+	return t
+}
+
+// ledgerNote formats the money components of a run.
+func ledgerNote(r *PolicyRun) string {
+	return fmt.Sprintf("%s: revenue %.3f€, energy %.3f€, penalties %.3f€ over %d ticks",
+		r.Policy, r.RevenueEUR, r.EnergyEUR, r.PenaltyEUR, r.Ticks)
+}

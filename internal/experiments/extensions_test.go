@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+// Shape tests for the future-work extensions.
+
+func TestGreenEnergyShape(t *testing.T) {
+	res, err := GreenEnergy(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Following the sun must cut energy cost meaningfully...
+	if res.Metrics["energyCut"] < 0.2 {
+		t.Errorf("energy cut = %.0f%%, want >= 20%%", res.Metrics["energyCut"]*100)
+	}
+	// ...and put vm0 on discounted power more often than the static pin.
+	if res.Metrics["sunlitFrac:dynamic"] <= res.Metrics["sunlitFrac:static"] {
+		t.Errorf("dynamic sunlit %.2f not above static %.2f",
+			res.Metrics["sunlitFrac:dynamic"], res.Metrics["sunlitFrac:static"])
+	}
+	// SLA must not collapse while chasing watts.
+	if res.Metrics["sla:dynamic"] < res.Metrics["sla:static"]-0.05 {
+		t.Errorf("follow-the-sun sacrificed SLA: %.3f vs %.3f",
+			res.Metrics["sla:dynamic"], res.Metrics["sla:static"])
+	}
+}
+
+func TestOnlineLearningShape(t *testing.T) {
+	res, err := OnlineLearning(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the update both run healthy.
+	if res.Metrics["slaPre"] < 0.9 {
+		t.Errorf("pre-shift SLA = %.3f", res.Metrics["slaPre"])
+	}
+	// The frozen models must visibly suffer after the silent update...
+	if res.Metrics["slaPost:frozen"] >= res.Metrics["slaPre"]-0.02 {
+		t.Errorf("software update did not hurt frozen models: %.3f -> %.3f",
+			res.Metrics["slaPre"], res.Metrics["slaPost:frozen"])
+	}
+	// ...and online retraining must claw a real share back.
+	if res.Metrics["recoveredPoints"] < 0.02 {
+		t.Errorf("online retraining recovered only %.3f SLA points", res.Metrics["recoveredPoints"])
+	}
+	if res.Metrics["retrains"] < 2 {
+		t.Errorf("retrains = %v", res.Metrics["retrains"])
+	}
+}
+
+func TestHeuristicsShape(t *testing.T) {
+	res, err := Heuristics(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prior-work claim: profit-driven Best-Fit earns the most.
+	best := res.Metrics["profit:BestFit+ML"]
+	for _, other := range []string{"RoundRobin", "FirstFit", "WorstFit"} {
+		if res.Metrics["profit:"+other] > best+1e-9 {
+			t.Errorf("%s profit %.4f beats BestFit+ML %.4f",
+				other, res.Metrics["profit:"+other], best)
+		}
+	}
+	// Spreading policies must burn clearly more energy than Best-Fit.
+	if res.Metrics["watts:RoundRobin"] < res.Metrics["watts:BestFit+ML"]*1.3 {
+		t.Errorf("RoundRobin watts %.1f not clearly above BestFit %.1f",
+			res.Metrics["watts:RoundRobin"], res.Metrics["watts:BestFit+ML"])
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	res, err := Hierarchy(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest size the two-layer round must be meaningfully faster
+	// while matching the flat outcome.
+	if res.Metrics["hierMs:48"] >= res.Metrics["flatMs:48"]*0.8 {
+		t.Errorf("two-layer %.2fms not faster than flat %.2fms",
+			res.Metrics["hierMs:48"], res.Metrics["flatMs:48"])
+	}
+	if res.Metrics["hierSLA:48"] < res.Metrics["flatSLA:48"]-0.02 {
+		t.Errorf("two-layer SLA %.4f fell below flat %.4f",
+			res.Metrics["hierSLA:48"], res.Metrics["flatSLA:48"])
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// GreenEnergy implements the paper's future-work item ("the green energy
+// into the scheme, not only to reduce energy costs but also environmental
+// impact"): each DC's electricity price collapses while its local sun
+// shines (on-site solar displacing grid power), and the scheduler is free
+// to chase the cheap watts. The expected behaviour is the 'follow the
+// sun/wind' policy of Section III-A, emerging purely from the energy term
+// of the profit function.
+func GreenEnergy(seed uint64) (*Result, error) {
+	bundle, err := TrainedBundle(seed)
+	if err != nil {
+		return nil, err
+	}
+	ticks := 2 * model.TicksPerDay
+	base := []float64{0.1314, 0.1218, 0.1513, 0.1120}
+	solar := network.SolarPricing(base, trace.PaperTZOffsets(), 0.95)
+
+	run := func(dynamic bool) (*PolicyRun, error) {
+		sc, err := sim.NewScenario(sim.ScenarioOpts{
+			Seed: seed, VMs: 5, PMsPerDC: 1, DCs: 4,
+			LoadScale: 0.9, NoiseSD: 0.2, HomeBias: 0.3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc.Topology.SetPriceSchedule(solar)
+		var s sched.Scheduler
+		if dynamic {
+			s = sched.NewBestFit(CostModel(sc), sched.NewML(bundle))
+		} else {
+			s = &sched.Fixed{P: sc.HomePlacement()}
+		}
+		mgr, err := newManager(sc, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+			return nil, err
+		}
+		pr := &PolicyRun{Ticks: ticks, MinSLA: 1}
+		if dynamic {
+			pr.Policy = "follow-the-sun"
+		} else {
+			pr.Policy = "static"
+		}
+		var sumSLA, sumW float64
+		sunlit := 0
+		err = mgr.Run(ticks, func(st sim.TickStats) {
+			sumSLA += st.AvgSLA
+			sumW += st.FacilityWatts
+			if st.AvgSLA < pr.MinSLA {
+				pr.MinSLA = st.AvgSLA
+			}
+			pr.Migrations += st.Migrations
+			pr.SLASeries = append(pr.SLASeries, st.AvgSLA)
+			pr.WattsSeries = append(pr.WattsSeries, st.FacilityWatts)
+			dc := sc.World.State().DCOfVM(0)
+			pr.DCSeries = append(pr.DCSeries, float64(dc))
+			// Count ticks where vm0's host enjoys solar-discounted power.
+			if dc >= 0 && solar(dc, st.Tick) < base[dc]*0.7 {
+				sunlit++
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		ledger := sc.World.Ledger()
+		pr.AvgSLA = sumSLA / float64(ticks)
+		pr.AvgWatts = sumW / float64(ticks)
+		pr.AvgEuroH = ledger.AvgProfitPerHour(sim.TickHours)
+		pr.RevenueEUR = ledger.Revenue()
+		pr.EnergyEUR = ledger.EnergyCost()
+		pr.PenaltyEUR = ledger.Penalties()
+		// Stash the sunlit fraction in MinSLA-adjacent metric via notes; the
+		// caller reads it from the metrics map below.
+		pr.sunlitFrac = float64(sunlit) / float64(ticks)
+		return pr, nil
+	}
+
+	static, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("green static: %w", err)
+	}
+	dynamic, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("green dynamic: %w", err)
+	}
+
+	res := &Result{Name: "GreenEnergy", Metrics: map[string]float64{
+		"energyEUR:static":   static.EnergyEUR,
+		"energyEUR:dynamic":  dynamic.EnergyEUR,
+		"sla:static":         static.AvgSLA,
+		"sla:dynamic":        dynamic.AvgSLA,
+		"sunlitFrac:static":  static.sunlitFrac,
+		"sunlitFrac:dynamic": dynamic.sunlitFrac,
+	}}
+	t := report.Table{
+		Caption: "Green energy extension — follow-the-sun scheduling over 48 h",
+		Headers: []string{"policy", "avg SLA", "energy €", "€ saved", "vm0 on solar power"},
+	}
+	for _, r := range []*PolicyRun{static, dynamic} {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.4f", r.AvgSLA),
+			fmt.Sprintf("%.4f", r.EnergyEUR),
+			fmt.Sprintf("%.4f", static.EnergyEUR-r.EnergyEUR),
+			fmt.Sprintf("%.0f%%", r.sunlitFrac*100),
+		)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, report.Chart{
+		Caption: "vm0 hosting DC, static vs follow-the-sun (DC index over 48 h)",
+		Series: []report.Series{
+			{Name: "static", Values: static.DCSeries},
+			{Name: "dynamic", Values: dynamic.DCSeries},
+		},
+	})
+	cut := 0.0
+	if static.EnergyEUR > 0 {
+		cut = 1 - dynamic.EnergyEUR/static.EnergyEUR
+	}
+	res.Metrics["energyCut"] = cut
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"the profit objective alone produces a follow-the-sun tour: energy cost falls %.0f%% and vm0 runs on solar-discounted power %.0f%% of the time (static: %.0f%%)",
+		cut*100, dynamic.sunlitFrac*100, static.sunlitFrac*100))
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is an experiment entry point.
+type Runner func(seed uint64) (*Result, error)
+
+// registry maps experiment names to runners.
+var registry = map[string]Runner{
+	"table1":     TableI,
+	"fig4":       Figure4,
+	"fig5":       Figure5,
+	"delocation": Delocation,
+	"fig6":       Figure6,
+	"fig7":       Figure7TableIII,
+	"table3":     Figure7TableIII,
+	"fig8":       Figure8,
+	"scaling":    SchedulerScaling,
+	"green":      GreenEnergy,
+	"heuristics": Heuristics,
+	"online":     OnlineLearning,
+	"hierarchy":  Hierarchy,
+}
+
+// Names lists the registered experiments in stable order.
+func Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for name := range registry {
+		if name == "table3" { // alias
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, seed uint64) (*Result, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(seed)
+}

@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaggedStabilisesUnprunedTrees(t *testing.T) {
+	// The classic bagging setting: high-variance base learners. Unpruned,
+	// unsmoothed model trees overfit heavy noise; averaging bootstrap
+	// replicas must recover most of the loss.
+	train := piecewiseData(600, 51, 3.0)
+	test := piecewiseData(300, 52, 0)
+	raw := M5PConfig{MinLeaf: 4, Pruning: false, Smoothing: false, ClampToRange: true}
+	single, err := TrainM5P(train, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag, err := TrainBagged(train, BaggingConfig{Members: 15, Seed: 1}, func(d *Dataset) (Regressor, error) {
+		return TrainM5P(d, raw)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleMAE := Evaluate(single, test).MAE
+	bagMAE := Evaluate(bag, test).MAE
+	if bagMAE >= singleMAE {
+		t.Fatalf("bagging did not stabilise unpruned trees: %.4f vs single %.4f", bagMAE, singleMAE)
+	}
+}
+
+func TestBaggedDeterministicInSeed(t *testing.T) {
+	d := piecewiseData(200, 53, 0.5)
+	mk := func() *Bagged {
+		b, err := TrainBagged(d, BaggingConfig{Members: 5, Seed: 9}, func(s *Dataset) (Regressor, error) {
+			return TrainM5P(s, DefaultM5PConfig(4))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	for x0 := 0.5; x0 < 10; x0 += 1 {
+		x := []float64{x0, 5}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed ensembles diverge")
+		}
+	}
+}
+
+func TestBaggedSpread(t *testing.T) {
+	d := piecewiseData(400, 54, 1.0)
+	bag, err := TrainBagged(d, BaggingConfig{Members: 10, Seed: 2}, func(s *Dataset) (Regressor, error) {
+		return TrainM5P(s, DefaultM5PConfig(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-manifold: members agree fairly well.
+	_, onSpread := bag.PredictWithSpread([]float64{5, 5})
+	// Far off-manifold: members extrapolate differently (clamping bounds
+	// them, but the spread should not shrink).
+	_, offSpread := bag.PredictWithSpread([]float64{500, -300})
+	if math.IsNaN(onSpread) || math.IsNaN(offSpread) {
+		t.Fatal("NaN spread")
+	}
+	if onSpread < 0 || offSpread < 0 {
+		t.Fatal("negative spread")
+	}
+	mean, spread := bag.PredictWithSpread([]float64{5, 5})
+	if spread > math.Abs(mean) {
+		t.Fatalf("on-manifold spread %v implausibly large vs mean %v", spread, mean)
+	}
+}
+
+func TestBaggedValidation(t *testing.T) {
+	if _, err := TrainBagged(NewDataset(nil), BaggingConfig{}, nil); err == nil {
+		t.Fatal("accepted empty dataset")
+	}
+	d := piecewiseData(50, 55, 0)
+	if _, err := TrainBagged(d, BaggingConfig{}, nil); err == nil {
+		t.Fatal("accepted nil trainer")
+	}
+	// Defaults: 10 members.
+	bag, err := TrainBagged(d, BaggingConfig{}, func(s *Dataset) (Regressor, error) {
+		return TrainLinear(s, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bag.Members) != 10 {
+		t.Fatalf("default members = %d", len(bag.Members))
+	}
+	var empty Bagged
+	if empty.Predict([]float64{1}) != 0 {
+		t.Fatal("empty ensemble should predict 0")
+	}
+	if m, s := empty.PredictWithSpread([]float64{1}); m != 0 || s != 0 {
+		t.Fatal("empty ensemble spread should be 0")
+	}
+}

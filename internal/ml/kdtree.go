@@ -1,0 +1,117 @@
+package ml
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// kdTree is a static k-d tree over standardized feature rows, used to
+// accelerate k-NN queries. Points are referenced by index into the owning
+// KNN's row storage so the tree adds only O(n) memory.
+type kdTree struct {
+	points [][]float64
+	nodes  []kdNode
+	root   int
+}
+
+type kdNode struct {
+	point       int // index into points
+	axis        int
+	left, right int // node indices, -1 for none
+}
+
+// buildKDTree constructs the tree by recursive median split on the axis of
+// greatest spread.
+func buildKDTree(points [][]float64, n int) *kdTree {
+	t := &kdTree{points: points, nodes: make([]kdNode, 0, n)}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx)
+	return t
+}
+
+func (t *kdTree) build(idx []int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := t.widestAxis(idx)
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	// Move mid left past duplicates so the invariant "left subtree <= node"
+	// holds strictly for the chosen pivot value.
+	for mid > 0 && t.points[idx[mid-1]][axis] == t.points[idx[mid]][axis] {
+		mid--
+	}
+	node := kdNode{point: idx[mid], axis: axis, left: -1, right: -1}
+	t.nodes = append(t.nodes, node)
+	id := len(t.nodes) - 1
+	left := append([]int(nil), idx[:mid]...)
+	right := append([]int(nil), idx[mid+1:]...)
+	l := t.build(left)
+	r := t.build(right)
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
+}
+
+func (t *kdTree) widestAxis(idx []int) int {
+	if len(idx) == 0 || len(t.points[idx[0]]) == 0 {
+		return 0
+	}
+	dims := len(t.points[idx[0]])
+	best, bestSpread := 0, -1.0
+	for d := 0; d < dims; d++ {
+		lo, hi := t.points[idx[0]][d], t.points[idx[0]][d]
+		for _, i := range idx[1:] {
+			v := t.points[i][d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			bestSpread = spread
+			best = d
+		}
+	}
+	return best
+}
+
+// search returns the k nearest stored points to q in ascending distance.
+func (t *kdTree) search(q []float64, k int) []neighbor {
+	h := &neighborHeap{}
+	t.searchNode(t.root, q, k, h)
+	return h.sorted()
+}
+
+func (t *kdTree) searchNode(id int, q []float64, k int, h *neighborHeap) {
+	if id < 0 {
+		return
+	}
+	node := t.nodes[id]
+	p := t.points[node.point]
+	d2 := sqDist(q, p)
+	if h.Len() < k {
+		heap.Push(h, neighbor{node.point, d2})
+	} else if d2 < (*h)[0].d2 {
+		(*h)[0] = neighbor{node.point, d2}
+		heap.Fix(h, 0)
+	}
+	diff := q[node.axis] - p[node.axis]
+	near, far := node.left, node.right
+	if diff > 0 {
+		near, far = node.right, node.left
+	}
+	t.searchNode(near, q, k, h)
+	// Visit the far side only if the splitting plane could hide a closer
+	// point than the current k-th best.
+	if h.Len() < k || diff*diff < (*h)[0].d2 {
+		t.searchNode(far, q, k, h)
+	}
+}

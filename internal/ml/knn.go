@@ -1,0 +1,176 @@
+package ml
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// KNNConfig exposes the hyper-parameters of the k-NN regressor.
+type KNNConfig struct {
+	// K is the neighbour count; the paper's SLA predictor uses K=4.
+	K int
+	// DistanceWeight blends neighbours by 1/(d+eps) instead of uniformly.
+	DistanceWeight bool
+	// UseKDTree selects the kd-tree index instead of the brute-force scan.
+	// Both return identical predictions; the tree is faster past a few
+	// thousand training rows.
+	UseKDTree bool
+}
+
+// DefaultKNNConfig mirrors the paper's WEKA IBk setup with the given K,
+// with inverse-distance weighting (IBk's -I option): "comparing the
+// current situation with those seen before and choosing the most similar
+// one(s)" — similarity-weighted, so near-identical precedents dominate.
+func DefaultKNNConfig(k int) KNNConfig {
+	return KNNConfig{K: k, UseKDTree: true, DistanceWeight: true}
+}
+
+// KNN is a fitted k-nearest-neighbours regressor over z-scored features.
+type KNN struct {
+	cfg  KNNConfig
+	std  *Standardizer
+	x    [][]float64 // standardized training rows
+	y    []float64
+	tree *kdTree
+}
+
+// TrainKNN memorises the (standardized) training data.
+func TrainKNN(d *Dataset, cfg KNNConfig) (*KNN, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: cannot fit k-NN on empty dataset")
+	}
+	if cfg.K < 1 {
+		cfg.K = 4
+	}
+	if cfg.K > d.Len() {
+		cfg.K = d.Len()
+	}
+	std := FitStandardizer(d)
+	k := &KNN{cfg: cfg, std: std, y: append([]float64(nil), d.Y...)}
+	k.x = make([][]float64, d.Len())
+	for i, row := range d.X {
+		k.x[i] = std.Apply(row)
+	}
+	if cfg.UseKDTree {
+		k.tree = buildKDTree(k.x, d.Len())
+	}
+	return k, nil
+}
+
+// K returns the effective neighbour count.
+func (k *KNN) K() int { return k.cfg.K }
+
+// Predict averages the targets of the K nearest training rows.
+func (k *KNN) Predict(x []float64) float64 {
+	q := k.std.Apply(x)
+	var nb []neighbor
+	if k.tree != nil {
+		nb = k.tree.search(q, k.cfg.K)
+	} else {
+		nb = k.bruteSearch(q)
+	}
+	return k.blend(nb)
+}
+
+// Neighbors exposes the raw nearest neighbours (index, squared distance)
+// for diagnostics and tests.
+func (k *KNN) Neighbors(x []float64) []neighborInfo {
+	q := k.std.Apply(x)
+	var nb []neighbor
+	if k.tree != nil {
+		nb = k.tree.search(q, k.cfg.K)
+	} else {
+		nb = k.bruteSearch(q)
+	}
+	out := make([]neighborInfo, len(nb))
+	for i, n := range nb {
+		out[i] = neighborInfo{Index: n.idx, Dist2: n.d2, Y: k.y[n.idx]}
+	}
+	return out
+}
+
+type neighborInfo struct {
+	Index int
+	Dist2 float64
+	Y     float64
+}
+
+type neighbor struct {
+	idx int
+	d2  float64
+}
+
+func (k *KNN) bruteSearch(q []float64) []neighbor {
+	h := &neighborHeap{}
+	for i, row := range k.x {
+		d2 := sqDist(q, row)
+		if h.Len() < k.cfg.K {
+			heap.Push(h, neighbor{i, d2})
+		} else if d2 < (*h)[0].d2 {
+			(*h)[0] = neighbor{i, d2}
+			heap.Fix(h, 0)
+		}
+	}
+	return h.sorted()
+}
+
+func (k *KNN) blend(nb []neighbor) float64 {
+	if len(nb) == 0 {
+		return 0
+	}
+	if !k.cfg.DistanceWeight {
+		s := 0.0
+		for _, n := range nb {
+			s += k.y[n.idx]
+		}
+		return s / float64(len(nb))
+	}
+	const eps = 1e-9
+	var num, den float64
+	for _, n := range nb {
+		w := 1 / (math.Sqrt(n.d2) + eps)
+		num += w * k.y[n.idx]
+		den += w
+	}
+	return num / den
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// neighborHeap is a max-heap on distance so the worst of the current K
+// candidates sits at the root for O(1) comparisons.
+type neighborHeap []neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(v interface{}) { *h = append(*h, v.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// sorted drains the heap into ascending-distance order.
+func (h *neighborHeap) sorted() []neighbor {
+	out := make([]neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(neighbor)
+	}
+	return out
+}
+
+var _ Regressor = (*KNN)(nil)

@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear is a fitted linear model: yhat = Intercept + sum_j Coef[j]*x[j].
+type Linear struct {
+	Intercept float64
+	Coef      []float64
+}
+
+// Predict evaluates the model on one row. Rows shorter than the
+// coefficient vector are treated as zero-padded.
+func (l *Linear) Predict(x []float64) float64 {
+	y := l.Intercept
+	for j, c := range l.Coef {
+		if j < len(x) {
+			y += c * x[j]
+		}
+	}
+	return y
+}
+
+// NumParams returns the number of fitted parameters (for pruning criteria).
+func (l *Linear) NumParams() int { return 1 + len(l.Coef) }
+
+func (l *Linear) String() string {
+	return fmt.Sprintf("linear(%d coefs, intercept %.4g)", len(l.Coef), l.Intercept)
+}
+
+// TrainLinear fits ordinary least squares with optional ridge penalty
+// lambda (0 = OLS) by Householder QR on the design matrix augmented with an
+// intercept column. The intercept is never penalised.
+//
+// When the system is under-determined (fewer rows than columns) a small
+// ridge is applied automatically so a unique solution exists.
+func TrainLinear(d *Dataset, lambda float64) (*Linear, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n, p := d.Len(), d.Width()
+	if n == 0 {
+		return nil, fmt.Errorf("ml: cannot fit linear model on empty dataset")
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("ml: negative ridge lambda %v", lambda)
+	}
+	cols := p + 1 // + intercept
+	if n < cols && lambda == 0 {
+		lambda = 1e-6
+	}
+	rows := n
+	if lambda > 0 {
+		rows += p // ridge rows for the p slope coefficients only
+	}
+	// Build the augmented system [X 1; sqrt(l) I 0] beta = [y; 0].
+	a := make([][]float64, rows)
+	b := make([]float64, rows)
+	for i := 0; i < n; i++ {
+		row := make([]float64, cols)
+		copy(row, d.X[i])
+		row[p] = 1 // intercept column last
+		a[i] = row
+		b[i] = d.Y[i]
+	}
+	if lambda > 0 {
+		s := math.Sqrt(lambda)
+		for j := 0; j < p; j++ {
+			row := make([]float64, cols)
+			row[j] = s
+			a[n+j] = row
+		}
+	}
+	beta, err := solveQR(a, b, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Linear{Intercept: beta[p], Coef: beta[:p]}, nil
+}
+
+// solveQR performs in-place Householder QR factorisation of a (rows x cols,
+// rows >= cols) and solves min ||a beta - b|| in the least-squares sense.
+// After the loop, the strictly upper triangle of a holds R above its
+// diagonal, rdiag holds R's diagonal, and the columns below the diagonal
+// hold the Householder vectors (the LINPACK storage scheme).
+func solveQR(a [][]float64, b []float64, cols int) ([]float64, error) {
+	rows := len(a)
+	if rows < cols {
+		return nil, fmt.Errorf("ml: QR needs rows >= cols (%d < %d)", rows, cols)
+	}
+	rdiag := make([]float64, cols)
+	for k := 0; k < cols; k++ {
+		var nrm float64
+		for i := k; i < rows; i++ {
+			nrm = math.Hypot(nrm, a[i][k])
+		}
+		if nrm != 0 {
+			if a[k][k] < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < rows; i++ {
+				a[i][k] /= nrm
+			}
+			a[k][k] += 1
+			for j := k + 1; j < cols; j++ {
+				var s float64
+				for i := k; i < rows; i++ {
+					s += a[i][k] * a[i][j]
+				}
+				s = -s / a[k][k]
+				for i := k; i < rows; i++ {
+					a[i][j] += s * a[i][k]
+				}
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	// Apply the reflections to b, i.e. compute Q^T b.
+	for k := 0; k < cols; k++ {
+		if rdiag[k] == 0 {
+			continue // dependent column: no reflection was stored
+		}
+		var s float64
+		for i := k; i < rows; i++ {
+			s += a[i][k] * b[i]
+		}
+		s = -s / a[k][k]
+		for i := k; i < rows; i++ {
+			b[i] += s * a[i][k]
+		}
+	}
+	// Back substitution on R beta = (Q^T b)[:cols].
+	beta := make([]float64, cols)
+	for k := cols - 1; k >= 0; k-- {
+		if math.Abs(rdiag[k]) < 1e-12 {
+			beta[k] = 0 // dependent column: pin to zero
+			continue
+		}
+		s := b[k]
+		for j := k + 1; j < cols; j++ {
+			s -= a[k][j] * beta[j]
+		}
+		beta[k] = s / rdiag[k]
+	}
+	for _, v := range beta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ml: QR solution not finite")
+		}
+	}
+	return beta, nil
+}
+
+// meanModel returns the constant model predicting the target mean, the
+// fallback when no features carry signal.
+func meanModel(y []float64) *Linear {
+	m := 0.0
+	for _, v := range y {
+		m += v
+	}
+	if len(y) > 0 {
+		m /= float64(len(y))
+	}
+	return &Linear{Intercept: m}
+}

@@ -1,0 +1,365 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// M5PConfig exposes the hyper-parameters of the M5P model-tree learner.
+type M5PConfig struct {
+	// MinLeaf is WEKA's -M: the minimum number of instances per leaf.
+	// The paper uses M=4 for the CPU/RT models and M=2 for network I/O.
+	MinLeaf int
+	// Smoothing enables Quinlan's along-path prediction smoothing.
+	Smoothing bool
+	// SmoothK is the smoothing constant (classic value 15).
+	SmoothK float64
+	// Pruning enables bottom-up subtree replacement by leaf linear models.
+	Pruning bool
+	// PruneFactor multiplies the pruned-error comparison: values > 1 prune
+	// more aggressively. WEKA's pruning factor corresponds to 1.0.
+	PruneFactor float64
+	// Ridge is the regularisation used for leaf/node linear models; a small
+	// positive value keeps near-collinear leaf fits stable.
+	Ridge float64
+	// SDRThreshold stops splitting when a node's target deviation falls
+	// below this fraction of the root deviation (M5 uses 5%).
+	SDRThreshold float64
+	// ClampToRange bounds predictions to the training target range,
+	// guarding the leaf linear models against wild extrapolation on
+	// off-manifold queries.
+	ClampToRange bool
+}
+
+// DefaultM5PConfig mirrors WEKA M5P defaults with M as given.
+func DefaultM5PConfig(minLeaf int) M5PConfig {
+	return M5PConfig{
+		MinLeaf:      minLeaf,
+		Smoothing:    true,
+		SmoothK:      15,
+		Pruning:      true,
+		PruneFactor:  1.0,
+		Ridge:        1e-6,
+		SDRThreshold: 0.05,
+		ClampToRange: true,
+	}
+}
+
+// M5P is a fitted model tree.
+type M5P struct {
+	root     *m5pNode
+	cfg      M5PConfig
+	yLo, yHi float64 // training target range, for ClampToRange
+}
+
+type m5pNode struct {
+	// Split (interior nodes only).
+	feature int
+	thresh  float64
+	left    *m5pNode
+	right   *m5pNode
+	// Linear model: present at every node (used for smoothing and pruning),
+	// authoritative at leaves.
+	lm *Linear
+	n  int // training instances that reached the node
+}
+
+func (n *m5pNode) isLeaf() bool { return n.left == nil }
+
+// TrainM5P grows, prunes and (optionally) smooths an M5P model tree.
+func TrainM5P(d *Dataset, cfg M5PConfig) (*M5P, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: cannot fit M5P on empty dataset")
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 4
+	}
+	if cfg.SmoothK <= 0 {
+		cfg.SmoothK = 15
+	}
+	if cfg.PruneFactor <= 0 {
+		cfg.PruneFactor = 1
+	}
+	if cfg.SDRThreshold <= 0 {
+		cfg.SDRThreshold = 0.05
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	rootSD := stddevAt(d, idx)
+	t := &M5P{cfg: cfg}
+	t.yLo, t.yHi = d.YRange()
+	t.root = t.grow(d, idx, rootSD)
+	if cfg.Pruning {
+		t.prune(d, t.root, idx)
+	}
+	return t, nil
+}
+
+// grow recursively builds the unpruned tree and fits a linear model at
+// every node.
+func (t *M5P) grow(d *Dataset, idx []int, rootSD float64) *m5pNode {
+	node := &m5pNode{n: len(idx), feature: -1}
+	node.lm = t.fitNodeModel(d, idx)
+	sd := stddevAt(d, idx)
+	if len(idx) < 2*t.cfg.MinLeaf || sd <= t.cfg.SDRThreshold*rootSD {
+		return node
+	}
+	feat, thresh, ok := t.bestSplit(d, idx, sd)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return node
+	}
+	node.feature = feat
+	node.thresh = thresh
+	node.left = t.grow(d, left, rootSD)
+	node.right = t.grow(d, right, rootSD)
+	return node
+}
+
+// bestSplit maximises the standard deviation reduction
+// SDR = sd(S) - sum_i |S_i|/|S| * sd(S_i) over all (feature, threshold)
+// candidates, scanning each feature in sorted order with running moments so
+// every threshold costs O(1).
+func (t *M5P) bestSplit(d *Dataset, idx []int, parentSD float64) (feat int, thresh float64, ok bool) {
+	bestSDR := 0.0
+	n := len(idx)
+	order := make([]int, n)
+	for f := 0; f < d.Width(); f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+		// Running sums from the left.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, i := range order {
+			sumR += d.Y[i]
+			sqR += d.Y[i] * d.Y[i]
+		}
+		for k := 0; k < n-1; k++ {
+			y := d.Y[order[k]]
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			// Candidate threshold between distinct attribute values only.
+			xv, xn := d.X[order[k]][f], d.X[order[k+1]][f]
+			if xv == xn {
+				continue
+			}
+			nl, nr := k+1, n-k-1
+			if nl < t.cfg.MinLeaf || nr < t.cfg.MinLeaf {
+				continue
+			}
+			sdl := sdFromMoments(sumL, sqL, nl)
+			sdr := sdFromMoments(sumR, sqR, nr)
+			red := parentSD - (float64(nl)*sdl+float64(nr)*sdr)/float64(n)
+			if red > bestSDR {
+				bestSDR = red
+				feat = f
+				thresh = (xv + xn) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+// fitNodeModel fits the node's linear model, falling back to the target
+// mean when the solve fails (e.g. fully degenerate features).
+func (t *M5P) fitNodeModel(d *Dataset, idx []int) *Linear {
+	sub := d.Subset(idx)
+	lm, err := TrainLinear(sub, t.cfg.Ridge)
+	if err != nil {
+		return meanModel(sub.Y)
+	}
+	return lm
+}
+
+// prune walks bottom-up replacing subtrees whose (complexity-adjusted)
+// linear-model error is no worse than the subtree's.
+func (t *M5P) prune(d *Dataset, node *m5pNode, idx []int) float64 {
+	if node.isLeaf() {
+		return adjustedError(t.leafErr(d, node, idx), len(idx), node.lm.NumParams(), t.cfg.PruneFactor)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][node.feature] <= node.thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	errL := t.prune(d, node.left, left)
+	errR := t.prune(d, node.right, right)
+	subtreeErr := (errL*float64(len(left)) + errR*float64(len(right))) / float64(len(idx))
+	nodeErr := adjustedError(t.leafErr(d, node, idx), len(idx), node.lm.NumParams(), t.cfg.PruneFactor)
+	if nodeErr <= subtreeErr {
+		node.left, node.right = nil, nil
+		node.feature = -1
+		return nodeErr
+	}
+	return subtreeErr
+}
+
+// leafErr is the mean absolute error of the node's linear model on the
+// instances that reach it.
+func (t *M5P) leafErr(d *Dataset, node *m5pNode, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += math.Abs(node.lm.Predict(d.X[i]) - d.Y[i])
+	}
+	return s / float64(len(idx))
+}
+
+// adjustedError applies M5's complexity penalty (n+v)/(n-v) to an error
+// estimate so small leaves with many parameters look worse.
+func adjustedError(err float64, n, v int, factor float64) float64 {
+	if n <= v {
+		return err * 10 * factor // hopeless leaf: strongly discourage
+	}
+	return err * (float64(n) + float64(v)*factor) / (float64(n) - float64(v))
+}
+
+// Predict routes the row down the tree; with smoothing the raw leaf value
+// is blended with ancestor models on the way back up.
+func (m *M5P) Predict(x []float64) float64 {
+	v := m.predictRaw(x)
+	if m.cfg.ClampToRange {
+		if v < m.yLo {
+			v = m.yLo
+		}
+		if v > m.yHi {
+			v = m.yHi
+		}
+	}
+	return v
+}
+
+func (m *M5P) predictRaw(x []float64) float64 {
+	if !m.cfg.Smoothing {
+		node := m.root
+		for !node.isLeaf() {
+			if x[node.feature] <= node.thresh {
+				node = node.left
+			} else {
+				node = node.right
+			}
+		}
+		return node.lm.Predict(x)
+	}
+	// Collect the path, predict at the leaf, then smooth upwards:
+	// p := (n*p + k*q) / (n + k) at every ancestor.
+	var path []*m5pNode
+	node := m.root
+	for {
+		path = append(path, node)
+		if node.isLeaf() {
+			break
+		}
+		if x[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	p := path[len(path)-1].lm.Predict(x)
+	for i := len(path) - 2; i >= 0; i-- {
+		anc := path[i]
+		q := anc.lm.Predict(x)
+		p = (float64(anc.n)*p + m.cfg.SmoothK*q) / (float64(anc.n) + m.cfg.SmoothK)
+	}
+	return p
+}
+
+// NumLeaves returns the number of leaf linear models.
+func (m *M5P) NumLeaves() int { return countLeaves(m.root) }
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 1).
+func (m *M5P) Depth() int { return depth(m.root) }
+
+func countLeaves(n *m5pNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+func depth(n *m5pNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// String renders the tree structure for debugging.
+func (m *M5P) String() string {
+	var b strings.Builder
+	var walk func(n *m5pNode, depth int)
+	walk = func(n *m5pNode, depth int) {
+		pad := strings.Repeat("  ", depth)
+		if n.isLeaf() {
+			fmt.Fprintf(&b, "%sLM (n=%d)\n", pad, n.n)
+			return
+		}
+		fmt.Fprintf(&b, "%sx[%d] <= %.4g (n=%d)\n", pad, n.feature, n.thresh, n.n)
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(m.root, 0)
+	return b.String()
+}
+
+func stddevAt(d *Dataset, idx []int) float64 {
+	if len(idx) < 2 {
+		return 0
+	}
+	var sum, sq float64
+	for _, i := range idx {
+		sum += d.Y[i]
+		sq += d.Y[i] * d.Y[i]
+	}
+	return sdFromMoments(sum, sq, len(idx))
+}
+
+func sdFromMoments(sum, sq float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	mean := sum / float64(n)
+	v := sq/float64(n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+var _ Regressor = (*M5P)(nil)

@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Serialization: trained models round-trip through JSON so a production
+// deployment can train offline (cmd/mdctrain) and load the models into the
+// decision maker without retraining. Every codec preserves predictions
+// bit-for-bit.
+
+// linearDTO is the wire form of a Linear model.
+type linearDTO struct {
+	Intercept float64   `json:"intercept"`
+	Coef      []float64 `json:"coef"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (l *Linear) MarshalJSON() ([]byte, error) {
+	return json.Marshal(linearDTO{Intercept: l.Intercept, Coef: l.Coef})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *Linear) UnmarshalJSON(b []byte) error {
+	var dto linearDTO
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return err
+	}
+	l.Intercept = dto.Intercept
+	l.Coef = dto.Coef
+	return nil
+}
+
+// m5pNodeDTO flattens the tree with indices instead of pointers.
+type m5pNodeDTO struct {
+	Feature int        `json:"feature"`
+	Thresh  float64    `json:"thresh"`
+	Left    int        `json:"left"`  // -1 for leaf
+	Right   int        `json:"right"` // -1 for leaf
+	LM      *linearDTO `json:"lm"`
+	N       int        `json:"n"`
+}
+
+type m5pDTO struct {
+	Config M5PConfig    `json:"config"`
+	YLo    float64      `json:"yLo"`
+	YHi    float64      `json:"yHi"`
+	Nodes  []m5pNodeDTO `json:"nodes"` // pre-order, root first
+}
+
+// MarshalJSON implements json.Marshaler for model trees.
+func (m *M5P) MarshalJSON() ([]byte, error) {
+	dto := m5pDTO{Config: m.cfg, YLo: m.yLo, YHi: m.yHi}
+	var flatten func(n *m5pNode) int
+	flatten = func(n *m5pNode) int {
+		idx := len(dto.Nodes)
+		dto.Nodes = append(dto.Nodes, m5pNodeDTO{
+			Feature: n.feature, Thresh: n.thresh, Left: -1, Right: -1,
+			LM: &linearDTO{Intercept: n.lm.Intercept, Coef: n.lm.Coef},
+			N:  n.n,
+		})
+		if !n.isLeaf() {
+			l := flatten(n.left)
+			r := flatten(n.right)
+			dto.Nodes[idx].Left = l
+			dto.Nodes[idx].Right = r
+		}
+		return idx
+	}
+	if m.root != nil {
+		flatten(m.root)
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for model trees.
+func (m *M5P) UnmarshalJSON(b []byte) error {
+	var dto m5pDTO
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return err
+	}
+	if len(dto.Nodes) == 0 {
+		return fmt.Errorf("ml: M5P payload has no nodes")
+	}
+	nodes := make([]*m5pNode, len(dto.Nodes))
+	for i, nd := range dto.Nodes {
+		if nd.LM == nil {
+			return fmt.Errorf("ml: M5P node %d missing linear model", i)
+		}
+		nodes[i] = &m5pNode{
+			feature: nd.Feature, thresh: nd.Thresh, n: nd.N,
+			lm: &Linear{Intercept: nd.LM.Intercept, Coef: nd.LM.Coef},
+		}
+	}
+	for i, nd := range dto.Nodes {
+		if nd.Left >= 0 {
+			if nd.Left >= len(nodes) || nd.Right < 0 || nd.Right >= len(nodes) {
+				return fmt.Errorf("ml: M5P node %d has invalid children", i)
+			}
+			nodes[i].left = nodes[nd.Left]
+			nodes[i].right = nodes[nd.Right]
+		}
+	}
+	m.cfg = dto.Config
+	m.yLo, m.yHi = dto.YLo, dto.YHi
+	m.root = nodes[0]
+	return nil
+}
+
+// knnDTO carries the full training memory of a k-NN model.
+type knnDTO struct {
+	Config KNNConfig   `json:"config"`
+	Mean   []float64   `json:"mean"`
+	Std    []float64   `json:"std"`
+	X      [][]float64 `json:"x"`
+	Y      []float64   `json:"y"`
+}
+
+// MarshalJSON implements json.Marshaler for k-NN models.
+func (k *KNN) MarshalJSON() ([]byte, error) {
+	return json.Marshal(knnDTO{
+		Config: k.cfg,
+		Mean:   k.std.Mean,
+		Std:    k.std.Std,
+		X:      k.x,
+		Y:      k.y,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for k-NN models.
+func (k *KNN) UnmarshalJSON(b []byte) error {
+	var dto knnDTO
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return err
+	}
+	if len(dto.X) != len(dto.Y) {
+		return fmt.Errorf("ml: k-NN payload rows/targets mismatch (%d/%d)", len(dto.X), len(dto.Y))
+	}
+	if len(dto.X) == 0 {
+		return fmt.Errorf("ml: k-NN payload is empty")
+	}
+	k.cfg = dto.Config
+	k.std = &Standardizer{Mean: dto.Mean, Std: dto.Std}
+	k.x = dto.X
+	k.y = dto.Y
+	if k.cfg.UseKDTree {
+		k.tree = buildKDTree(k.x, len(k.x))
+	} else {
+		k.tree = nil
+	}
+	return nil
+}
+
+// modelEnvelope tags a serialized regressor with its concrete type so a
+// heterogeneous bundle can round-trip through one codec.
+type modelEnvelope struct {
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// MarshalRegressor wraps any supported regressor into a typed envelope.
+func MarshalRegressor(r Regressor) ([]byte, error) {
+	var kind string
+	switch r.(type) {
+	case *Linear:
+		kind = "linear"
+	case *M5P:
+		kind = "m5p"
+	case *KNN:
+		kind = "knn"
+	default:
+		return nil, fmt.Errorf("ml: cannot serialize %T", r)
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(modelEnvelope{Kind: kind, Payload: payload})
+}
+
+// UnmarshalRegressor restores a regressor from a typed envelope.
+func UnmarshalRegressor(b []byte) (Regressor, error) {
+	var env modelEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case "linear":
+		var m Linear
+		if err := json.Unmarshal(env.Payload, &m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	case "m5p":
+		var m M5P
+		if err := json.Unmarshal(env.Payload, &m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	case "knn":
+		var m KNN
+		if err := json.Unmarshal(env.Payload, &m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+}

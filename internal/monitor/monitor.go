@@ -1,0 +1,263 @@
+// Package monitor models what the management middleware can actually see.
+//
+// The paper's Section IV-B motivates learning precisely because monitored
+// data is imperfect: observation windows smear values, virtualization
+// overhead adds noise, and the monitors themselves occasionally eat up to
+// half an Atom CPU thread. This package turns the simulator's ground truth
+// into that imperfect view: windowed averages with multiplicative noise and
+// occasional monitor-load spikes, plus EWMA smoothing and the "resources
+// used in the last 10 minutes" estimator the non-ML Best-Fit relies on.
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Sample is one tick's observation of one VM (or PM aggregate).
+type Sample struct {
+	Tick int
+	// Observed resource usage.
+	Usage model.Resources
+	// Observed load characteristics at the gateway.
+	Load model.Load
+	// Observed mean response time (seconds) over the tick.
+	RT float64
+	// SLA fulfilment computed from gateway RTs.
+	SLA float64
+	// QueueLen is the gateway's pending-request queue for this VM.
+	QueueLen float64
+}
+
+// NoiseConfig controls observation distortion.
+type NoiseConfig struct {
+	// RelSD is the multiplicative log-normal sigma applied to resource
+	// observations (0.05 = ~5% relative error).
+	RelSD float64
+	// SpikeProb is the per-tick probability that the monitor itself spikes,
+	// inflating the PM CPU observation.
+	SpikeProb float64
+	// SpikeCPUPct is the CPU the monitor burns during a spike (the paper:
+	// "peaking up to 50% of an Atom CPU thread").
+	SpikeCPUPct float64
+}
+
+// DefaultNoise matches the distortions the paper describes.
+var DefaultNoise = NoiseConfig{RelSD: 0.05, SpikeProb: 0.03, SpikeCPUPct: 50}
+
+// Observer distorts ground truth into monitored samples and keeps per-VM
+// rolling windows.
+type Observer struct {
+	noise   NoiseConfig
+	stream  *rng.Stream
+	window  int
+	history map[model.VMID][]Sample
+	pmHist  map[model.PMID][]model.Resources
+}
+
+// NewObserver builds an observer with the given window length in ticks
+// (the paper's Best-Fit looks at the last 10 minutes = 10 ticks).
+func NewObserver(noise NoiseConfig, window int, stream *rng.Stream) *Observer {
+	if window <= 0 {
+		window = 10
+	}
+	return &Observer{
+		noise:   noise,
+		stream:  stream,
+		window:  window,
+		history: make(map[model.VMID][]Sample),
+		pmHist:  make(map[model.PMID][]model.Resources),
+	}
+}
+
+// Window returns the observation window length in ticks.
+func (o *Observer) Window() int { return o.window }
+
+// ObserveVM distorts one VM's true state into a monitored sample and logs
+// it into the rolling window.
+func (o *Observer) ObserveVM(tick int, vm model.VMID, trueUsage model.Resources, load model.Load, rt, slaLvl, queueLen float64) Sample {
+	s := Sample{
+		Tick:  tick,
+		Usage: o.noisyResources(trueUsage),
+		Load:  load,
+		// RT and SLA are measured at the gateway itself ("we measure the RT
+		// on the datacenter domain"), so they carry no monitor distortion.
+		RT:       rt,
+		SLA:      clamp01(slaLvl),
+		QueueLen: queueLen,
+	}
+	h := append(o.history[vm], s)
+	if len(h) > o.window {
+		h = h[len(h)-o.window:]
+	}
+	o.history[vm] = h
+	return s
+}
+
+// ObservePM distorts one PM's true aggregate usage, optionally adding a
+// monitor CPU spike, and logs it.
+func (o *Observer) ObservePM(tick int, pm model.PMID, trueUsage model.Resources) model.Resources {
+	obs := o.noisyResources(trueUsage)
+	if o.stream != nil && o.stream.Bool(o.noise.SpikeProb) {
+		obs.CPUPct += o.stream.Uniform(0.3, 1.0) * o.noise.SpikeCPUPct
+	}
+	h := append(o.pmHist[pm], obs)
+	if len(h) > o.window {
+		h = h[len(h)-o.window:]
+	}
+	o.pmHist[pm] = h
+	return obs
+}
+
+// WindowAvgVM returns the mean observed usage of a VM over the window —
+// the "resources it has used in the last 10 minutes" input to plain
+// Best-Fit. ok is false when no samples exist yet.
+func (o *Observer) WindowAvgVM(vm model.VMID) (model.Resources, bool) {
+	h := o.history[vm]
+	if len(h) == 0 {
+		return model.Resources{}, false
+	}
+	var sum model.Resources
+	for _, s := range h {
+		sum = sum.Add(s.Usage)
+	}
+	return sum.Scale(1 / float64(len(h))), true
+}
+
+// WindowMaxVM returns the element-wise max observed usage over the window,
+// a more conservative sizing estimate.
+func (o *Observer) WindowMaxVM(vm model.VMID) (model.Resources, bool) {
+	h := o.history[vm]
+	if len(h) == 0 {
+		return model.Resources{}, false
+	}
+	mx := h[0].Usage
+	for _, s := range h[1:] {
+		mx = mx.Max(s.Usage)
+	}
+	return mx, true
+}
+
+// WindowAvgLoad returns the window-mean request rate and request-weighted
+// per-request characteristics for a VM — the per-round gateway statistics
+// a scheduler should size against rather than one noisy tick.
+func (o *Observer) WindowAvgLoad(vm model.VMID) (model.Load, bool) {
+	h := o.history[vm]
+	if len(h) == 0 {
+		return model.Load{}, false
+	}
+	var agg model.Load
+	for _, s := range h {
+		l := s.Load
+		if l.RPS <= 0 {
+			continue
+		}
+		agg.BytesInReq += l.RPS * l.BytesInReq
+		agg.BytesOutRq += l.RPS * l.BytesOutRq
+		agg.CPUTimeReq += l.RPS * l.CPUTimeReq
+		agg.RPS += l.RPS
+	}
+	if agg.RPS > 0 {
+		agg.BytesInReq /= agg.RPS
+		agg.BytesOutRq /= agg.RPS
+		agg.CPUTimeReq /= agg.RPS
+	}
+	agg.RPS /= float64(len(h))
+	return agg, true
+}
+
+// LastVM returns the most recent sample for a VM.
+func (o *Observer) LastVM(vm model.VMID) (Sample, bool) {
+	h := o.history[vm]
+	if len(h) == 0 {
+		return Sample{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// LastPM returns the most recent observed aggregate usage of a PM.
+func (o *Observer) LastPM(pm model.PMID) (model.Resources, bool) {
+	h := o.pmHist[pm]
+	if len(h) == 0 {
+		return model.Resources{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// WindowAvgPM returns the mean observed aggregate usage of a PM.
+func (o *Observer) WindowAvgPM(pm model.PMID) (model.Resources, bool) {
+	h := o.pmHist[pm]
+	if len(h) == 0 {
+		return model.Resources{}, false
+	}
+	var sum model.Resources
+	for _, u := range h {
+		sum = sum.Add(u)
+	}
+	return sum.Scale(1 / float64(len(h))), true
+}
+
+func (o *Observer) noisyResources(r model.Resources) model.Resources {
+	return model.Resources{
+		CPUPct: o.noisyScalar(r.CPUPct),
+		// Memory is metered exactly by the hypervisor's accounting, unlike
+		// sampled CPU; distort it at a fraction of the CPU noise.
+		MemMB:  o.noisyScalarSD(r.MemMB, o.noise.RelSD*0.3),
+		BWMbps: o.noisyScalar(r.BWMbps),
+	}
+}
+
+func (o *Observer) noisyScalar(v float64) float64 {
+	return o.noisyScalarSD(v, o.noise.RelSD)
+}
+
+func (o *Observer) noisyScalarSD(v, sd float64) float64 {
+	if o.stream == nil || sd <= 0 || v == 0 {
+		return v
+	}
+	return v * o.stream.LogNormal(-sd*sd/2, sd)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// EWMA is an exponentially weighted moving average, the classic reactive
+// forecaster used as a lightweight load predictor.
+// The zero value is unusable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA builds an EWMA with smoothing factor alpha in (0, 1]; larger
+// alpha weights recent samples more.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("monitor: EWMA alpha %v outside (0,1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Add folds a new observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current smoothed value (0 before any sample).
+func (e *EWMA) Value() float64 { return e.value }

@@ -1,0 +1,175 @@
+// Package network models the multi-DC interconnect: client-to-DC and
+// DC-to-DC latencies, inter-DC bandwidth, and the duration of VM
+// migrations (freeze + image transfer + restore).
+//
+// Latencies and locations reproduce Table II of the paper, which the
+// authors derived from the published Verizon intercontinental round-trip
+// figures, with a fixed 10 Gbps inter-DC line.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Topology describes the geography of the multi-DC system.
+type Topology struct {
+	names     []string
+	prices    []float64   // EUR per kWh at each DC (static base)
+	latDCDC   [][]float64 // seconds, symmetric, zero diagonal
+	bandwidth float64     // inter-DC line, megabits per second
+	schedule  PriceSchedule
+}
+
+// Option mutates a Topology under construction.
+type Option func(*Topology)
+
+// WithBandwidth overrides the inter-DC line capacity in Mbps.
+func WithBandwidth(mbps float64) Option {
+	return func(t *Topology) { t.bandwidth = mbps }
+}
+
+// New builds a topology from DC names, electricity prices (EUR/kWh) and a
+// symmetric DC-to-DC latency matrix in seconds.
+func New(names []string, pricesEURkWh []float64, latSeconds [][]float64, opts ...Option) (*Topology, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, fmt.Errorf("network: need at least one DC")
+	}
+	if len(pricesEURkWh) != n || len(latSeconds) != n {
+		return nil, fmt.Errorf("network: names/prices/latencies sizes differ (%d/%d/%d)",
+			n, len(pricesEURkWh), len(latSeconds))
+	}
+	for i, row := range latSeconds {
+		if len(row) != n {
+			return nil, fmt.Errorf("network: latency row %d has %d entries, want %d", i, len(row), n)
+		}
+		if row[i] != 0 {
+			return nil, fmt.Errorf("network: latency diagonal must be zero at %d", i)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("network: negative latency [%d][%d]", i, j)
+			}
+			if latSeconds[j][i] != v {
+				return nil, fmt.Errorf("network: latency matrix not symmetric at [%d][%d]", i, j)
+			}
+		}
+	}
+	t := &Topology{
+		names:     append([]string(nil), names...),
+		prices:    append([]float64(nil), pricesEURkWh...),
+		bandwidth: 10_000, // 10 Gbps in Mbps, the paper's assumption
+	}
+	t.latDCDC = make([][]float64, n)
+	for i := range latSeconds {
+		t.latDCDC[i] = append([]float64(nil), latSeconds[i]...)
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t, nil
+}
+
+// PaperTopology returns the exact four-DC system of Table II:
+// Brisbane, Bangaluru, Barcelona, Boston with the printed electricity
+// prices (EUR/kWh) and inter-DC latencies (milliseconds).
+func PaperTopology() *Topology {
+	ms := func(v float64) float64 { return v / 1000 }
+	t, err := New(
+		[]string{"Brisbane", "Bangaluru", "Barcelona", "Boston"},
+		[]float64{0.1314, 0.1218, 0.1513, 0.1120},
+		[][]float64{
+			{0, ms(265), ms(390), ms(255)},
+			{ms(265), 0, ms(250), ms(380)},
+			{ms(390), ms(250), 0, ms(90)},
+			{ms(255), ms(380), ms(90), 0},
+		},
+	)
+	if err != nil {
+		panic("network: paper topology invalid: " + err.Error())
+	}
+	return t
+}
+
+// NumDCs returns the number of datacenters.
+func (t *Topology) NumDCs() int { return len(t.names) }
+
+// Name returns the human name of a DC.
+func (t *Topology) Name(dc model.DCID) string { return t.names[dc] }
+
+// EnergyPrice returns the electricity price at a DC in EUR/kWh.
+func (t *Topology) EnergyPrice(dc model.DCID) float64 { return t.prices[dc] }
+
+// CheapestDC returns the DC with the lowest electricity price.
+func (t *Topology) CheapestDC() model.DCID {
+	best := 0
+	for i := 1; i < len(t.prices); i++ {
+		if t.prices[i] < t.prices[best] {
+			best = i
+		}
+	}
+	return model.DCID(best)
+}
+
+// LatencyDCDC returns the one-way latency between two DCs in seconds.
+func (t *Topology) LatencyDCDC(a, b model.DCID) float64 { return t.latDCDC[a][b] }
+
+// LatencyClientDC returns the transport latency experienced by clients of
+// location loc when their VM is hosted at DC dc. Client requests enter the
+// system through their local DC's ISP (the paper's gateway model), so the
+// added latency is exactly the inter-DC hop; local hosting adds none.
+func (t *Topology) LatencyClientDC(loc model.LocationID, dc model.DCID) float64 {
+	return t.latDCDC[loc][dc]
+}
+
+// BandwidthMbps returns the inter-DC line capacity.
+func (t *Topology) BandwidthMbps() float64 { return t.bandwidth }
+
+// FreezeRestoreOverhead is the fixed VM freeze+restore time in seconds added
+// to every migration on top of the image transfer.
+const FreezeRestoreOverhead = 5.0
+
+// MigrationDuration returns the wall-clock seconds needed to move a VM
+// image of the given size between two DCs (or within one DC, where only
+// the local fabric and freeze/restore cost apply).
+func (t *Topology) MigrationDuration(imageGB float64, from, to model.DCID) float64 {
+	if imageGB < 0 {
+		imageGB = 0
+	}
+	bits := imageGB * 8 * 1000 // gigabits -> megabits
+	transfer := bits / t.bandwidth
+	rtt := 2 * t.latDCDC[from][to]
+	return FreezeRestoreOverhead + transfer + rtt
+}
+
+// NearestDC returns the DC with the smallest latency to the given source
+// location, excluding none. Ties resolve to the lowest index.
+func (t *Topology) NearestDC(loc model.LocationID) model.DCID {
+	best := 0
+	for i := 1; i < len(t.names); i++ {
+		if t.latDCDC[loc][i] < t.latDCDC[loc][best] {
+			best = i
+		}
+	}
+	return model.DCID(best)
+}
+
+// MeanLatencyFrom returns the request-weighted mean transport latency a VM
+// would see if hosted at dc under the given load vector: the quantity
+// RTtransport of constraint (6.2) aggregated over sources.
+func (t *Topology) MeanLatencyFrom(dc model.DCID, loads model.LoadVector) float64 {
+	var weighted, total float64
+	for loc, l := range loads {
+		if l.RPS <= 0 {
+			continue
+		}
+		weighted += l.RPS * t.LatencyClientDC(model.LocationID(loc), dc)
+		total += l.RPS
+	}
+	if total <= 0 {
+		return 0
+	}
+	return weighted / total
+}

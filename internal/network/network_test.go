@@ -1,0 +1,166 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPaperTopologyTableII(t *testing.T) {
+	top := PaperTopology()
+	if top.NumDCs() != 4 {
+		t.Fatalf("NumDCs = %d", top.NumDCs())
+	}
+	wantNames := []string{"Brisbane", "Bangaluru", "Barcelona", "Boston"}
+	wantPrices := []float64{0.1314, 0.1218, 0.1513, 0.1120}
+	for i := range wantNames {
+		if got := top.Name(model.DCID(i)); got != wantNames[i] {
+			t.Errorf("Name(%d) = %q", i, got)
+		}
+		if got := top.EnergyPrice(model.DCID(i)); got != wantPrices[i] {
+			t.Errorf("EnergyPrice(%d) = %v", i, got)
+		}
+	}
+	// Spot-check Table II latencies (ms -> s).
+	checks := []struct {
+		a, b model.DCID
+		ms   float64
+	}{
+		{0, 1, 265}, {0, 2, 390}, {0, 3, 255},
+		{1, 2, 250}, {1, 3, 380}, {2, 3, 90},
+	}
+	for _, c := range checks {
+		if got := top.LatencyDCDC(c.a, c.b); math.Abs(got-c.ms/1000) > 1e-12 {
+			t.Errorf("LatencyDCDC(%v,%v) = %v, want %v", c.a, c.b, got, c.ms/1000)
+		}
+		if top.LatencyDCDC(c.b, c.a) != top.LatencyDCDC(c.a, c.b) {
+			t.Errorf("latency not symmetric for %v-%v", c.a, c.b)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if top.LatencyDCDC(model.DCID(i), model.DCID(i)) != 0 {
+			t.Errorf("self latency not zero for %d", i)
+		}
+	}
+	if top.BandwidthMbps() != 10_000 {
+		t.Fatalf("bandwidth = %v, want 10 Gbps", top.BandwidthMbps())
+	}
+}
+
+func TestCheapestDC(t *testing.T) {
+	top := PaperTopology()
+	// Boston (0.1120) is the cheapest in Table II.
+	if got := top.CheapestDC(); got != 3 {
+		t.Fatalf("CheapestDC = %v, want Boston(3)", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, err := New(nil, nil, nil)
+	if err == nil {
+		t.Fatal("accepted empty topology")
+	}
+	_, err = New([]string{"a"}, []float64{0.1, 0.2}, [][]float64{{0}})
+	if err == nil {
+		t.Fatal("accepted mismatched prices")
+	}
+	_, err = New([]string{"a", "b"}, []float64{0.1, 0.2}, [][]float64{{0, 1}, {2, 0}})
+	if err == nil {
+		t.Fatal("accepted asymmetric matrix")
+	}
+	_, err = New([]string{"a", "b"}, []float64{0.1, 0.2}, [][]float64{{1, 1}, {1, 0}})
+	if err == nil {
+		t.Fatal("accepted non-zero diagonal")
+	}
+	_, err = New([]string{"a", "b"}, []float64{0.1, 0.2}, [][]float64{{0, -1}, {-1, 0}})
+	if err == nil {
+		t.Fatal("accepted negative latency")
+	}
+}
+
+func TestMigrationDuration(t *testing.T) {
+	top := PaperTopology()
+	// 4 GB image Barcelona -> Boston over 10 Gbps:
+	// transfer = 4*8*1000/10000 = 3.2 s, + 5 s freeze/restore + 2*0.09 rtt.
+	got := top.MigrationDuration(4, 2, 3)
+	want := 5.0 + 3.2 + 0.18
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MigrationDuration = %v, want %v", got, want)
+	}
+	// Intra-DC migration costs only freeze/restore + transfer.
+	gotLocal := top.MigrationDuration(4, 2, 2)
+	if math.Abs(gotLocal-(5.0+3.2)) > 1e-9 {
+		t.Fatalf("local MigrationDuration = %v", gotLocal)
+	}
+	// Negative size treated as zero.
+	if got := top.MigrationDuration(-1, 0, 1); got < 5 {
+		t.Fatalf("negative image duration = %v", got)
+	}
+}
+
+func TestMigrationDurationGrowsWithImage(t *testing.T) {
+	top := PaperTopology()
+	small := top.MigrationDuration(1, 0, 1)
+	big := top.MigrationDuration(16, 0, 1)
+	if big <= small {
+		t.Fatal("bigger image should migrate slower")
+	}
+}
+
+func TestNearestDC(t *testing.T) {
+	top := PaperTopology()
+	// Each location's nearest DC is itself (0 latency).
+	for i := 0; i < 4; i++ {
+		if got := top.NearestDC(model.LocationID(i)); got != model.DCID(i) {
+			t.Errorf("NearestDC(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestMeanLatencyFrom(t *testing.T) {
+	top := PaperTopology()
+	loads := model.LoadVector{
+		{RPS: 10}, // Brisbane clients
+		{},        // none
+		{RPS: 30}, // Barcelona clients
+		{},
+	}
+	// Hosted in Barcelona (2): 10 req at 390ms + 30 req at 0.
+	got := top.MeanLatencyFrom(2, loads)
+	want := (10*0.390 + 30*0) / 40
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanLatencyFrom = %v, want %v", got, want)
+	}
+	if top.MeanLatencyFrom(0, model.LoadVector{{}, {}, {}, {}}) != 0 {
+		t.Fatal("no-load latency should be 0")
+	}
+}
+
+func TestWithBandwidth(t *testing.T) {
+	top, err := New([]string{"a", "b"}, []float64{0.1, 0.2},
+		[][]float64{{0, 0.1}, {0.1, 0}}, WithBandwidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.BandwidthMbps() != 1000 {
+		t.Fatalf("bandwidth = %v", top.BandwidthMbps())
+	}
+	// Slower line -> longer migration.
+	fast := PaperTopology().MigrationDuration(4, 0, 1)
+	slow := top.MigrationDuration(4, 0, 1)
+	if slow <= fast {
+		t.Fatal("lower bandwidth should slow migration")
+	}
+}
+
+func TestLatencyClientDCEqualsDCDC(t *testing.T) {
+	top := PaperTopology()
+	for l := 0; l < 4; l++ {
+		for d := 0; d < 4; d++ {
+			if top.LatencyClientDC(model.LocationID(l), model.DCID(d)) != top.LatencyDCDC(model.DCID(l), model.DCID(d)) {
+				t.Fatalf("client latency mismatch at %d,%d", l, d)
+			}
+		}
+	}
+}

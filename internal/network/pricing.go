@@ -1,0 +1,118 @@
+package network
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// PriceSchedule returns the electricity price (EUR/kWh) ruling at a DC
+// during a simulation tick. It implements the paper's future-work item of
+// folding green-energy availability into the energy cost: "a 'follow the
+// sun/wind' policy could also be introduced easily into the energy cost
+// computation".
+type PriceSchedule func(dc model.DCID, tick int) float64
+
+// WithPriceSchedule installs a time-varying price model; EnergyPriceAt
+// consults it, while EnergyPrice keeps returning the static base price.
+func WithPriceSchedule(ps PriceSchedule) Option {
+	return func(t *Topology) { t.schedule = ps }
+}
+
+// SetPriceSchedule installs or replaces the price schedule after
+// construction.
+func (t *Topology) SetPriceSchedule(ps PriceSchedule) { t.schedule = ps }
+
+// EnergyPriceAt returns the electricity price at a DC during a tick,
+// falling back to the static Table II price when no schedule is set.
+func (t *Topology) EnergyPriceAt(dc model.DCID, tick int) float64 {
+	if t.schedule != nil {
+		return t.schedule(dc, tick)
+	}
+	return t.prices[dc]
+}
+
+// CheapestDCAt returns the DC with the lowest price at the given tick.
+func (t *Topology) CheapestDCAt(tick int) model.DCID {
+	best := model.DCID(0)
+	bestP := t.EnergyPriceAt(0, tick)
+	for i := 1; i < len(t.prices); i++ {
+		if p := t.EnergyPriceAt(model.DCID(i), tick); p < bestP {
+			bestP = p
+			best = model.DCID(i)
+		}
+	}
+	return best
+}
+
+// SolarPricing builds a price schedule where each DC's price dips while
+// its local sun shines — on-site photovoltaics displacing grid power. The
+// dip is strongest at local solar noon and zero at night:
+//
+//	price(dc, t) = base(dc) * (1 - dip * solar(localHour))
+//
+// tzOffsetH are the DC timezone offsets in hours; dip in [0, 1] is the
+// maximal price reduction (1 = free at solar noon).
+func SolarPricing(base []float64, tzOffsetH []float64, dip float64) PriceSchedule {
+	if dip < 0 {
+		dip = 0
+	}
+	if dip > 1 {
+		dip = 1
+	}
+	return func(dc model.DCID, tick int) float64 {
+		if int(dc) >= len(base) {
+			return 0
+		}
+		tz := 0.0
+		if int(dc) < len(tzOffsetH) {
+			tz = tzOffsetH[dc]
+		}
+		hourUTC := float64(tick%model.TicksPerDay) / float64(model.TicksPerHour)
+		local := math.Mod(hourUTC+tz+240, 24)
+		return base[dc] * (1 - dip*solarIrradiance(local))
+	}
+}
+
+// solarIrradiance approximates the normalised solar curve: zero before
+// 06:00 and after 18:00 local, a sine bump peaking at noon.
+func solarIrradiance(localHour float64) float64 {
+	if localHour < 6 || localHour > 18 {
+		return 0
+	}
+	return math.Sin((localHour - 6) / 12 * math.Pi)
+}
+
+// WindPricing builds a schedule with pseudo-random per-DC wind fronts:
+// multi-hour windows during which a DC's price drops by dip. The windows
+// are deterministic in (dc, day) so experiments stay reproducible.
+func WindPricing(base []float64, dip float64) PriceSchedule {
+	if dip < 0 {
+		dip = 0
+	}
+	if dip > 1 {
+		dip = 1
+	}
+	return func(dc model.DCID, tick int) float64 {
+		if int(dc) >= len(base) {
+			return 0
+		}
+		// A simple deterministic hash spreads fronts across DCs and days.
+		day := tick / model.TicksPerDay
+		hour := (tick % model.TicksPerDay) / model.TicksPerHour
+		h := uint64(dc)*2654435761 + uint64(day)*40503 + 977
+		start := int(h % 24)
+		length := 4 + int((h>>8)%8) // 4..11 hour fronts
+		inFront := false
+		for k := 0; k < length; k++ {
+			if (start+k)%24 == hour {
+				inFront = true
+				break
+			}
+		}
+		if inFront {
+			return base[dc] * (1 - dip)
+		}
+		return base[dc]
+	}
+}

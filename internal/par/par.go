@@ -1,0 +1,147 @@
+// Package par provides the small set of parallel building blocks the
+// reproduction uses: bounded fan-out over index ranges and parallel map.
+//
+// The helpers keep all coordination inside the call (share memory by
+// communicating): workers receive disjoint index ranges, write only to
+// their own output slots, and the call returns after every worker is done,
+// so callers never observe partially-written state.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0:
+// the machine's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach invokes fn(i) for every i in [0, n) using up to workers
+// goroutines. It returns once all invocations have completed. fn must be
+// safe to call concurrently for distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachChunked invokes fn(lo, hi) over contiguous, disjoint chunks
+// covering [0, n). It suits loops whose per-index cost is tiny, where
+// handing out single indices would be all scheduling overhead.
+func ForEachChunked(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in using up to workers goroutines and
+// returns the outputs in input order.
+func Map[T, U any](in []T, workers int, fn func(T) U) []U {
+	out := make([]U, len(in))
+	ForEach(len(in), workers, func(i int) {
+		out[i] = fn(in[i])
+	})
+	return out
+}
+
+// MapIdx is Map with the element index available to the function.
+func MapIdx[T, U any](in []T, workers int, fn func(int, T) U) []U {
+	out := make([]U, len(in))
+	ForEach(len(in), workers, func(i int) {
+		out[i] = fn(i, in[i])
+	})
+	return out
+}
+
+// Reduce folds the per-worker partial results of fn into a single value.
+// fn computes a partial result over its index range; merge combines two
+// partials and must be associative.
+func Reduce[A any](n, workers int, fn func(lo, hi int) A, merge func(A, A) A) A {
+	var zero A
+	if n <= 0 {
+		return zero
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	partials := make([]A, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			partials[c] = fn(lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}

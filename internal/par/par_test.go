@@ -1,0 +1,131 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		seen := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachChunkedCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 1000
+		seen := make([]int32, n)
+		ForEachChunked(n, workers, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	in := make([]int, 257)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(in, 8, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := Map(nil, 4, func(x int) int { return x })
+	if len(out) != 0 {
+		t.Fatal("non-empty output for empty input")
+	}
+}
+
+func TestMapIdx(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out := MapIdx(in, 2, func(i int, s string) int { return i + len(s) })
+	want := []int{1, 3, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 10000
+	sum := Reduce(n, 8, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	}, func(a, b int64) int64 { return a + b })
+	want := int64(n) * int64(n-1) / 2
+	if sum != want {
+		t.Fatalf("Reduce = %d, want %d", sum, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 4, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("Reduce(0) = %d", got)
+	}
+}
+
+func TestReduceMatchesSerialProperty(t *testing.T) {
+	f := func(xs []int8, workers uint8) bool {
+		w := int(workers%8) + 1
+		par := Reduce(len(xs), w, func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(xs[i])
+			}
+			return s
+		}, func(a, b int64) int64 { return a + b })
+		var serial int64
+		for _, x := range xs {
+			serial += int64(x)
+		}
+		return par == serial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,166 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomMeasuredPoints(t *testing.T) {
+	a := Atom{}
+	tests := []struct {
+		cpu, want float64
+	}{
+		{0, 28.2},
+		{100, 29.1},
+		{200, 30.4},
+		{300, 31.3},
+		{400, 31.8},
+		{500, 31.8}, // beyond capacity clamps
+		{-10, 28.2}, // negative clamps to idle
+	}
+	for _, tc := range tests {
+		if got := a.Watts(tc.cpu); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Watts(%v) = %v, want %v", tc.cpu, got, tc.want)
+		}
+	}
+}
+
+func TestAtomInterpolationMidpoints(t *testing.T) {
+	a := Atom{}
+	if got := a.Watts(150); math.Abs(got-(29.1+30.4)/2) > 1e-9 {
+		t.Fatalf("Watts(150) = %v", got)
+	}
+	if got := a.Watts(50); math.Abs(got-(28.2+29.1)/2) > 1e-9 {
+		t.Fatalf("Watts(50) = %v", got)
+	}
+}
+
+func TestAtomMonotoneProperty(t *testing.T) {
+	a := Atom{}
+	f := func(x, y float64) bool {
+		cx := math.Mod(math.Abs(x), 450)
+		cy := math.Mod(math.Abs(y), 450)
+		if cx > cy {
+			cx, cy = cy, cx
+		}
+		return a.Watts(cx) <= a.Watts(cy)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsolidationIsCheaper(t *testing.T) {
+	// The core economic fact: two machines at one core each burn much more
+	// than one machine at two cores.
+	a := Atom{}
+	two := 2 * a.Watts(100)
+	one := a.Watts(200)
+	if one >= two {
+		t.Fatalf("consolidation not cheaper: 1x200%%=%vW vs 2x100%%=%vW", one, two)
+	}
+	if two-one < 25 {
+		t.Fatalf("saving too small to drive consolidation: %vW", two-one)
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	if _, err := NewCustom([]float64{10}); err == nil {
+		t.Fatal("accepted single-point curve")
+	}
+	if _, err := NewCustom([]float64{10, 9}); err == nil {
+		t.Fatal("accepted decreasing curve")
+	}
+	c, err := NewCustom([]float64{50, 80, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores() != 2 {
+		t.Fatalf("Cores = %d", c.Cores())
+	}
+	if got := c.Watts(50); math.Abs(got-65) > 1e-9 {
+		t.Fatalf("Watts(50) = %v", got)
+	}
+}
+
+func TestCustomCopiesCurve(t *testing.T) {
+	in := []float64{10, 20}
+	c, _ := NewCustom(in)
+	in[0] = 999
+	if c.Watts(0) != 10 {
+		t.Fatal("NewCustom aliased caller slice")
+	}
+}
+
+func TestFacilityWatts(t *testing.T) {
+	a := Atom{}
+	got := FacilityWatts(a, 400)
+	if math.Abs(got-31.8*1.5) > 1e-9 {
+		t.Fatalf("FacilityWatts = %v", got)
+	}
+}
+
+func TestEnergyEUR(t *testing.T) {
+	// 1000 facility watts for 2 hours at 0.15 EUR/kWh = 0.3 EUR.
+	if got := EnergyEUR(1000, 2, 0.15); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("EnergyEUR = %v", got)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	var acc Accountant
+	tickHours := 1.0 / 60
+	// Two ticks at 60 facility watts, price 0.10.
+	for i := 0; i < 2; i++ {
+		acc.Observe(60, 0.10, tickHours)
+		acc.Tick()
+	}
+	if wh := acc.WattHours(); math.Abs(wh-2) > 1e-9 {
+		t.Fatalf("WattHours = %v", wh)
+	}
+	if avg := acc.AvgWatts(tickHours); math.Abs(avg-60) > 1e-9 {
+		t.Fatalf("AvgWatts = %v", avg)
+	}
+	wantCost := 60.0 / 1000 * (2.0 / 60) * 0.10
+	if c := acc.CostEUR(); math.Abs(c-wantCost) > 1e-12 {
+		t.Fatalf("CostEUR = %v, want %v", c, wantCost)
+	}
+}
+
+func TestAccountantZero(t *testing.T) {
+	var acc Accountant
+	if acc.AvgWatts(1.0/60) != 0 {
+		t.Fatal("AvgWatts of empty accountant should be 0")
+	}
+}
+
+func TestActiveCores(t *testing.T) {
+	a := Atom{}
+	tests := []struct {
+		cpu  float64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{100, 1},
+		{101, 2},
+		{400, 4},
+		{900, 4},
+	}
+	for _, tc := range tests {
+		if got := ActiveCores(a, tc.cpu); got != tc.want {
+			t.Errorf("ActiveCores(%v) = %d, want %d", tc.cpu, got, tc.want)
+		}
+	}
+}
+
+func TestTableIIIStaticPowerBallpark(t *testing.T) {
+	// Four nearly idle machines with cooling should land near the paper's
+	// 175.9 W static figure.
+	a := Atom{}
+	watts := 4 * FacilityWatts(a, 30) // ~30% of one core each
+	if watts < 165 || watts < 0 || watts > 185 {
+		t.Fatalf("static fleet facility watts = %v, want ~175", watts)
+	}
+}

@@ -1,0 +1,199 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/model"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Bundle is the trained set of the paper's seven predictors plus their
+// validation reports (the rows of Table I).
+type Bundle struct {
+	VMCPU ml.Regressor
+	VMMem ml.Regressor
+	VMIn  ml.Regressor
+	VMOut ml.Regressor
+	PMCPU ml.Regressor
+	VMRT  ml.Regressor
+	VMSLA ml.Regressor
+	// Reports holds one validation row per model, in Table I order.
+	Reports []ml.Report
+}
+
+// TrainConfig controls bundle training.
+type TrainConfig struct {
+	Seed uint64
+	// TrainFrac is the training share of each dataset (paper: 0.66).
+	TrainFrac float64
+	// Workers bounds training parallelism (<= 0 = GOMAXPROCS).
+	Workers int
+	// KNNK is the SLA model's neighbour count (paper: 4).
+	KNNK int
+}
+
+// DefaultTrainConfig mirrors the paper's setup.
+func DefaultTrainConfig(seed uint64) TrainConfig {
+	return TrainConfig{Seed: seed, TrainFrac: 0.66, KNNK: 4}
+}
+
+// Train fits all seven models in parallel and validates each on its
+// held-out split.
+func Train(h *Harvest, cfg TrainConfig) (*Bundle, error) {
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		cfg.TrainFrac = 0.66
+	}
+	if cfg.KNNK <= 0 {
+		cfg.KNNK = 4
+	}
+	type job struct {
+		name   string
+		method string
+		unit   string
+		data   *ml.Dataset
+		train  func(*ml.Dataset) (ml.Regressor, error)
+	}
+	jobs := []job{
+		{"VM CPU", "M5P (M=4)", "%CPU", h.VMCPU, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainM5P(d, ml.DefaultM5PConfig(4))
+		}},
+		{"VM MEM", "Linear Reg.", "MB", h.VMMem, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainLinear(d, 0)
+		}},
+		{"VM IN", "M5P (M=2)", "KB", h.VMIn, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainM5P(d, ml.DefaultM5PConfig(2))
+		}},
+		{"VM OUT", "M5P (M=2)", "KB", h.VMOut, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainM5P(d, ml.DefaultM5PConfig(2))
+		}},
+		{"PM CPU", "M5P (M=4)", "%CPU", h.PMCPU, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainM5P(d, ml.DefaultM5PConfig(4))
+		}},
+		{"VM RT", "M5P (M=4)", "s", h.VMRT, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainM5P(d, ml.DefaultM5PConfig(4))
+		}},
+		{"VM SLA", fmt.Sprintf("K-NN (K=%d)", cfg.KNNK), "", h.VMSLA, func(d *ml.Dataset) (ml.Regressor, error) {
+			return ml.TrainKNN(d, ml.DefaultKNNConfig(cfg.KNNK))
+		}},
+	}
+	type result struct {
+		reg    ml.Regressor
+		report ml.Report
+		err    error
+	}
+	results := par.MapIdx(jobs, cfg.Workers, func(i int, j job) result {
+		if j.data.Len() < 10 {
+			return result{err: fmt.Errorf("predict: %s has only %d rows", j.name, j.data.Len())}
+		}
+		stream := rng.NewNamed(cfg.Seed, "predict/split/"+j.name)
+		train, test := j.data.Split(cfg.TrainFrac, stream)
+		reg, err := j.train(train)
+		if err != nil {
+			return result{err: fmt.Errorf("predict: training %s: %w", j.name, err)}
+		}
+		rep := ml.Evaluate(reg, test)
+		rep.Name = j.name
+		rep.Method = j.method
+		rep.Unit = j.unit
+		rep.NTrain = train.Len()
+		return result{reg: reg, report: rep}
+	})
+	b := &Bundle{}
+	for i, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		b.Reports = append(b.Reports, r.report)
+		switch i {
+		case 0:
+			b.VMCPU = r.reg
+		case 1:
+			b.VMMem = r.reg
+		case 2:
+			b.VMIn = r.reg
+		case 3:
+			b.VMOut = r.reg
+		case 4:
+			b.PMCPU = r.reg
+		case 5:
+			b.VMRT = r.reg
+		case 6:
+			b.VMSLA = r.reg
+		}
+	}
+	return b, nil
+}
+
+// PredictVMResources anticipates the resources a VM will need to serve the
+// given load — the replacement for reading stale monitors (Section IV-B).
+func (b *Bundle) PredictVMResources(load model.Load, queueLen float64) model.Resources {
+	cpu := b.VMCPU.Predict(VMCPUFeatures(load, queueLen))
+	mem := b.VMMem.Predict(VMMemFeatures(load))
+	inKB := b.VMIn.Predict(VMNetFeatures(load.RPS, load.BytesInReq))
+	outKB := b.VMOut.Predict(VMNetFeatures(load.RPS, load.BytesOutRq))
+	bw := (inKB + outKB) * 1024 * 8 / 1e6 // KB/s -> Mbps
+	r := model.Resources{CPUPct: cpu, MemMB: mem, BWMbps: bw}
+	return r.Max(model.Resources{}) // clamp regression undershoot
+}
+
+// PredictPMCPU anticipates a host's total CPU (including virtualisation
+// overhead) for a tentative guest population. The prediction is floored at
+// the plain guest sum: a host can never burn less than its guests, so any
+// regression undershoot on off-manifold queries is physically impossible
+// and clamped away.
+func (b *Bundle) PredictPMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 {
+	v := b.PMCPU.Predict(PMCPUFeatures(nGuests, sumVMCPUPct, sumRPS))
+	if v < sumVMCPUPct {
+		v = sumVMCPUPct
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PredictRT anticipates the processing response time of a VM under a
+// tentative CPU grant.
+func (b *Bundle) PredictRT(load model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) float64 {
+	v := b.VMRT.Predict(VMRTFeatures(load, grantedCPUPct, memDeficitFrac, queueLen))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PredictSLA anticipates the SLA fulfilment of a VM under a tentative
+// grant and client latency, clamped to [0, 1]. The k-NN supplies the
+// processing SLA; the transport latency is composed in analytically
+// (Figure 3, constraints 6.2-6.3 then 7) by shifting the *predicted
+// processing response time* through the contract curve:
+//
+//	SLA = slaProc * F(rtProc + latency) / F(rtProc)
+//
+// so a fast service absorbs a small hop for free (rt stays under RT0)
+// while a strained one is hurt in proportion.
+func (b *Bundle) PredictSLA(terms model.SLATerms, load model.Load, grantedCPUPct, memDeficitFrac, queueLen, latencySec float64) float64 {
+	v := b.VMSLA.Predict(VMSLAFeatures(load, grantedCPUPct, memDeficitFrac, queueLen))
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	if latencySec <= 0 || v == 0 {
+		return v
+	}
+	rtProc := b.PredictRT(load, grantedCPUPct, memDeficitFrac, queueLen)
+	base := terms.Fulfilment(rtProc)
+	if base <= 1e-9 {
+		return 0
+	}
+	shifted := terms.Fulfilment(rtProc + latencySec)
+	v *= shifted / base
+	if v > 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/sim"
+)
+
+// Online implements the paper's future-work item 4: "the use of on-line
+// learning methods, able to retrain continuously on recent data, to make
+// the system react quickly to changes in either application behavior,
+// hardware or middleware changes, or workload characteristics."
+//
+// It keeps a sliding window of recent monitored observations and
+// periodically refits the whole bundle *in place*, so every decision maker
+// holding the same *Bundle pointer picks up the new models at the next
+// round. All calls must come from the single management-loop goroutine.
+type Online struct {
+	// Bundle is the live model set being kept fresh.
+	Bundle *Bundle
+	// Window is the sliding observation store.
+	Window *Harvest
+	// MaxRows bounds each dataset; older rows fall off the front.
+	MaxRows int
+	// RetrainEvery is the refit period in ticks (0 disables).
+	RetrainEvery int
+	// Train configures the refits.
+	Train TrainConfig
+
+	retrains int
+}
+
+// NewOnline wraps a bundle with continuous retraining. The bundle is
+// DEEP-COPIED so the caller's original models stay frozen (handy for
+// with/without comparisons); read the live models through o.Bundle.
+func NewOnline(b *Bundle, cfg TrainConfig, maxRows, retrainEvery int) (*Online, error) {
+	clone, err := CloneBundle(b)
+	if err != nil {
+		return nil, err
+	}
+	if maxRows <= 0 {
+		maxRows = 4000
+	}
+	if retrainEvery <= 0 {
+		retrainEvery = 60
+	}
+	return &Online{
+		Bundle:       clone,
+		Window:       NewHarvest(),
+		MaxRows:      maxRows,
+		RetrainEvery: retrainEvery,
+		Train:        cfg,
+	}, nil
+}
+
+// Retrains returns how many refits have happened.
+func (o *Online) Retrains() int { return o.retrains }
+
+// Observe folds the current monitored tick into the sliding window.
+func (o *Online) Observe(world *sim.World) {
+	o.Window.RecordTick(world)
+	for _, d := range o.Window.datasets() {
+		tail(d, o.MaxRows)
+	}
+}
+
+// MaybeRetrain refits the bundle when the tick hits the retrain period and
+// the window holds enough data. It reports whether a refit happened.
+func (o *Online) MaybeRetrain(tick int) (bool, error) {
+	if o.RetrainEvery <= 0 || tick == 0 || tick%o.RetrainEvery != 0 {
+		return false, nil
+	}
+	for _, d := range o.Window.datasets() {
+		if d.Len() < 50 {
+			return false, nil // not enough fresh evidence yet
+		}
+	}
+	fresh, err := Train(o.Window, o.Train)
+	if err != nil {
+		return false, fmt.Errorf("predict: online retrain at tick %d: %w", tick, err)
+	}
+	// Swap models in place so existing estimators see the refit.
+	o.Bundle.VMCPU = fresh.VMCPU
+	o.Bundle.VMMem = fresh.VMMem
+	o.Bundle.VMIn = fresh.VMIn
+	o.Bundle.VMOut = fresh.VMOut
+	o.Bundle.PMCPU = fresh.PMCPU
+	o.Bundle.VMRT = fresh.VMRT
+	o.Bundle.VMSLA = fresh.VMSLA
+	o.Bundle.Reports = fresh.Reports
+	o.retrains++
+	return true, nil
+}
+
+// datasets lists the harvest's datasets for uniform windowing.
+func (h *Harvest) datasets() []*ml.Dataset {
+	return []*ml.Dataset{h.VMCPU, h.VMMem, h.VMIn, h.VMOut, h.PMCPU, h.VMRT, h.VMSLA}
+}
+
+// tail truncates a dataset to its most recent n rows.
+func tail(d *ml.Dataset, n int) {
+	if d.Len() <= n {
+		return
+	}
+	cut := d.Len() - n
+	d.X = append([][]float64(nil), d.X[cut:]...)
+	d.Y = append([]float64(nil), d.Y[cut:]...)
+}
+
+// CloneBundle deep-copies a bundle through its serialized form, so the
+// copy's models share no state with the original.
+func CloneBundle(b *Bundle) (*Bundle, error) {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return nil, err
+	}
+	var out Bundle
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

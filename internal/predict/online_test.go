@@ -1,0 +1,115 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestTailTruncation(t *testing.T) {
+	d := ml.NewDataset([]string{"x"})
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, float64(i))
+	}
+	tail(d, 4)
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Y[0] != 6 || d.Y[3] != 9 {
+		t.Fatalf("tail kept wrong rows: %v", d.Y)
+	}
+	tail(d, 10) // no-op when already short
+	if d.Len() != 4 {
+		t.Fatal("no-op tail changed dataset")
+	}
+}
+
+func TestCloneBundleIsIndependent(t *testing.T) {
+	b := trainedBundle(t)
+	clone, err := CloneBundle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := model.Load{RPS: 30, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01}
+	if b.PredictVMResources(l, 0) != clone.PredictVMResources(l, 0) {
+		t.Fatal("clone predicts differently")
+	}
+	// Mutating the clone must not touch the original.
+	clone.VMCPU = nil
+	if b.VMCPU == nil {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestOnlineObserveAndRetrain(t *testing.T) {
+	base := trainedBundle(t)
+	o, err := NewOnline(base, DefaultTrainConfig(5), 500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sim.NewScenario(sim.ScenarioOpts{
+		Seed: 5, VMs: 4, PMsPerDC: 2, DCs: 2, LoadScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Placement{}
+	for _, vm := range sc.VMs {
+		p[vm.ID] = 0
+	}
+	if err := sc.World.PlaceInitial(p); err != nil {
+		t.Fatal(err)
+	}
+	retrained := false
+	for tick := 0; tick < 160; tick++ {
+		sc.World.Step()
+		o.Observe(sc.World)
+		did, err := o.MaybeRetrain(sc.World.Tick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if did {
+			retrained = true
+		}
+	}
+	if !retrained {
+		t.Fatal("never retrained in 160 ticks with period 50")
+	}
+	if o.Retrains() < 1 {
+		t.Fatal("retrain counter not incremented")
+	}
+	// Window stays bounded.
+	for _, d := range o.Window.datasets() {
+		if d.Len() > 500 {
+			t.Fatalf("window overflow: %d rows", d.Len())
+		}
+	}
+	// The live bundle must still predict sensibly after the swap.
+	l := model.Load{RPS: 30, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01}
+	r := o.Bundle.PredictVMResources(l, 0)
+	if !r.NonNegative() || r.CPUPct == 0 {
+		t.Fatalf("retrained bundle broken: %v", r)
+	}
+}
+
+func TestOnlineSkipsWhenDataThin(t *testing.T) {
+	base := trainedBundle(t)
+	o, err := NewOnline(base, DefaultTrainConfig(5), 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No observations at all: a period boundary must not retrain.
+	did, err := o.MaybeRetrain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Fatal("retrained with empty window")
+	}
+	// Non-boundary ticks never retrain.
+	if did, _ := o.MaybeRetrain(11); did {
+		t.Fatal("retrained off-period")
+	}
+}

@@ -1,0 +1,100 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/ml"
+)
+
+// Bundle persistence: train once with cmd/mdctrain, ship the JSON artefact,
+// load it into the decision maker — the offline/online split of a real
+// deployment.
+
+// bundleDTO is the wire form of a trained bundle.
+type bundleDTO struct {
+	Models  map[string]json.RawMessage `json:"models"`
+	Reports []ml.Report                `json:"reports"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b *Bundle) MarshalJSON() ([]byte, error) {
+	models := map[string]ml.Regressor{
+		"vmCPU": b.VMCPU, "vmMem": b.VMMem, "vmIn": b.VMIn, "vmOut": b.VMOut,
+		"pmCPU": b.PMCPU, "vmRT": b.VMRT, "vmSLA": b.VMSLA,
+	}
+	dto := bundleDTO{Models: make(map[string]json.RawMessage, len(models)), Reports: b.Reports}
+	for name, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("predict: bundle is missing model %q", name)
+		}
+		raw, err := ml.MarshalRegressor(m)
+		if err != nil {
+			return nil, fmt.Errorf("predict: serializing %q: %w", name, err)
+		}
+		dto.Models[name] = raw
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Bundle) UnmarshalJSON(data []byte) error {
+	var dto bundleDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return err
+	}
+	get := func(name string) (ml.Regressor, error) {
+		raw, ok := dto.Models[name]
+		if !ok {
+			return nil, fmt.Errorf("predict: bundle payload missing model %q", name)
+		}
+		return ml.UnmarshalRegressor(raw)
+	}
+	var err error
+	if b.VMCPU, err = get("vmCPU"); err != nil {
+		return err
+	}
+	if b.VMMem, err = get("vmMem"); err != nil {
+		return err
+	}
+	if b.VMIn, err = get("vmIn"); err != nil {
+		return err
+	}
+	if b.VMOut, err = get("vmOut"); err != nil {
+		return err
+	}
+	if b.PMCPU, err = get("pmCPU"); err != nil {
+		return err
+	}
+	if b.VMRT, err = get("vmRT"); err != nil {
+		return err
+	}
+	if b.VMSLA, err = get("vmSLA"); err != nil {
+		return err
+	}
+	b.Reports = dto.Reports
+	return nil
+}
+
+// Save writes the bundle to a JSON file.
+func (b *Bundle) Save(path string) error {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBundle reads a bundle saved with Save.
+func LoadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("predict: decoding %s: %w", path, err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,70 @@
+package predict
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestBundleSaveLoadRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Reports) != len(b.Reports) {
+		t.Fatalf("reports lost: %d vs %d", len(back.Reports), len(b.Reports))
+	}
+	// Predictions must survive bit-for-bit across all seven models.
+	loads := []model.Load{
+		{RPS: 5, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01},
+		{RPS: 55, BytesInReq: 800, BytesOutRq: 50000, CPUTimeReq: 0.02},
+		{RPS: 110, BytesInReq: 400, BytesOutRq: 9000, CPUTimeReq: 0.005},
+	}
+	for _, l := range loads {
+		if b.PredictVMResources(l, 0) != back.PredictVMResources(l, 0) {
+			t.Fatalf("resource prediction changed for %+v", l)
+		}
+		if b.PredictRT(l, 120, 0.1, 50) != back.PredictRT(l, 120, 0.1, 50) {
+			t.Fatalf("RT prediction changed for %+v", l)
+		}
+		a := b.PredictSLA(model.DefaultSLATerms, l, 120, 0.1, 50, 0.09)
+		z := back.PredictSLA(model.DefaultSLATerms, l, 120, 0.1, 50, 0.09)
+		if a != z {
+			t.Fatalf("SLA prediction changed for %+v: %v vs %v", l, a, z)
+		}
+	}
+	if b.PredictPMCPU(3, 150, 60) != back.PredictPMCPU(3, 150, 60) {
+		t.Fatal("PM CPU prediction changed")
+	}
+}
+
+func TestLoadBundleErrors(t *testing.T) {
+	if _, err := LoadBundle(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loaded missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, `{"models":{}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(bad); err == nil {
+		t.Fatal("loaded bundle with missing models")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := writeFile(garbage, "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(garbage); err == nil {
+		t.Fatal("loaded garbage")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"repro/internal/model"
+	"repro/internal/predict"
+)
+
+// Estimator supplies the uncertain quantities of the mathematical program:
+// what a VM will need, what SLA a tentative grant will yield, and what a
+// host's aggregate CPU will be. The paper's thesis is precisely that
+// learned estimators beat monitored windows here.
+type Estimator interface {
+	// Required returns the resources the VM needs next round.
+	Required(vm *VMInfo) model.Resources
+	// SLA predicts fulfilment under a tentative grant; ok=false means the
+	// estimator has no QoS model and the caller should fall back to the
+	// fit-based heuristic.
+	SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64) (float64, bool)
+	// VMCPUUsage estimates the CPU a VM will actually burn under the grant
+	// (for host power aggregation).
+	VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64
+	// PMCPU estimates a host's aggregate CPU for a tentative population.
+	PMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// Observed sizes VMs by their monitored last-window usage — the plain
+// Best-Fit of the paper's intra-DC comparison. It has no QoS model.
+type Observed struct {
+	// Overbook multiplies observed usage (1 = plain BF, 2 = BF-OB).
+	Overbook float64
+	// FloorCPU avoids sizing an idle-but-alive VM at zero.
+	FloorCPU float64
+	// VirtOverheadPct is the expert guess for per-host hypervisor overhead
+	// (the non-ML world has to hardcode something).
+	VirtOverheadPct float64
+}
+
+// NewObserved returns the plain monitored estimator.
+func NewObserved() *Observed { return &Observed{Overbook: 1, FloorCPU: 5} }
+
+// NewOverbooked returns the BF-OB estimator: double the observed usage to
+// absorb unexpected peaks.
+func NewOverbooked() *Observed { return &Observed{Overbook: 2, FloorCPU: 5} }
+
+// Name implements Estimator.
+func (o *Observed) Name() string {
+	if o.Overbook > 1 {
+		return "observed-overbooked"
+	}
+	return "observed"
+}
+
+// Required implements Estimator using the monitoring window.
+func (o *Observed) Required(vm *VMInfo) model.Resources {
+	ob := o.Overbook
+	if ob <= 0 {
+		ob = 1
+	}
+	r := vm.Observed.Scale(ob)
+	if !vm.HasObserved {
+		// Nothing measured yet (fresh VM): fall back to the memory floor
+		// and a token CPU ask.
+		r = model.Resources{CPUPct: 25, MemMB: vm.Spec.BaseMemMB}
+	}
+	if r.CPUPct < o.FloorCPU {
+		r.CPUPct = o.FloorCPU
+	}
+	if r.MemMB < vm.Spec.BaseMemMB {
+		r.MemMB = vm.Spec.BaseMemMB
+	}
+	return r
+}
+
+// SLA implements Estimator: the monitored world has no QoS model.
+func (o *Observed) SLA(*VMInfo, float64, float64, float64) (float64, bool) {
+	return 0, false
+}
+
+// VMCPUUsage implements Estimator: assume the VM keeps using what the
+// window showed, bounded by the grant.
+func (o *Observed) VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64 {
+	use := vm.Observed.CPUPct
+	if !vm.HasObserved {
+		use = 25
+	}
+	if use > grantCPUPct {
+		use = grantCPUPct
+	}
+	return use
+}
+
+// PMCPU implements Estimator with a plain sum plus the hardcoded overhead.
+func (o *Observed) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 {
+	if nGuests == 0 {
+		return 0
+	}
+	return sumVMCPUPct + o.VirtOverheadPct
+}
+
+// ML sizes VMs with the trained predictor bundle — the paper's ML-enhanced
+// Best-Fit. It anticipates requirements from the incoming load instead of
+// trusting the stale window, and scores tentative placements with the
+// learned SLA model.
+type ML struct {
+	Bundle *predict.Bundle
+	// TargetRho converts predicted CPU *usage* into a CPU *requirement*:
+	// requirement = usage / TargetRho, the headroom that keeps the
+	// processor-sharing queue responsive between scheduling rounds.
+	TargetRho float64
+}
+
+// NewML wraps a trained bundle with a 60% utilisation target, enough
+// headroom to ride out intra-round load swings.
+func NewML(b *predict.Bundle) *ML { return &ML{Bundle: b, TargetRho: 0.6} }
+
+// Name implements Estimator.
+func (m *ML) Name() string { return "ml" }
+
+// RoundSeconds is the drain horizon for folding gateway backlog into the
+// effective load (one scheduling round).
+const RoundSeconds = 600
+
+// effectiveLoad folds the pending-request backlog into the request rate:
+// the paper treats queue sizes as "additional immediate load". Sizing a
+// tentative placement against current-rate-only would ignore the debt the
+// VM must work off.
+func (m *ML) effectiveLoad(vm *VMInfo) model.Load {
+	l := vm.Total
+	if vm.QueueLen > 0 {
+		l.RPS += vm.QueueLen / RoundSeconds
+	}
+	return l
+}
+
+// Required implements Estimator via the learned resource models.
+func (m *ML) Required(vm *VMInfo) model.Resources {
+	eff := m.effectiveLoad(vm)
+	r := m.Bundle.PredictVMResources(eff, 0)
+	rho := m.TargetRho
+	if rho <= 0 || rho > 1 {
+		rho = 0.7
+	}
+	r.CPUPct /= rho
+	if r.MemMB < vm.Spec.BaseMemMB {
+		r.MemMB = vm.Spec.BaseMemMB
+	}
+	if vm.Spec.MaxMemMB > 0 && r.MemMB > vm.Spec.MaxMemMB {
+		r.MemMB = vm.Spec.MaxMemMB
+	}
+	return r
+}
+
+// SLA implements Estimator via the learned k-NN SLA model. The queue
+// feature is evaluated counterfactually: what the backlog will look like
+// after one round at the tentative grant. A starving grant grows the
+// queue (the model's starved neighbourhoods answer), a generous grant
+// drains it (healthy neighbourhoods answer) — this is what restores the
+// profit gradient for a currently-backlogged VM.
+func (m *ML) SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64) (float64, bool) {
+	l := vm.Total
+	qAfter := vm.QueueLen
+	if l.CPUTimeReq > 0 {
+		mu := grantCPUPct / 100 / l.CPUTimeReq // service capacity, req/s
+		qAfter += (l.RPS - mu) * RoundSeconds
+		if qAfter < 0 {
+			qAfter = 0
+		}
+	}
+	return m.Bundle.PredictSLA(vm.Spec.Terms, l, grantCPUPct, memDeficitFrac, qAfter, latencySec), true
+}
+
+// VMCPUUsage implements Estimator via the learned CPU model.
+func (m *ML) VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64 {
+	use := m.Bundle.VMCPU.Predict(predict.VMCPUFeatures(m.effectiveLoad(vm), 0))
+	if use < 0 {
+		use = 0
+	}
+	if use > grantCPUPct {
+		use = grantCPUPct
+	}
+	return use
+}
+
+// PMCPU implements Estimator via the learned host model.
+func (m *ML) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 {
+	if nGuests == 0 {
+		return 0
+	}
+	return m.Bundle.PredictPMCPU(nGuests, sumVMCPUPct, sumRPS)
+}
+
+var (
+	_ Estimator = (*Observed)(nil)
+	_ Estimator = (*ML)(nil)
+)

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Classical bin-packing heuristics beyond Ordered Best-Fit. The paper's
+// prior work found Best-Fit to "perform better among greedy classical
+// ad-hoc and heuristics"; these baselines let the claim be re-measured
+// (see the `heuristics` experiment).
+
+// FirstFit places each VM on the first host with room for its estimated
+// requirement, in host order — the classic one-pass packer. It never
+// weighs profit, so energy prices and latency are invisible to it.
+type FirstFit struct {
+	Est Estimator
+}
+
+// Name implements Scheduler.
+func (f *FirstFit) Name() string { return "firstfit" }
+
+// Schedule implements Scheduler.
+func (f *FirstFit) Schedule(p *Problem) (model.Placement, error) {
+	if len(p.Hosts) == 0 {
+		return nil, fmt.Errorf("sched: no candidate hosts")
+	}
+	if f.Est == nil {
+		return nil, fmt.Errorf("sched: FirstFit needs an estimator")
+	}
+	avail := make([]model.Resources, len(p.Hosts))
+	for j, h := range p.Hosts {
+		avail[j] = h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{})
+	}
+	// Descending demand, like the paper's ordered variants.
+	reqs := make([]model.Resources, len(p.VMs))
+	order := make([]int, len(p.VMs))
+	ref := p.Hosts[0].Spec.Capacity
+	for i := range p.VMs {
+		reqs[i] = f.Est.Required(&p.VMs[i]).Max(model.Resources{}).Min(ref)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Dominant(ref) > reqs[order[b]].Dominant(ref)
+	})
+	placement := make(model.Placement, len(p.VMs))
+	for _, i := range order {
+		chosen := -1
+		for j := range p.Hosts {
+			if reqs[i].FitsIn(avail[j]) {
+				chosen = j
+				break
+			}
+		}
+		if chosen < 0 {
+			// Nothing fits: overflow onto the emptiest host.
+			chosen = 0
+			best := avail[0].CPUPct
+			for j := 1; j < len(p.Hosts); j++ {
+				if avail[j].CPUPct > best {
+					best = avail[j].CPUPct
+					chosen = j
+				}
+			}
+		}
+		avail[chosen] = avail[chosen].Sub(reqs[i]).Max(model.Resources{})
+		placement[p.VMs[i].Spec.ID] = p.Hosts[chosen].Spec.ID
+	}
+	return placement, nil
+}
+
+// RoundRobin deals VMs across hosts in rotation — the load-balancing
+// baseline that maximally spreads (and therefore maximally burns energy).
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Schedule implements Scheduler.
+func (RoundRobin) Schedule(p *Problem) (model.Placement, error) {
+	if len(p.Hosts) == 0 {
+		return nil, fmt.Errorf("sched: no candidate hosts")
+	}
+	placement := make(model.Placement, len(p.VMs))
+	for i := range p.VMs {
+		placement[p.VMs[i].Spec.ID] = p.Hosts[i%len(p.Hosts)].Spec.ID
+	}
+	return placement, nil
+}
+
+// WorstFit places each VM on the host with the most free CPU after its
+// requirement — the anti-consolidation packer, good SLA, terrible energy.
+type WorstFit struct {
+	Est Estimator
+}
+
+// Name implements Scheduler.
+func (w *WorstFit) Name() string { return "worstfit" }
+
+// Schedule implements Scheduler.
+func (w *WorstFit) Schedule(p *Problem) (model.Placement, error) {
+	if len(p.Hosts) == 0 {
+		return nil, fmt.Errorf("sched: no candidate hosts")
+	}
+	if w.Est == nil {
+		return nil, fmt.Errorf("sched: WorstFit needs an estimator")
+	}
+	avail := make([]model.Resources, len(p.Hosts))
+	for j, h := range p.Hosts {
+		avail[j] = h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{})
+	}
+	ref := p.Hosts[0].Spec.Capacity
+	reqs := make([]model.Resources, len(p.VMs))
+	order := make([]int, len(p.VMs))
+	for i := range p.VMs {
+		reqs[i] = w.Est.Required(&p.VMs[i]).Max(model.Resources{}).Min(ref)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Dominant(ref) > reqs[order[b]].Dominant(ref)
+	})
+	placement := make(model.Placement, len(p.VMs))
+	for _, i := range order {
+		chosen := 0
+		bestFree := -1.0
+		for j := range p.Hosts {
+			free := avail[j].Sub(reqs[i]).CPUPct
+			if free > bestFree {
+				bestFree = free
+				chosen = j
+			}
+		}
+		avail[chosen] = avail[chosen].Sub(reqs[i]).Max(model.Resources{})
+		placement[p.VMs[i].Spec.ID] = p.Hosts[chosen].Spec.ID
+	}
+	return placement, nil
+}
+
+var (
+	_ Scheduler = (*FirstFit)(nil)
+	_ Scheduler = RoundRobin{}
+	_ Scheduler = (*WorstFit)(nil)
+)

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestFirstFitPacksInOrder(t *testing.T) {
+	est := &fakeEstimator{req: map[model.VMID]model.Resources{
+		0: {CPUPct: 300, MemMB: 500, BWMbps: 5},
+		1: {CPUPct: 300, MemMB: 500, BWMbps: 5},
+		2: {CPUPct: 50, MemMB: 200, BWMbps: 2},
+	}}
+	p := &Problem{
+		VMs:   []VMInfo{mkVM(0, 0, 40, 0), mkVM(1, 0, 40, 0), mkVM(2, 0, 5, 0)},
+		Hosts: []HostInfo{mkHost(0, 0), mkHost(1, 0)},
+	}
+	ff := &FirstFit{Est: est}
+	placement, err := ff.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 300% VMs cannot share a 400% host; the 50% one fits beside one.
+	if placement[0] == placement[1] {
+		t.Fatalf("two 300%% VMs on one host: %v", placement)
+	}
+	if placement[2] != 0 {
+		t.Fatalf("small VM should first-fit onto host 0: %v", placement)
+	}
+}
+
+func TestFirstFitOverflowsToEmptiest(t *testing.T) {
+	est := &fakeEstimator{req: map[model.VMID]model.Resources{
+		0: {CPUPct: 400, MemMB: 4096, BWMbps: 1000},
+		1: {CPUPct: 400, MemMB: 4096, BWMbps: 1000},
+		2: {CPUPct: 400, MemMB: 4096, BWMbps: 1000},
+	}}
+	p := &Problem{
+		VMs:   []VMInfo{mkVM(0, 0, 90, 0), mkVM(1, 0, 90, 0), mkVM(2, 0, 90, 0)},
+		Hosts: []HostInfo{mkHost(0, 0), mkHost(1, 0)},
+	}
+	ff := &FirstFit{Est: est}
+	placement, err := ff.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three must be placed somewhere even though nothing fits.
+	for vm, pm := range placement {
+		if pm == model.NoPM {
+			t.Fatalf("VM %v left unplaced", vm)
+		}
+	}
+}
+
+func TestRoundRobinDeals(t *testing.T) {
+	p := &Problem{
+		VMs:   []VMInfo{mkVM(0, 0, 1, 0), mkVM(1, 0, 1, 0), mkVM(2, 0, 1, 0)},
+		Hosts: []HostInfo{mkHost(0, 0), mkHost(1, 0)},
+	}
+	placement, err := RoundRobin{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement[0] != 0 || placement[1] != 1 || placement[2] != 0 {
+		t.Fatalf("RoundRobin = %v", placement)
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	est := &fakeEstimator{req: map[model.VMID]model.Resources{
+		0: {CPUPct: 100, MemMB: 300, BWMbps: 5},
+		1: {CPUPct: 100, MemMB: 300, BWMbps: 5},
+	}}
+	p := &Problem{
+		VMs:   []VMInfo{mkVM(0, 0, 20, 0), mkVM(1, 0, 20, 0)},
+		Hosts: []HostInfo{mkHost(0, 0), mkHost(1, 0)},
+	}
+	wf := &WorstFit{Est: est}
+	placement, err := wf.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement[0] == placement[1] {
+		t.Fatalf("WorstFit consolidated: %v", placement)
+	}
+}
+
+func TestHeuristicsRequireInputs(t *testing.T) {
+	vms := []VMInfo{mkVM(0, 0, 1, 0)}
+	if _, err := (&FirstFit{Est: NewObserved()}).Schedule(&Problem{VMs: vms}); err == nil {
+		t.Fatal("FirstFit accepted zero hosts")
+	}
+	if _, err := (&FirstFit{}).Schedule(&Problem{VMs: vms, Hosts: []HostInfo{mkHost(0, 0)}}); err == nil {
+		t.Fatal("FirstFit accepted nil estimator")
+	}
+	if _, err := (RoundRobin{}).Schedule(&Problem{VMs: vms}); err == nil {
+		t.Fatal("RoundRobin accepted zero hosts")
+	}
+	if _, err := (&WorstFit{Est: NewObserved()}).Schedule(&Problem{VMs: vms}); err == nil {
+		t.Fatal("WorstFit accepted zero hosts")
+	}
+	if _, err := (&WorstFit{}).Schedule(&Problem{VMs: vms, Hosts: []HostInfo{mkHost(0, 0)}}); err == nil {
+		t.Fatal("WorstFit accepted nil estimator")
+	}
+}
+
+func TestBestFitHysteresis(t *testing.T) {
+	// Two identical hosts; the VM sits on host 1. A microscopic profit
+	// difference must not trigger a move, a large one must.
+	vm := mkVM(0, 0, 10, 0)
+	vm.Current = 1
+	vm.CurrentDC = 0
+	est := &fakeEstimator{req: map[model.VMID]model.Resources{0: {CPUPct: 50, MemMB: 256, BWMbps: 5}}}
+	p := &Problem{VMs: []VMInfo{vm}, Hosts: []HostInfo{mkHost(0, 0), mkHost(1, 0)}}
+	bf := NewBestFit(paperCost(), est)
+	bf.MinGainEUR = 0.01 // large threshold
+	placement, err := bf.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement[0] != 1 {
+		t.Fatalf("hysteresis failed to hold VM: %v", placement)
+	}
+}

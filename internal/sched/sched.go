@@ -1,0 +1,293 @@
+// Package sched contains the decision makers that solve the paper's
+// mathematical program (Figure 3): the profit evaluator that scores a
+// tentative (VM, host) assignment on revenue, energy and migration cost,
+// and the schedulers built on it — Ordered Best-Fit (Algorithm 1), its
+// overbooking variant, the ML-enhanced version fed by learned predictors,
+// a static baseline and an exhaustive branch-and-bound solver standing in
+// for the MILP comparison.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/power"
+)
+
+// VMInfo is everything the decision maker knows about one schedulable VM.
+type VMInfo struct {
+	Spec model.VMSpec
+	// Load is the expected per-source load for the next round (the gateway
+	// observes the current round; the paper's proactive variant feeds the
+	// same numbers into predictors).
+	Load model.LoadVector
+	// Total is Load.Total(), precomputed.
+	Total model.Load
+	// QueueLen is the gateway's pending-request backlog for this VM.
+	QueueLen float64
+	// Observed is the window-averaged monitored usage ("resources used in
+	// the last 10 minutes"), the non-ML sizing basis.
+	Observed    model.Resources
+	HasObserved bool
+	// Current is the VM's present host (NoPM if entering the system).
+	Current model.PMID
+	// CurrentDC is the DC of Current (-1 if none).
+	CurrentDC model.DCID
+}
+
+// HostInfo is everything the decision maker knows about one candidate host.
+type HostInfo struct {
+	Spec model.PMSpec
+	// Resident is the resource requirement of guests that stay on this host
+	// and are not part of this scheduling round.
+	Resident model.Resources
+	// ResidentGuests counts those staying guests.
+	ResidentGuests int
+	// ResidentRPS is their total request rate.
+	ResidentRPS float64
+	// ResidentCPUUsage is their observed/predicted CPU usage.
+	ResidentCPUUsage float64
+}
+
+// Problem is one scheduling round.
+type Problem struct {
+	VMs   []VMInfo
+	Hosts []HostInfo
+	// Tick anchors the round in simulation time so time-varying energy
+	// prices (the green-energy extension) are priced correctly.
+	Tick int
+}
+
+// Scheduler computes a placement for the VMs of a problem.
+type Scheduler interface {
+	// Schedule returns the chosen host per VM. VMs may be left out of the
+	// map only if no host exists at all.
+	Schedule(p *Problem) (model.Placement, error)
+	// Name identifies the scheduler in reports.
+	Name() string
+}
+
+// CostModel carries the economics of Figure 3's objective function.
+type CostModel struct {
+	Top   *network.Topology
+	Power power.Model
+	// HorizonHours is the revenue/energy horizon of one decision — the
+	// scheduling round length (paper: 10 minutes).
+	HorizonHours float64
+	// EnergyAware includes the energy term (switching it off reproduces the
+	// pure "follow the load" sanity check of Figure 5).
+	EnergyAware bool
+	// MigrationAware includes migration penalties.
+	MigrationAware bool
+	// LatencyOnly scores SLA purely from client latency, ignoring resource
+	// competition (Figure 5's driving function).
+	LatencyOnly bool
+}
+
+// NewCostModel returns the full objective of the paper's evaluation.
+func NewCostModel(top *network.Topology, pm power.Model, horizonHours float64) CostModel {
+	return CostModel{
+		Top: top, Power: pm, HorizonHours: horizonHours,
+		EnergyAware: true, MigrationAware: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *CostModel) Validate() error {
+	if c.Top == nil {
+		return fmt.Errorf("sched: CostModel.Top is nil")
+	}
+	if c.Power == nil {
+		return fmt.Errorf("sched: CostModel.Power is nil")
+	}
+	if c.HorizonHours <= 0 {
+		return fmt.Errorf("sched: non-positive horizon %v", c.HorizonHours)
+	}
+	return nil
+}
+
+// hostState tracks one host's tentative occupancy during a round.
+type hostState struct {
+	info     HostInfo
+	avail    model.Resources
+	guests   int
+	sumCPU   float64 // predicted/observed CPU usage of tentative guests
+	sumRPS   float64
+	assigned int // guests assigned during this round
+}
+
+func newHostState(h HostInfo) *hostState {
+	return &hostState{
+		info:   h,
+		avail:  h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{}),
+		guests: h.ResidentGuests,
+		sumCPU: h.ResidentCPUUsage,
+		sumRPS: h.ResidentRPS,
+	}
+}
+
+// on reports whether the host would be powered in the tentative plan.
+func (s *hostState) on() bool { return s.guests > 0 }
+
+// Round is a profit-evaluation session over one problem: requirements are
+// estimated once per VM, and host states are updated as VMs are assigned.
+type Round struct {
+	cost  CostModel
+	est   Estimator
+	vms   []VMInfo
+	req   []model.Resources
+	hosts []*hostState
+	tick  int
+}
+
+// NewRound precomputes per-VM requirements with the estimator.
+func NewRound(p *Problem, cost CostModel, est Estimator) (*Round, error) {
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	if est == nil {
+		return nil, fmt.Errorf("sched: estimator is nil")
+	}
+	r := &Round{cost: cost, est: est, vms: p.VMs, tick: p.Tick}
+	// A VM's requirement is capped at the largest host: constraint (2) of
+	// Figure 3 makes asking for more than a whole machine meaningless, and
+	// the cap defuses estimator extrapolation on unseen load levels.
+	var maxCap model.Resources
+	for _, h := range p.Hosts {
+		maxCap = maxCap.Max(h.Spec.Capacity)
+	}
+	r.req = make([]model.Resources, len(p.VMs))
+	for i := range p.VMs {
+		req := est.Required(&p.VMs[i]).Max(model.Resources{})
+		if len(p.Hosts) > 0 {
+			req = req.Min(maxCap)
+		}
+		r.req[i] = req
+	}
+	r.hosts = make([]*hostState, len(p.Hosts))
+	for i, h := range p.Hosts {
+		r.hosts[i] = newHostState(h)
+	}
+	return r, nil
+}
+
+// Required exposes the estimated requirement of VM i.
+func (r *Round) Required(i int) model.Resources { return r.req[i] }
+
+// NumHosts returns the candidate host count.
+func (r *Round) NumHosts() int { return len(r.hosts) }
+
+// NumVMs returns the schedulable VM count.
+func (r *Round) NumVMs() int { return len(r.vms) }
+
+// HostID returns the PMID of host j.
+func (r *Round) HostID(j int) model.PMID { return r.hosts[j].info.Spec.ID }
+
+// Profit scores placing VM i on host j given the current tentative state —
+// the per-assignment form of Figure 3's objective:
+//
+//	frevenue(SLA) - fpenalty(migration) - fenergycost(marginal power).
+func (r *Round) Profit(i, j int) float64 {
+	vm := &r.vms[i]
+	host := r.hosts[j]
+	req := r.req[i]
+	hostDC := host.info.Spec.DC
+
+	grant := req.Min(host.avail)
+	grantCPU := grant.CPUPct
+	memDeficit := memDeficitFrac(grant.MemMB, req.MemMB)
+	latency := r.cost.Top.MeanLatencyFrom(hostDC, vm.Load)
+
+	var slaEst float64
+	if r.cost.LatencyOnly {
+		slaEst = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + latency)
+	} else if v, ok := r.est.SLA(vm, grantCPU, memDeficit, latency); ok {
+		slaEst = v
+	} else {
+		slaEst = HeuristicSLA(vm, req, grant, latency)
+	}
+	profit := vm.Spec.PriceEURh * slaEst * r.cost.HorizonHours
+
+	if r.cost.EnergyAware && !r.cost.LatencyOnly {
+		vmCPU := r.est.VMCPUUsage(vm, grantCPU)
+		newPM := r.est.PMCPU(host.guests+1, host.sumCPU+vmCPU, host.sumRPS+vm.Total.RPS)
+		newPM = clampF(newPM, 0, host.info.Spec.Capacity.CPUPct)
+		var wattsBefore float64
+		if host.on() {
+			prevPM := r.est.PMCPU(host.guests, host.sumCPU, host.sumRPS)
+			prevPM = clampF(prevPM, 0, host.info.Spec.Capacity.CPUPct)
+			wattsBefore = power.FacilityWatts(r.cost.Power, prevPM)
+		}
+		wattsAfter := power.FacilityWatts(r.cost.Power, newPM)
+		marginal := wattsAfter - wattsBefore
+		profit -= power.EnergyEUR(marginal, r.cost.HorizonHours, r.cost.Top.EnergyPriceAt(hostDC, r.tick))
+	}
+
+	if r.cost.MigrationAware && vm.Current != model.NoPM && vm.Current != host.info.Spec.ID {
+		down := r.cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, hostDC)
+		// Explicit penalty fee plus the revenue lost while blacked out.
+		profit -= 2 * vm.Spec.PriceEURh * down / 3600
+	}
+	return profit
+}
+
+// Assign commits VM i to host j, updating the tentative host state.
+func (r *Round) Assign(i, j int) {
+	host := r.hosts[j]
+	req := r.req[i]
+	host.avail = host.avail.Sub(req).Max(model.Resources{})
+	vmCPU := r.est.VMCPUUsage(&r.vms[i], req.CPUPct)
+	host.sumCPU += vmCPU
+	host.sumRPS += r.vms[i].Total.RPS
+	host.guests++
+	host.assigned++
+}
+
+// Unassign reverses Assign (used by the branch-and-bound solver). The
+// caller must unwind in reverse assignment order for exact restoration.
+func (r *Round) Unassign(i, j int) {
+	host := r.hosts[j]
+	req := r.req[i]
+	host.avail = host.avail.Add(req).Min(host.info.Spec.Capacity.Sub(host.info.Resident).Max(model.Resources{}))
+	vmCPU := r.est.VMCPUUsage(&r.vms[i], req.CPUPct)
+	host.sumCPU -= vmCPU
+	host.sumRPS -= r.vms[i].Total.RPS
+	host.guests--
+	host.assigned--
+}
+
+// HeuristicSLA is the model-free QoS guess the plain Best-Fit works with:
+// full marks when the requirement fits, degraded by the granted fraction
+// when it does not, always discounted by client latency.
+func HeuristicSLA(vm *VMInfo, req, grant model.Resources, latency float64) float64 {
+	base := vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0*0.8 + latency)
+	if req.CPUPct <= 0 {
+		return base
+	}
+	frac := grant.CPUPct / req.CPUPct
+	if frac >= 1 {
+		return base
+	}
+	return base * frac * frac // quadratic: CPU starvation is super-linear pain
+}
+
+func memDeficitFrac(granted, required float64) float64 {
+	if required <= 0 || granted >= required {
+		return 0
+	}
+	if granted <= 0 {
+		return 1
+	}
+	return (required - granted) / required
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Failure injection: physical machines can crash and recover mid-run. A
+// failed host serves nothing, draws nothing, and its guests drop off the
+// placement (their web-services stop answering until the next scheduling
+// round finds them a new home). The paper's evaluation does not crash
+// hosts, but any system a datacenter operator would adopt must survive
+// them, and the management loop recovers for free: the failed host simply
+// disappears from the candidate list.
+
+// FailPM marks a host as failed, evicting its guests. Evicted VMs stay
+// unplaced (and earn nothing) until a scheduler reassigns them.
+func (w *World) FailPM(pm model.PMID) error {
+	if _, ok := w.cfg.Inventory.PM(pm); !ok {
+		return fmt.Errorf("sim: unknown PM %v", pm)
+	}
+	if w.failed == nil {
+		w.failed = make(map[model.PMID]bool)
+	}
+	if w.failed[pm] {
+		return nil
+	}
+	w.failed[pm] = true
+	for _, vm := range w.state.GuestsOf(pm) {
+		if err := w.state.Place(vm, model.NoPM); err != nil {
+			return err
+		}
+		// In-flight migrations to a dead target are moot; the blackout
+		// continues implicitly because the VM is unplaced.
+		delete(w.downtime, vm)
+	}
+	return nil
+}
+
+// RecoverPM returns a failed host to service (empty; the next round may
+// use it again).
+func (w *World) RecoverPM(pm model.PMID) error {
+	if _, ok := w.cfg.Inventory.PM(pm); !ok {
+		return fmt.Errorf("sim: unknown PM %v", pm)
+	}
+	delete(w.failed, pm)
+	return nil
+}
+
+// IsFailed reports whether a host is currently failed.
+func (w *World) IsFailed(pm model.PMID) bool { return w.failed[pm] }
+
+// FailedPMs returns the currently failed hosts in inventory order.
+func (w *World) FailedPMs() []model.PMID {
+	var out []model.PMID
+	for _, pm := range w.cfg.Inventory.PMs() {
+		if w.failed[pm.ID] {
+			out = append(out, pm.ID)
+		}
+	}
+	return out
+}
+
+// validatePlacementTargets rejects schedules that place VMs on failed
+// hosts; the manager should never offer them, so this is a programming-
+// error guard rather than a recoverable state.
+func (w *World) validatePlacementTargets(p model.Placement) error {
+	for vm, pm := range p {
+		if pm != model.NoPM && w.failed[pm] {
+			return fmt.Errorf("sim: placement puts %v on failed host %v", vm, pm)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// Scenario bundles the pieces of a ready-to-run experiment setup.
+type Scenario struct {
+	World     *World
+	Inventory *cluster.Inventory
+	Topology  *network.Topology
+	Generator *trace.Generator
+	VMs       []model.VMSpec
+}
+
+// ScenarioOpts parameterises the standard paper setups.
+type ScenarioOpts struct {
+	Seed       uint64
+	VMs        int     // number of virtual machines (paper: 5)
+	PMsPerDC   int     // physical machines per datacenter
+	DCs        int     // datacenters drawn from the paper topology (max 4)
+	LoadScale  float64 // multiplies every request rate (1 = nominal)
+	NoiseSD    float64 // workload noise
+	FlashCrowd bool    // inject the Figure 6 minute-70..90 crowd
+	// HomeBias is the share of each VM's load originating at its home
+	// location (0 = generator default of 0.6; intra-DC experiments use a
+	// high bias so clients are local).
+	HomeBias float64
+	// AllHomesAt homes every VM in one DC instead of round-robin when
+	// non-nil (the §V-C de-location setup, where a single DC carries all
+	// the load).
+	AllHomesAt *model.DCID
+	// UniformClass assigns every VM the same service class instead of
+	// cycling through the built-in mix.
+	UniformClass *trace.ServiceClass
+}
+
+// atomCapacity is the per-PM capacity of the paper's Atom hosts: 4 cores,
+// 4 GB of RAM and a 1 Gbps NIC.
+var atomCapacity = model.Resources{CPUPct: 400, MemMB: 4096, BWMbps: 1000}
+
+// DefaultVMSpecs builds n VM specs in the paper's style: 4 GB images,
+// 256 MB memory floor, EC2-like pricing, homes spread round-robin over dcs.
+func DefaultVMSpecs(n, dcs int) []model.VMSpec {
+	specs := make([]model.VMSpec, n)
+	for i := range specs {
+		specs[i] = model.VMSpec{
+			ID:          model.VMID(i),
+			Name:        fmt.Sprintf("web%d", i),
+			ImageSizeGB: 4,
+			BaseMemMB:   256,
+			MaxMemMB:    1024,
+			Terms:       model.DefaultSLATerms,
+			PriceEURh:   0.17,
+			HomeDC:      model.DCID(i % dcs),
+		}
+	}
+	return specs
+}
+
+// NewScenario assembles inventory, topology, workload and world for the
+// standard multi-DC setup of Section V: up to four DCs (Brisbane,
+// Bangaluru, Barcelona, Boston) with Atom PMs.
+func NewScenario(opts ScenarioOpts) (*Scenario, error) {
+	if opts.DCs <= 0 || opts.DCs > 4 {
+		return nil, fmt.Errorf("sim: DCs must be 1..4, got %d", opts.DCs)
+	}
+	if opts.VMs <= 0 {
+		return nil, fmt.Errorf("sim: need at least one VM")
+	}
+	if opts.PMsPerDC <= 0 {
+		return nil, fmt.Errorf("sim: need at least one PM per DC")
+	}
+	if opts.LoadScale <= 0 {
+		opts.LoadScale = 1
+	}
+	top := network.PaperTopology()
+	var pms []model.PMSpec
+	id := 0
+	for dc := 0; dc < opts.DCs; dc++ {
+		for k := 0; k < opts.PMsPerDC; k++ {
+			pms = append(pms, model.PMSpec{
+				ID: model.PMID(id), DC: model.DCID(dc),
+				Capacity: atomCapacity, Cores: 4,
+			})
+			id++
+		}
+	}
+	vms := DefaultVMSpecs(opts.VMs, opts.DCs)
+	if opts.AllHomesAt != nil {
+		for i := range vms {
+			vms[i].HomeDC = *opts.AllHomesAt
+		}
+	}
+	inv, err := cluster.NewInventory(pms, vms)
+	if err != nil {
+		return nil, err
+	}
+	scale := make(map[model.VMID][]float64, len(vms))
+	for _, vm := range vms {
+		row := make([]float64, 4)
+		for i := range row {
+			row[i] = opts.LoadScale
+		}
+		scale[vm.ID] = row
+	}
+	cfg := trace.Config{
+		Seed:      opts.Seed,
+		Sources:   4,
+		VMs:       vms,
+		TZOffsetH: trace.PaperTZOffsets(),
+		Scale:     scale,
+		NoiseSD:   opts.NoiseSD,
+		HomeBias:  opts.HomeBias,
+	}
+	if opts.UniformClass != nil {
+		cfg.ClassOf = make(map[model.VMID]trace.ServiceClass, len(vms))
+		for _, vm := range vms {
+			cfg.ClassOf[vm.ID] = *opts.UniformClass
+		}
+	}
+	if opts.FlashCrowd {
+		// The paper's crowd hits in minutes 70-90 and "clearly exceeds the
+		// capacity of the system".
+		for _, vm := range vms {
+			cfg.Crowds = append(cfg.Crowds, trace.FlashCrowd{
+				StartTick: 70, EndTick: 90, Magnitude: 6,
+				Source: model.LocationID(int(vm.HomeDC)), VM: vm.ID,
+			})
+		}
+	}
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	world, err := NewWorld(Config{
+		Inventory: inv,
+		Topology:  top,
+		Generator: gen,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{World: world, Inventory: inv, Topology: top, Generator: gen, VMs: vms}, nil
+}
+
+// HomePlacement returns the placement that pins every VM to the first PM of
+// its home DC — the static baseline of Figure 7 / Table III.
+func (s *Scenario) HomePlacement() model.Placement {
+	p := make(model.Placement, len(s.VMs))
+	for _, vm := range s.VMs {
+		pms := s.Inventory.PMsOfDC(vm.HomeDC)
+		if len(pms) == 0 {
+			p[vm.ID] = model.NoPM
+			continue
+		}
+		p[vm.ID] = pms[int(vm.ID)%len(pms)]
+	}
+	return p
+}

@@ -1,0 +1,134 @@
+package sla
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestWeightedFulfilment(t *testing.T) {
+	terms := model.SLATerms{RT0: 0.1, Alpha: 10}
+	loads := model.LoadVector{{RPS: 10}, {RPS: 30}}
+	// Source 0 at full SLA, source 1 at zero.
+	got := WeightedFulfilment(terms, []float64{0.05, 5.0}, loads)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("WeightedFulfilment = %v, want 0.25", got)
+	}
+}
+
+func TestWeightedFulfilmentNoLoad(t *testing.T) {
+	terms := model.DefaultSLATerms
+	if got := WeightedFulfilment(terms, nil, model.LoadVector{{}, {}}); got != 1 {
+		t.Fatalf("idle VM fulfilment = %v, want 1", got)
+	}
+}
+
+func TestWeightedFulfilmentShortRTSlice(t *testing.T) {
+	terms := model.DefaultSLATerms
+	loads := model.LoadVector{{RPS: 10}, {RPS: 30}}
+	// Only one RT supplied: the second source is ignored, weight falls on
+	// the first.
+	got := WeightedFulfilment(terms, []float64{0.05}, loads)
+	if got != 1 {
+		t.Fatalf("fulfilment = %v", got)
+	}
+}
+
+func TestRevenueClamping(t *testing.T) {
+	if got := Revenue(0.17, 1.5, 1); math.Abs(got-0.17) > 1e-12 {
+		t.Fatalf("Revenue over-fulfilment = %v", got)
+	}
+	if got := Revenue(0.17, -0.5, 1); got != 0 {
+		t.Fatalf("Revenue negative fulfilment = %v", got)
+	}
+	if got := Revenue(0.17, 0.5, 2); math.Abs(got-0.17) > 1e-12 {
+		t.Fatalf("Revenue = %v", got)
+	}
+}
+
+func TestMigrationPenalty(t *testing.T) {
+	if got := MigrationPenalty(0.17, 0.5); math.Abs(got-0.085) > 1e-12 {
+		t.Fatalf("MigrationPenalty = %v", got)
+	}
+	if got := MigrationPenalty(0.17, -1); got != 0 {
+		t.Fatalf("negative downtime penalty = %v", got)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.AddRevenue(1.0)
+	l.AddPenalty(0.2)
+	l.AddEnergy(0.3)
+	l.Tick()
+	l.AddRevenue(0.5)
+	l.Tick()
+	if p := l.Profit(); math.Abs(p-1.0) > 1e-12 {
+		t.Fatalf("Profit = %v", p)
+	}
+	if l.Ticks() != 2 {
+		t.Fatalf("Ticks = %d", l.Ticks())
+	}
+	// 2 ticks at 1/60h each; profit 1.0 over 1/30 h = 30/h.
+	if got := l.AvgProfitPerHour(1.0 / 60); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("AvgProfitPerHour = %v", got)
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	var a, b Ledger
+	a.AddRevenue(1)
+	a.Tick()
+	b.AddEnergy(0.5)
+	b.AddPenalty(0.1)
+	b.Tick()
+	a.Merge(b)
+	if a.Ticks() != 2 {
+		t.Fatalf("merged ticks = %d", a.Ticks())
+	}
+	if math.Abs(a.Profit()-0.4) > 1e-12 {
+		t.Fatalf("merged profit = %v", a.Profit())
+	}
+}
+
+func TestLedgerZeroTicks(t *testing.T) {
+	var l Ledger
+	if l.AvgProfitPerHour(1.0/60) != 0 {
+		t.Fatal("empty ledger avg should be 0")
+	}
+}
+
+func TestInverseFulfilmentRoundTrip(t *testing.T) {
+	terms := model.SLATerms{RT0: 0.1, Alpha: 10}
+	f := func(raw float64) bool {
+		lvl := math.Mod(math.Abs(raw), 1.0)
+		rt := InverseFulfilment(terms, lvl)
+		back := terms.Fulfilment(rt)
+		return math.Abs(back-lvl) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseFulfilmentEdges(t *testing.T) {
+	terms := model.SLATerms{RT0: 0.1, Alpha: 10}
+	if got := InverseFulfilment(terms, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("InverseFulfilment(1) = %v", got)
+	}
+	if got := InverseFulfilment(terms, 0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("InverseFulfilment(0) = %v", got)
+	}
+	if got := InverseFulfilment(terms, 2); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("InverseFulfilment clamps above 1: %v", got)
+	}
+}
+
+func TestFulfilmentForwarding(t *testing.T) {
+	terms := model.DefaultSLATerms
+	if Fulfilment(terms, 0.05) != terms.Fulfilment(0.05) {
+		t.Fatal("Fulfilment does not forward")
+	}
+}

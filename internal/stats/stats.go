@@ -1,0 +1,279 @@
+// Package stats implements the descriptive statistics used to validate the
+// learned models (Table I of the paper: correlation, mean absolute error,
+// error standard deviation, value ranges) and to summarise experiment
+// series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MinMax returns the extrema of xs. It returns (0, 0) for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys, the headline quality figure of Table I. It returns 0 when either
+// series is constant or the lengths differ.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MAE returns the mean absolute error between predictions and truth.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// ErrStdDev returns the standard deviation of the signed errors
+// pred[i]-truth[i], the "Err-StDev" column of Table I.
+func ErrStdDev(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	errs := make([]float64, len(pred))
+	for i := range pred {
+		errs[i] = pred[i] - truth[i]
+	}
+	return StdDev(errs)
+}
+
+// RMSE returns the root mean squared error between predictions and truth.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Welford accumulates count, mean and variance in one pass with constant
+// memory. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a new observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations folded in.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation seen (0 if none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation seen (0 if none).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds another accumulator into w (parallel reduction).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	mean := w.mean + d*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	mn, mx := w.min, w.max
+	if o.min < mn {
+		mn = o.min
+	}
+	if o.max > mx {
+		mx = o.max
+	}
+	*w = Welford{n: n, mean: mean, m2: m2, min: mn, max: mx}
+}
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		w.n, w.Mean(), w.StdDev(), w.min, w.max)
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the
+// range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the share of observations landing in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

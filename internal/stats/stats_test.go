@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v", v)
+	}
+	if sd := StdDev(xs); sd != 2 {
+		t.Fatalf("StdDev = %v", sd)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty-input statistics should be zero")
+	}
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); !almostEq(c, 1, 1e-12) {
+		t.Fatalf("Correlation = %v, want 1", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); !almostEq(c, -1, 1e-12) {
+		t.Fatalf("Correlation = %v, want -1", c)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	if c := Correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); c != 0 {
+		t.Fatalf("constant series correlation = %v", c)
+	}
+	if c := Correlation([]float64{1, 2}, []float64{1}); c != 0 {
+		t.Fatalf("mismatched length correlation = %v", c)
+	}
+}
+
+func TestCorrelationBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		// Keep magnitudes bounded: the estimator itself squares values, so
+		// inputs near MaxFloat64 overflow to +Inf, which is out of scope.
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			xs[i] = math.Mod(x, 1e6)
+			ys[i] = xs[i]*0.5 + float64(i%3)
+		}
+		c := Correlation(xs, ys)
+		return c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAEAndErrStdDev(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{2, 2, 1}
+	if m := MAE(pred, truth); !almostEq(m, 1, 1e-12) {
+		t.Fatalf("MAE = %v", m)
+	}
+	// errors: -1, 0, 2; mean 1/3; var = ((-4/3)^2+(1/3)^2+(5/3)^2)/3 = 14/9
+	if sd := ErrStdDev(pred, truth); !almostEq(sd, math.Sqrt(14.0/9.0), 1e-12) {
+		t.Fatalf("ErrStdDev = %v", sd)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	pred := []float64{0, 0}
+	truth := []float64{3, 4}
+	if r := RMSE(pred, truth); !almostEq(r, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMSE = %v", r)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("MinMax(nil) = %v, %v", lo, hi)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, 2.5, 3.5, -4, 10, 0.25}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("Mean = %v, want %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-12) {
+		t.Fatalf("Variance = %v, want %v", w.Variance(), Variance(xs))
+	}
+	if w.Min() != -4 || w.Max() != 10 {
+		t.Fatalf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	clean := func(xs []float64) []float64 {
+		out := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitudes: Welford squares deviations, so values near
+			// MaxFloat64 overflow in any formulation.
+			out = append(out, math.Mod(x, 1e6))
+		}
+		return out
+	}
+	f := func(ra, rb []float64) bool {
+		a, b := clean(ra), clean(rb)
+		var all Welford
+		for _, x := range a {
+			all.Add(x)
+		}
+		for _, x := range b {
+			all.Add(x)
+		}
+		var wa, wb Welford
+		for _, x := range a {
+			wa.Add(x)
+		}
+		for _, x := range b {
+			wb.Add(x)
+		}
+		wa.Merge(wb)
+		if wa.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return almostEq(wa.Mean(), all.Mean(), 1e-9*scale) &&
+			almostEq(wa.Variance(), all.Variance(), 1e-6*math.Max(1, all.Variance()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// bins: [0,2): -1,0,1.9 -> 3 ; [2,4): 2 ; [4,6): 5 ; [8,10): 9.99,10,42 -> 3
+	want := []int{3, 1, 1, 0, 3}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if !almostEq(h.Fraction(0), 3.0/8.0, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid bounds and bins get repaired
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Fatal("degenerate histogram unusable")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum([]float64{1, 2, 3.5}) != 6.5 {
+		t.Fatal("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) wrong")
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestReplayRoundTripsGenerator(t *testing.T) {
+	g, err := NewGenerator(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const ticks = 50
+	if err := ExportCSV(&buf, g, ticks); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks() != ticks {
+		t.Fatalf("Ticks = %d, want %d", rep.Ticks(), ticks)
+	}
+	for _, tick := range []int{0, 7, 49} {
+		want := g.Loads(tick)
+		got := rep.Loads(tick)
+		for vm, wlv := range want {
+			glv := got[vm]
+			if glv == nil {
+				t.Fatalf("tick %d vm %v missing from replay", tick, vm)
+			}
+			for src := range wlv {
+				// Zero-RPS streams are dropped at export; others must match
+				// to formatting precision.
+				if wlv[src].RPS <= 0 {
+					continue
+				}
+				if math.Abs(glv[src].RPS-wlv[src].RPS) > 1e-9 {
+					t.Fatalf("tick %d vm %v src %d rps %v != %v",
+						tick, vm, src, glv[src].RPS, wlv[src].RPS)
+				}
+				if math.Abs(glv[src].CPUTimeReq-wlv[src].CPUTimeReq) > 1e-12 {
+					t.Fatalf("cpuTime mismatch at tick %d", tick)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayWrapsAround(t *testing.T) {
+	csv := "tick,vm,source,rps,bytesIn,bytesOut,cpuTime\n" +
+		"0,0,0,10,100,200,0.01\n" +
+		"1,0,0,20,100,200,0.01\n"
+	rep, err := NewReplay(strings.NewReader(csv), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Loads(0)[0][0].RPS; got != 10 {
+		t.Fatalf("tick 0 rps = %v", got)
+	}
+	if got := rep.Loads(3)[0][0].RPS; got != 20 {
+		t.Fatalf("tick 3 should wrap to tick 1: rps = %v", got)
+	}
+	if got := rep.Loads(-1)[0][0].RPS; got != 20 {
+		t.Fatalf("negative tick should wrap: rps = %v", got)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad tick":   "x,0,0,1,1,1,0.1\n",
+		"bad source": "0,0,9,1,1,1,0.1\n",
+		"bad value":  "0,0,0,-1,1,1,0.1\n",
+		"bad vm":     "0,zz,0,1,1,1,0.1\n",
+	}
+	for name, csv := range cases {
+		if _, err := NewReplay(strings.NewReader(csv), 2); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := NewReplay(strings.NewReader("0,0,0,1,1,1,0.1\n"), 0); err == nil {
+		t.Error("accepted zero sources")
+	}
+}
+
+func TestReplayLoadsAreCopies(t *testing.T) {
+	csv := "0,0,0,10,100,200,0.01\n"
+	rep, err := NewReplay(strings.NewReader(csv), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Loads(0)
+	a[0][0] = model.Load{RPS: 999}
+	b := rep.Loads(0)
+	if b[0][0].RPS != 10 {
+		t.Fatal("replay returned aliased storage")
+	}
+}

@@ -1,0 +1,305 @@
+// Package trace synthesises the Li-BCN 2010-like workload the paper drives
+// its experiments with. The original traces (requests to real hosted
+// web-sites: file hosting, image galleries, dynamic sites) are not public,
+// so the generator reproduces the statistical features the scheduler reacts
+// to:
+//
+//   - strong diurnal request-rate curves, phase-shifted per client region's
+//     timezone (the "simulating the effect of different time zones" of
+//     Section V-C);
+//   - per-service request mixes: heavy-tailed reply sizes for file hosting,
+//     CPU-heavy requests for dynamic sites;
+//   - multiplicative noise and bursts;
+//   - an optional flash-crowd, as in Figure 6 where minutes 70-90 carry a
+//     crowd that "clearly exceeds the capacity of the system";
+//   - per-(VM, source) scaling so each of the four workloads can be scaled
+//     differently, as the paper does.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// ServiceClass captures the per-request characteristics of a hosted
+// web-service type.
+type ServiceClass struct {
+	Name string
+	// CPUTimeReq is the mean no-stress CPU seconds per request.
+	CPUTimeReq float64
+	// BytesInReq is the mean request payload in bytes.
+	BytesInReq float64
+	// BytesOutReq is the mean reply payload in bytes.
+	BytesOutReq float64
+	// OutTailAlpha shapes the Pareto tail of reply sizes (smaller = heavier).
+	OutTailAlpha float64
+	// BaseRPS is the reference request rate at the diurnal peak before any
+	// scaling.
+	BaseRPS float64
+}
+
+// The three service classes of the Li-BCN collection ("from file hosting to
+// image-gallery services"), plus a dynamic application profile.
+var (
+	FileHosting = ServiceClass{
+		Name:         "file-hosting",
+		CPUTimeReq:   0.004,
+		BytesInReq:   400,
+		BytesOutReq:  90_000,
+		OutTailAlpha: 1.3,
+		BaseRPS:      28,
+	}
+	ImageGallery = ServiceClass{
+		Name:         "image-gallery",
+		CPUTimeReq:   0.009,
+		BytesInReq:   500,
+		BytesOutReq:  38_000,
+		OutTailAlpha: 1.7,
+		BaseRPS:      36,
+	}
+	DynamicWeb = ServiceClass{
+		Name:         "dynamic-web",
+		CPUTimeReq:   0.022,
+		BytesInReq:   900,
+		BytesOutReq:  9_000,
+		OutTailAlpha: 2.2,
+		BaseRPS:      42,
+	}
+)
+
+// Classes lists the built-in service classes.
+func Classes() []ServiceClass {
+	return []ServiceClass{FileHosting, ImageGallery, DynamicWeb}
+}
+
+// ClassByIndex returns one of the built-in classes, cycling.
+func ClassByIndex(i int) ServiceClass {
+	cs := Classes()
+	return cs[((i%len(cs))+len(cs))%len(cs)]
+}
+
+// FlashCrowd describes a load spike injected on top of the diurnal curve.
+type FlashCrowd struct {
+	StartTick int     // first tick of the crowd
+	EndTick   int     // first tick after the crowd
+	Magnitude float64 // multiplier on the affected source's request rate
+	Source    model.LocationID
+	VM        model.VMID
+}
+
+// Config parameterises a Generator.
+type Config struct {
+	Seed    uint64
+	Sources int // number of client locations
+	VMs     []model.VMSpec
+	ClassOf map[model.VMID]ServiceClass
+	// TZOffsetH[loc] shifts that location's diurnal peak, in hours.
+	TZOffsetH []float64
+	// Scale[vm][loc] multiplies the request rate of that stream; the paper
+	// scales "each of the four workloads differently". A nil map means 1.0.
+	Scale map[model.VMID][]float64
+	// HomeBias is the share of a VM's load originating from its home
+	// location at equal diurnal phase (the rest spreads over other sources).
+	HomeBias float64
+	// NoiseSD is the per-tick multiplicative log-normal noise sigma.
+	NoiseSD float64
+	// Crowds are optional flash-crowd injections.
+	Crowds []FlashCrowd
+	// DiurnalFloor is the night-to-peak ratio (0.15 means nights run at 15%
+	// of the peak rate).
+	DiurnalFloor float64
+}
+
+// Generator produces per-tick load vectors for every VM.
+type Generator struct {
+	cfg     Config
+	streams map[model.VMID]*rng.Stream
+}
+
+// NewGenerator validates the configuration and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Sources <= 0 {
+		return nil, fmt.Errorf("trace: Sources must be positive, got %d", cfg.Sources)
+	}
+	if len(cfg.VMs) == 0 {
+		return nil, fmt.Errorf("trace: need at least one VM")
+	}
+	if len(cfg.TZOffsetH) != 0 && len(cfg.TZOffsetH) != cfg.Sources {
+		return nil, fmt.Errorf("trace: TZOffsetH has %d entries, want %d", len(cfg.TZOffsetH), cfg.Sources)
+	}
+	if cfg.HomeBias < 0 || cfg.HomeBias > 1 {
+		return nil, fmt.Errorf("trace: HomeBias %v outside [0,1]", cfg.HomeBias)
+	}
+	if cfg.DiurnalFloor <= 0 {
+		cfg.DiurnalFloor = 0.15
+	}
+	if cfg.HomeBias == 0 {
+		cfg.HomeBias = 0.6
+	}
+	if cfg.ClassOf == nil {
+		cfg.ClassOf = map[model.VMID]ServiceClass{}
+	}
+	for i, vm := range cfg.VMs {
+		if _, ok := cfg.ClassOf[vm.ID]; !ok {
+			cfg.ClassOf[vm.ID] = ClassByIndex(i)
+		}
+	}
+	g := &Generator{cfg: cfg, streams: make(map[model.VMID]*rng.Stream, len(cfg.VMs))}
+	for _, vm := range cfg.VMs {
+		g.streams[vm.ID] = rng.NewNamed(cfg.Seed, "trace/"+vm.Name+vm.ID.String())
+	}
+	return g, nil
+}
+
+// Sources returns the number of client locations.
+func (g *Generator) Sources() int { return g.cfg.Sources }
+
+// Class returns the service class of a VM.
+func (g *Generator) Class(vm model.VMID) ServiceClass { return g.cfg.ClassOf[vm] }
+
+// diurnal returns the smooth day curve in [floor, 1] for a local hour.
+// Peak at 15:00 local time, trough around 03:00, as in web-hosting traces.
+func diurnal(localHour, floor float64) float64 {
+	phase := (localHour - 15) / 24 * 2 * math.Pi
+	base := (math.Cos(phase) + 1) / 2 // 1 at 15:00, 0 at 03:00
+	// Sharpen the peak slightly: real traces have a flatter night.
+	base = math.Pow(base, 1.3)
+	return floor + (1-floor)*base
+}
+
+// Loads returns the load vector of every VM at the given tick. The result
+// is deterministic in (seed, tick): calling Loads twice for the same tick
+// yields identical vectors, which the simulator relies on.
+func (g *Generator) Loads(tick int) map[model.VMID]model.LoadVector {
+	out := make(map[model.VMID]model.LoadVector, len(g.cfg.VMs))
+	for _, vm := range g.cfg.VMs {
+		out[vm.ID] = g.loadsFor(vm, tick)
+	}
+	return out
+}
+
+// LoadsFor returns one VM's load vector at the given tick.
+func (g *Generator) LoadsFor(id model.VMID, tick int) model.LoadVector {
+	for _, vm := range g.cfg.VMs {
+		if vm.ID == id {
+			return g.loadsFor(vm, tick)
+		}
+	}
+	return make(model.LoadVector, g.cfg.Sources)
+}
+
+func (g *Generator) loadsFor(vm model.VMSpec, tick int) model.LoadVector {
+	class := g.cfg.ClassOf[vm.ID]
+	// Deterministic per-(vm, tick) stream: noise does not depend on how many
+	// times or in what order ticks are queried.
+	s := rng.NewNamed(g.cfg.Seed, fmt.Sprintf("trace/%s/%d", vm.ID, tick))
+	lv := make(model.LoadVector, g.cfg.Sources)
+	hourUTC := float64(tick) / float64(model.TicksPerHour)
+	for loc := 0; loc < g.cfg.Sources; loc++ {
+		tz := 0.0
+		if len(g.cfg.TZOffsetH) > 0 {
+			tz = g.cfg.TZOffsetH[loc]
+		}
+		localHour := math.Mod(hourUTC+tz+240, 24) // +240 keeps Mod positive
+		day := diurnal(localHour, g.cfg.DiurnalFloor)
+		share := g.sourceShare(vm, model.LocationID(loc))
+		rate := class.BaseRPS * day * share
+		rate *= g.scale(vm.ID, loc)
+		if g.cfg.NoiseSD > 0 {
+			rate *= s.LogNormal(-g.cfg.NoiseSD*g.cfg.NoiseSD/2, g.cfg.NoiseSD)
+		}
+		rate += g.crowdBoost(vm.ID, model.LocationID(loc), tick, class.BaseRPS)
+		if rate < 0 {
+			rate = 0
+		}
+		// Reply sizes: mean of a bounded Pareto re-sampled per tick to give
+		// the monitors realistic variation without per-request simulation.
+		out := class.BytesOutReq
+		if class.OutTailAlpha > 0 {
+			out = 0.7*class.BytesOutReq + 0.3*s.Pareto(class.BytesOutReq*0.4, class.OutTailAlpha)
+			if out > class.BytesOutReq*20 {
+				out = class.BytesOutReq * 20
+			}
+		}
+		cpuReq := class.CPUTimeReq * s.LogNormal(-0.02, 0.2)
+		lv[loc] = model.Load{
+			RPS:        rate,
+			BytesInReq: class.BytesInReq * s.LogNormal(-0.005, 0.1),
+			BytesOutRq: out,
+			CPUTimeReq: cpuReq,
+		}
+	}
+	return lv
+}
+
+// sourceShare distributes a VM's clients: HomeBias at the home location,
+// the remainder uniform across the others.
+func (g *Generator) sourceShare(vm model.VMSpec, loc model.LocationID) float64 {
+	n := g.cfg.Sources
+	if n == 1 {
+		return 1
+	}
+	home := model.LocationID(int(vm.HomeDC) % n)
+	if loc == home {
+		return g.cfg.HomeBias
+	}
+	return (1 - g.cfg.HomeBias) / float64(n-1)
+}
+
+func (g *Generator) scale(vm model.VMID, loc int) float64 {
+	if g.cfg.Scale == nil {
+		return 1
+	}
+	row, ok := g.cfg.Scale[vm]
+	if !ok || loc >= len(row) {
+		return 1
+	}
+	return row[loc]
+}
+
+func (g *Generator) crowdBoost(vm model.VMID, loc model.LocationID, tick int, baseRPS float64) float64 {
+	for _, c := range g.cfg.Crowds {
+		if c.VM != vm || c.Source != loc {
+			continue
+		}
+		if tick < c.StartTick || tick >= c.EndTick {
+			continue
+		}
+		// Ramp up over the first quarter, plateau, ramp down over the last.
+		span := float64(c.EndTick - c.StartTick)
+		pos := float64(tick-c.StartTick) / span
+		env := 1.0
+		if pos < 0.25 {
+			env = pos / 0.25
+		} else if pos > 0.75 {
+			env = (1 - pos) / 0.25
+		}
+		return baseRPS * c.Magnitude * env
+	}
+	return 0
+}
+
+// RotatingConfig builds a configuration where a single VM's dominant load
+// source rotates across the locations over the day — the Figure 5 scenario
+// where the VM should "follow the load" around the world. Each location
+// peaks during its local afternoon, and the VM's client base is spread
+// evenly, so the dominant source is whichever region is awake.
+func RotatingConfig(seed uint64, vm model.VMSpec, sources int, tzOffsets []float64) Config {
+	return Config{
+		Seed:         seed,
+		Sources:      sources,
+		VMs:          []model.VMSpec{vm},
+		TZOffsetH:    tzOffsets,
+		HomeBias:     1.0 / float64(sources), // even spread: pure rotation
+		NoiseSD:      0.05,
+		DiurnalFloor: 0.05,
+	}
+}
+
+// PaperTZOffsets returns the approximate timezone offsets (hours from UTC)
+// of the paper's four locations: Brisbane +10, Bangaluru +5.5, Barcelona +1,
+// Boston -5.
+func PaperTZOffsets() []float64 { return []float64{10, 5.5, 1, -5} }
