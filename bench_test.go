@@ -13,8 +13,8 @@ import (
 	"repro/internal/power"
 	"repro/internal/predict"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // benchSeed keeps every benchmark on the same deterministic world.
@@ -217,10 +217,12 @@ func BenchmarkLinearTrain(b *testing.B) {
 	}
 }
 
-// BenchmarkSimStep measures one world tick of the standard 4-DC scenario.
+// BenchmarkSimStep measures one world tick of the standard 4-DC scenario
+// through the map-shaped World adapter.
 func BenchmarkSimStep(b *testing.B) {
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: benchSeed, VMs: 5, PMsPerDC: 2, DCs: 4, LoadScale: 1.5,
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "bench", Seed: benchSeed,
+		DCs: 4, PMsPerDC: 2, VMs: 5, LoadScale: 1.5,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -231,6 +233,38 @@ func BenchmarkSimStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.World.Step()
+	}
+}
+
+// BenchmarkEngineTick measures the allocation-free engine tick directly,
+// on a small (paper-sized) and a large (production-sized) fleet.
+func BenchmarkEngineTick(b *testing.B) {
+	for _, size := range []struct {
+		name               string
+		vms, pmsPerDC, dcs int
+	}{
+		{"small-5vm-8pm", 5, 2, 4},
+		{"large-200vm-80pm", 200, 20, 4},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			sc, err := scenario.Build(scenario.Spec{
+				Name: "bench-engine", Seed: benchSeed,
+				DCs: size.dcs, PMsPerDC: size.pmsPerDC, VMs: size.vms,
+				LoadScale: 1.5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+				b.Fatal(err)
+			}
+			eng := sc.World.Engine
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
 	}
 }
 
@@ -257,17 +291,25 @@ func BenchmarkBestFitRound(b *testing.B) {
 }
 
 // BenchmarkWorkloadGeneration measures trace synthesis for a full fleet
-// tick.
+// tick through the dense Fill contract.
 func BenchmarkWorkloadGeneration(b *testing.B) {
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: benchSeed, VMs: 10, PMsPerDC: 2, DCs: 4,
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "bench-trace", Seed: benchSeed,
+		DCs: 4, PMsPerDC: 2, VMs: 10,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	ids := make([]model.VMID, len(sc.VMs))
+	dst := make([]model.LoadVector, len(sc.VMs))
+	for i, vm := range sc.VMs {
+		ids[i] = vm.ID
+		dst[i] = make(model.LoadVector, 4)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sc.Generator.Loads(i % model.TicksPerDay)
+		sc.Generator.Fill(i%model.TicksPerDay, ids, dst)
 	}
 }
 

@@ -1,11 +1,16 @@
 // Command mdcsim runs the reproduction's experiments — one per table or
-// figure of the paper — and prints their tables and terminal charts.
+// figure of the paper — and prints their tables and terminal charts. It
+// can also drive any named scenario preset under a managed scheduler,
+// which is how new what-if fleets (heterogeneous hosts, price spikes) are
+// explored without writing an experiment.
 //
 // Usage:
 //
 //	mdcsim -list
 //	mdcsim -seed 42 table1 fig4 fig7
 //	mdcsim all
+//	mdcsim -scenarios
+//	mdcsim -scenario hetero-fleet -ticks 720
 package main
 
 import (
@@ -14,23 +19,44 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 42, "root seed for all stochastic components")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	listScenarios := flag.Bool("scenarios", false, "list scenario presets and exit")
+	scenarioName := flag.String("scenario", "", "run a scenario preset under a managed Best-Fit instead of an experiment")
+	ticks := flag.Int("ticks", 24*60, "managed run length in ticks (with -scenario)")
 	flag.Parse()
 
-	if *list {
+	switch {
+	case *list:
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
 		return
+	case *listScenarios:
+		for _, name := range scenario.Names() {
+			fmt.Println(name)
+		}
+		return
+	case *scenarioName != "":
+		if err := runScenario(*scenarioName, *seed, *ticks); err != nil {
+			fmt.Fprintf(os.Stderr, "mdcsim: %s: %v\n", *scenarioName, err)
+			os.Exit(1)
+		}
+		return
 	}
+
 	names := flag.Args()
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mdcsim [-seed N] <experiment>... | all | -list")
+		fmt.Fprintln(os.Stderr, "usage: mdcsim [-seed N] <experiment>... | all | -list | -scenarios | -scenario NAME")
 		os.Exit(2)
 	}
 	if len(names) == 1 && names[0] == "all" {
@@ -46,4 +72,53 @@ func main() {
 		fmt.Print(res.Render())
 		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runScenario drives one preset under the overbooked Best-Fit manager and
+// prints an hourly summary plus the closing ledger.
+func runScenario(name string, seed uint64, ticks int) error {
+	if ticks <= 0 {
+		return fmt.Errorf("-ticks must be positive, got %d", ticks)
+	}
+	spec, err := scenario.Preset(name, seed)
+	if err != nil {
+		return err
+	}
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		return err
+	}
+	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	mgr, err := core.NewManager(core.ManagerConfig{
+		World:      sc.World,
+		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
+		RoundTicks: 10,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: %d DCs, %d PMs, %d VMs, %d ticks\n",
+		name, sc.Inventory.NumDCs(), sc.Inventory.NumPMs(), len(sc.VMs), ticks)
+	fmt.Println("tick  SLA    min    watts    PMs  migs  profit€")
+	var sumSLA, sumW float64
+	err = mgr.Run(ticks, func(st sim.TickStats) {
+		sumSLA += st.AvgSLA
+		sumW += st.FacilityWatts
+		if st.Tick%60 == 0 {
+			fmt.Printf("%4d  %.3f  %.3f  %7.1f  %3d  %4d  %7.3f\n",
+				st.Tick, st.AvgSLA, st.MinSLA, st.FacilityWatts, st.ActivePMs,
+				sc.World.TotalMigrations(), st.ProfitEUR)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	l := sc.World.Ledger()
+	fmt.Printf("\nsummary: avg SLA %.4f | avg %.1f W | revenue %.3f€ energy %.3f€ penalties %.3f€ profit %.3f€ | %d migrations\n",
+		sumSLA/float64(ticks), sumW/float64(ticks),
+		l.Revenue(), l.EnergyCost(), l.Penalties(), l.Profit(), sc.World.TotalMigrations())
+	return nil
 }

@@ -14,28 +14,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 func main() {
 	const seed = 5
-	vm := sim.DefaultVMSpecs(1, 4)[0]
-	gen, err := trace.NewGenerator(trace.RotatingConfig(seed, vm, 4, trace.PaperTZOffsets()))
+	// The follow-load preset: one VM, four single-host DCs, a client base
+	// rotating with the daylight.
+	sc, err := scenario.Build(scenario.MustPreset(scenario.FollowLoad, seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc, err := sim.NewScenario(sim.ScenarioOpts{Seed: seed, VMs: 1, PMsPerDC: 1, DCs: 4})
-	if err != nil {
-		log.Fatal(err)
-	}
-	world, err := sim.NewWorld(sim.Config{
-		Inventory: sc.Inventory, Topology: sc.Topology, Generator: gen, Seed: seed,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	world := sc.World
 
 	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
 	cost.LatencyOnly = true // pure follow-the-load, as in Figure 5

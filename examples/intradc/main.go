@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/power"
 	"repro/internal/predict"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -33,18 +34,11 @@ func main() {
 	}
 
 	run := func(name string, est sched.Estimator) {
-		sc, err := sim.NewScenario(sim.ScenarioOpts{
-			Seed: seed, VMs: 5, PMsPerDC: 4, DCs: 1,
-			LoadScale: 2.4, NoiseSD: 0.25, HomeBias: 0.97,
-		})
+		sc, err := scenario.Build(scenario.MustPreset(scenario.IntraDC, seed))
 		if err != nil {
 			log.Fatal(err)
 		}
-		pile := model.Placement{}
-		for _, vm := range sc.VMs {
-			pile[vm.ID] = 0
-		}
-		if err := sc.World.PlaceInitial(pile); err != nil {
+		if err := sc.World.PlaceInitial(sc.PileOn(0)); err != nil {
 			log.Fatal(err)
 		}
 		cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)

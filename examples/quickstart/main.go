@@ -13,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/power"
 	"repro/internal/predict"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -21,11 +22,11 @@ func main() {
 	const seed = 7
 
 	// 1. A multi-DC world: Brisbane, Bangaluru, Barcelona, Boston (Table II
-	//    prices and latencies), one Atom host per DC, five web-services.
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: seed, VMs: 5, PMsPerDC: 1, DCs: 4, LoadScale: 1.2,
-		NoiseSD: 0.2, HomeBias: 0.5,
-	})
+	//    prices and latencies), one Atom host per DC, five web-services —
+	//    the multi-dc preset, slightly hotter.
+	spec := scenario.MustPreset(scenario.MultiDC, seed)
+	spec.LoadScale = 1.2
+	sc, err := scenario.Build(spec)
 	if err != nil {
 		log.Fatal(err)
 	}

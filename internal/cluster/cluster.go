@@ -83,6 +83,30 @@ func (inv *Inventory) VM(id model.VMID) (model.VMSpec, bool) {
 // NumDCs returns the number of distinct datacenters (max DC index + 1).
 func (inv *Inventory) NumDCs() int { return inv.numDCs }
 
+// NumPMs returns the number of physical machines.
+func (inv *Inventory) NumPMs() int { return len(inv.pms) }
+
+// NumVMs returns the number of virtual machines.
+func (inv *Inventory) NumVMs() int { return len(inv.vms) }
+
+// PMIndex returns the dense index of a PM (its position in PMs()).
+func (inv *Inventory) PMIndex(id model.PMID) (int, bool) {
+	i, ok := inv.pmByID[id]
+	return i, ok
+}
+
+// VMIndex returns the dense index of a VM (its position in VMs()).
+func (inv *Inventory) VMIndex(id model.VMID) (int, bool) {
+	i, ok := inv.vmByID[id]
+	return i, ok
+}
+
+// PMAt returns the PM spec at a dense index.
+func (inv *Inventory) PMAt(i int) model.PMSpec { return inv.pms[i] }
+
+// VMAt returns the VM spec at a dense index.
+func (inv *Inventory) VMAt(i int) model.VMSpec { return inv.vms[i] }
+
 // PMsOfDC returns the PMs of one datacenter, in stable order.
 func (inv *Inventory) PMsOfDC(dc model.DCID) []model.PMID {
 	return inv.pmsOfDC[dc]
@@ -234,6 +258,16 @@ func shareFactor(demand, capacity float64) float64 {
 		return 1
 	}
 	return capacity / demand
+}
+
+// ShareFactors returns the per-dimension proportional-sharing factors of
+// fOccupation for a total demand against a capacity: 1 while the demand
+// fits, capacity/demand once it oversubscribes. It is the allocation-free
+// core of Occupation for callers that keep requirements in dense slices.
+func ShareFactors(capacity, demand model.Resources) (cpu, mem, bw float64) {
+	return shareFactor(demand.CPUPct, capacity.CPUPct),
+		shareFactor(demand.MemMB, capacity.MemMB),
+		shareFactor(demand.BWMbps, capacity.BWMbps)
 }
 
 // FreeCapacity returns how much of a PM's capacity remains after granting

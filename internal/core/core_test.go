@@ -5,23 +5,27 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
-func scenario(t *testing.T, opts sim.ScenarioOpts) *sim.Scenario {
+func testScenario(t *testing.T, spec scenario.Spec) *scenario.Scenario {
 	t.Helper()
-	if opts.Seed == 0 {
-		opts.Seed = 42
+	if spec.Seed == 0 {
+		spec.Seed = 42
 	}
-	sc, err := sim.NewScenario(opts)
+	if spec.Name == "" {
+		spec.Name = "core-test"
+	}
+	sc, err := scenario.Build(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return sc
 }
 
-func costFor(sc *sim.Scenario) sched.CostModel {
+func costFor(sc *scenario.Scenario) sched.CostModel {
 	return sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
 }
 
@@ -29,14 +33,14 @@ func TestNewManagerValidation(t *testing.T) {
 	if _, err := NewManager(ManagerConfig{}); err == nil {
 		t.Fatal("accepted empty config")
 	}
-	sc := scenario(t, sim.ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
+	sc := testScenario(t, scenario.Spec{VMs: 1, PMsPerDC: 1, DCs: 1})
 	if _, err := NewManager(ManagerConfig{World: sc.World}); err == nil {
 		t.Fatal("accepted nil scheduler")
 	}
 }
 
 func TestManagerRunsRounds(t *testing.T) {
-	sc := scenario(t, sim.ScenarioOpts{VMs: 3, PMsPerDC: 2, DCs: 2})
+	sc := testScenario(t, scenario.Spec{VMs: 3, PMsPerDC: 2, DCs: 2})
 	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +72,7 @@ func TestManagerRunsRounds(t *testing.T) {
 }
 
 func TestManagerMovableFilter(t *testing.T) {
-	sc := scenario(t, sim.ScenarioOpts{VMs: 3, PMsPerDC: 1, DCs: 2})
+	sc := testScenario(t, scenario.Spec{VMs: 3, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +97,7 @@ func TestManagerMovableFilter(t *testing.T) {
 }
 
 func TestBuildProblemCarriesMonitoredState(t *testing.T) {
-	sc := scenario(t, sim.ScenarioOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
+	sc := testScenario(t, scenario.Spec{VMs: 2, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +124,7 @@ func TestBuildProblemCarriesMonitoredState(t *testing.T) {
 }
 
 func TestHierarchicalProducesValidPlacement(t *testing.T) {
-	sc := scenario(t, sim.ScenarioOpts{VMs: 5, PMsPerDC: 2, DCs: 4})
+	sc := testScenario(t, scenario.Spec{VMs: 5, PMsPerDC: 2, DCs: 4})
 	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +150,7 @@ func TestHierarchicalProducesValidPlacement(t *testing.T) {
 }
 
 func TestHierarchicalHandlesHomelessVMs(t *testing.T) {
-	sc := scenario(t, sim.ScenarioOpts{VMs: 3, PMsPerDC: 1, DCs: 2})
+	sc := testScenario(t, scenario.Spec{VMs: 3, PMsPerDC: 1, DCs: 2})
 	// No initial placement: every VM is homeless and must enter via the
 	// global round.
 	sc.World.Run(3, nil)
@@ -173,8 +177,8 @@ func TestHierarchicalRequiresInventory(t *testing.T) {
 func TestManagedRunBeatsUnmanagedOverload(t *testing.T) {
 	// All VMs dumped on one host vs a managed fleet that can spread them:
 	// management must deliver better SLA.
-	build := func() (*sim.Scenario, model.Placement) {
-		sc := scenario(t, sim.ScenarioOpts{VMs: 5, PMsPerDC: 2, DCs: 2, LoadScale: 2, Seed: 7})
+	build := func() (*scenario.Scenario, model.Placement) {
+		sc := testScenario(t, scenario.Spec{VMs: 5, PMsPerDC: 2, DCs: 2, LoadScale: 2, Seed: 7})
 		pile := model.Placement{}
 		for _, vm := range sc.VMs {
 			pile[vm.ID] = 0

@@ -4,14 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // TestManagerSurvivesHostFailure injects a PM crash mid-run and checks the
 // MAPE loop reschedules the victims onto surviving hosts within one round.
 func TestManagerSurvivesHostFailure(t *testing.T) {
-	sc := scenario(t, sim.ScenarioOpts{VMs: 3, PMsPerDC: 1, DCs: 3, Seed: 13})
+	sc := testScenario(t, scenario.Spec{VMs: 3, PMsPerDC: 1, DCs: 3, Seed: 13})
 	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
 		t.Fatal(err)
 	}

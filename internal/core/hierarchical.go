@@ -49,14 +49,19 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 		return nil, fmt.Errorf("core: Hierarchical.Inv is nil")
 	}
 	nDC := h.Inv.NumDCs()
-	hostsByDC := make(map[model.DCID][]sched.HostInfo)
+	// Dense per-DC buckets: DC IDs are already a compact index space.
+	// Hosts outside the inventory's DC range are skipped, matching the
+	// old map behaviour where such buckets were never read.
+	hostsByDC := make([][]sched.HostInfo, nDC)
 	for _, host := range p.Hosts {
-		hostsByDC[host.Spec.DC] = append(hostsByDC[host.Spec.DC], host)
+		if dc := host.Spec.DC; dc >= 0 && int(dc) < nDC {
+			hostsByDC[dc] = append(hostsByDC[dc], host)
+		}
 	}
-	vmsByDC := make(map[model.DCID][]sched.VMInfo)
+	vmsByDC := make([][]sched.VMInfo, nDC)
 	var homeless []sched.VMInfo // entering VMs go straight to the global round
 	for _, vm := range p.VMs {
-		if vm.CurrentDC < 0 {
+		if vm.CurrentDC < 0 || int(vm.CurrentDC) >= nDC {
 			homeless = append(homeless, vm)
 			continue
 		}
@@ -90,8 +95,9 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 			return localResult{err: err}
 		}
 		var exports []sched.VMInfo
-		for _, vm := range local.VMs {
-			if slas[vm.Spec.ID] < h.ExportSLA {
+		for k := range local.VMs {
+			if slas[k] < h.ExportSLA {
+				vm := local.VMs[k]
 				// The export carries its local assignment as Current so the
 				// global round's hysteresis can keep it home: without a
 				// "stay" option, a strained DC's exports would all cram onto
@@ -144,51 +150,58 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 }
 
 // estimateSLAs scores every VM's fulfilment under a local placement using
-// proportional occupation, the same arithmetic the simulator applies.
-func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement) (map[model.VMID]float64, error) {
-	req := make(map[model.VMID]model.Resources, len(p.VMs))
-	byHost := make(map[model.PMID]map[model.VMID]model.Resources)
-	infoByID := make(map[model.VMID]*sched.VMInfo, len(p.VMs))
-	for i := range p.VMs {
-		vm := &p.VMs[i]
-		infoByID[vm.Spec.ID] = vm
-		req[vm.Spec.ID] = h.Est.Required(vm)
+// proportional occupation, the same arithmetic the simulator applies. The
+// result is indexed by the VM's position in p.VMs; unplaced VMs (and VMs
+// on hosts outside p.Hosts) score zero.
+func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement) ([]float64, error) {
+	req := make([]model.Resources, len(p.VMs))
+	hostPos := make(map[model.PMID]int, len(p.Hosts))
+	for j := range p.Hosts {
+		hostPos[p.Hosts[j].Spec.ID] = j
+	}
+	members := make([][]int, len(p.Hosts)) // host position -> VM positions
+	for k := range p.VMs {
+		vm := &p.VMs[k]
+		req[k] = h.Est.Required(vm)
 		pm, ok := placement[vm.Spec.ID]
 		if !ok || pm == model.NoPM {
 			continue
 		}
-		if byHost[pm] == nil {
-			byHost[pm] = make(map[model.VMID]model.Resources)
+		if j, ok := hostPos[pm]; ok {
+			members[j] = append(members[j], k)
 		}
-		byHost[pm][vm.Spec.ID] = req[vm.Spec.ID]
 	}
-	capOf := make(map[model.PMID]model.Resources, len(p.Hosts))
-	dcOf := make(map[model.PMID]model.DCID, len(p.Hosts))
-	for _, host := range p.Hosts {
-		capOf[host.Spec.ID] = host.Spec.Capacity.Sub(host.Resident).Max(model.Resources{})
-		dcOf[host.Spec.ID] = host.Spec.DC
-	}
-	out := make(map[model.VMID]float64, len(p.VMs))
-	for pm, reqs := range byHost {
-		grants := cluster.Occupation(capOf[pm], reqs)
-		for vmID, grant := range grants {
-			vm := infoByID[vmID]
-			lat := h.Cost.Top.MeanLatencyFrom(dcOf[pm], vm.Load)
+	out := make([]float64, len(p.VMs))
+	for j := range p.Hosts {
+		ms := members[j]
+		if len(ms) == 0 {
+			continue
+		}
+		host := &p.Hosts[j]
+		capacity := host.Spec.Capacity.Sub(host.Resident).Max(model.Resources{})
+		var sum model.Resources
+		for _, k := range ms {
+			sum = sum.Add(req[k])
+		}
+		shCPU, shMem, shBW := cluster.ShareFactors(capacity, sum)
+		for _, k := range ms {
+			vm := &p.VMs[k]
+			r := req[k]
+			grant := model.Resources{
+				CPUPct: r.CPUPct * shCPU,
+				MemMB:  r.MemMB * shMem,
+				BWMbps: r.BWMbps * shBW,
+			}
+			lat := h.Cost.Top.MeanLatencyFrom(host.Spec.DC, vm.Load)
 			memDef := 0.0
-			if r := reqs[vmID]; r.MemMB > 0 && grant.MemMB < r.MemMB {
+			if r.MemMB > 0 && grant.MemMB < r.MemMB {
 				memDef = (r.MemMB - grant.MemMB) / r.MemMB
 			}
 			if v, ok := h.Est.SLA(vm, grant.CPUPct, memDef, lat); ok {
-				out[vmID] = v
+				out[k] = v
 			} else {
-				out[vmID] = sched.HeuristicSLA(vm, reqs[vmID], grant, lat)
+				out[k] = sched.HeuristicSLA(vm, r, grant, lat)
 			}
-		}
-	}
-	// VMs that ended up unplaced fulfil nothing.
-	for _, vm := range p.VMs {
-		if _, ok := out[vm.Spec.ID]; !ok {
-			out[vm.Spec.ID] = 0
 		}
 	}
 	return out, nil

@@ -50,24 +50,34 @@ func (m *Manager) Rounds() int { return m.rounds }
 
 // BuildProblem assembles the scheduler's view of the world from monitored
 // data: gateway load characteristics (with per-source split), queue
-// backlogs, window-averaged usage and the current placement.
+// backlogs, window-averaged usage and the current placement. It walks the
+// engine's dense index space directly — no per-VM map lookups.
 func (m *Manager) BuildProblem() *sched.Problem {
 	w := m.cfg.World
-	inv := w.Inventory()
 	obs := w.Observer()
 	p := &sched.Problem{Tick: w.Tick()}
-	for _, spec := range inv.VMs() {
+	nVM, nPM := w.NumVMs(), w.NumPMs()
+	p.VMs = make([]sched.VMInfo, 0, nVM)
+	p.Hosts = make([]sched.HostInfo, 0, nPM)
+	for i := 0; i < nVM; i++ {
+		spec := w.VMSpecAt(i)
 		if m.cfg.Movable != nil && !m.cfg.Movable(spec.ID) {
 			continue
 		}
 		info := sched.VMInfo{
 			Spec:      spec,
-			Current:   w.State().HostOf(spec.ID),
-			CurrentDC: w.State().DCOfVM(spec.ID),
+			Current:   model.NoPM,
+			CurrentDC: -1,
 		}
-		if truth, ok := w.VMTruthAt(spec.ID); ok {
+		if j := w.HostIndexOf(i); j >= 0 {
+			host := w.PMSpecAt(j)
+			info.Current = host.ID
+			info.CurrentDC = host.DC
+		}
+		if truth, ok := w.VMTruthByIndex(i); ok {
 			// The gateway sees per-source request streams; that is public
-			// middleware knowledge, not hidden simulator state.
+			// middleware knowledge, not hidden simulator state. The truth
+			// row aliases engine buffers, so clone before scaling.
 			info.Load = truth.Load.Clone()
 			info.Total = info.Load.Total()
 		} else {
@@ -78,8 +88,8 @@ func (m *Manager) BuildProblem() *sched.Problem {
 			// noisy tick; keep the per-source shares of the current vector.
 			if info.Total.RPS > 0 {
 				k := avg.RPS / info.Total.RPS
-				for i := range info.Load {
-					info.Load[i] = info.Load[i].Scale(k)
+				for s := range info.Load {
+					info.Load[s] = info.Load[s].Scale(k)
 				}
 			}
 			info.Total = avg
@@ -93,11 +103,11 @@ func (m *Manager) BuildProblem() *sched.Problem {
 		}
 		p.VMs = append(p.VMs, info)
 	}
-	for _, pm := range inv.PMs() {
-		if w.IsFailed(pm.ID) {
+	for j := 0; j < nPM; j++ {
+		if w.IsFailedIndex(j) {
 			continue // failed hosts are not candidates
 		}
-		p.Hosts = append(p.Hosts, sched.HostInfo{Spec: pm})
+		p.Hosts = append(p.Hosts, sched.HostInfo{Spec: w.PMSpecAt(j)})
 	}
 	return p
 }

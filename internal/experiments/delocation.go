@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // Delocation reproduces the Section V-C "benefit of de-locating load"
@@ -17,37 +17,21 @@ import (
 func Delocation(seed uint64) (*Result, error) {
 	// Five VMs all homed in DC 0, load scaled beyond what its single host
 	// can serve at peak; three remote DCs with a host each stand by.
-	home := model.DCID(0)
-	opts := sim.ScenarioOpts{
-		Seed:       seed,
-		VMs:        5,
-		PMsPerDC:   1,
-		DCs:        4,
-		LoadScale:  2.1,
-		NoiseSD:    0.2,
-		HomeBias:   0.97,
-		AllHomesAt: &home,
-	}
+	spec := scenario.MustPreset(scenario.Delocation, seed)
 	ticks := model.TicksPerDay
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
 		return nil, err
 	}
 	// Both variants start with everything in the home DC (DC 0's host).
-	pile := func(sc *sim.Scenario) model.Placement {
-		p := model.Placement{}
-		for _, vm := range sc.VMs {
-			p[vm.ID] = 0
-		}
-		return p
-	}
-	static, err := RunPolicy(opts, func(sc *sim.Scenario) (sched.Scheduler, error) {
+	pile := func(sc *scenario.Scenario) model.Placement { return sc.PileOn(0) }
+	static, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
 		return &sched.Fixed{P: pile(sc)}, nil
 	}, pile, ticks)
 	if err != nil {
 		return nil, fmt.Errorf("delocation static: %w", err)
 	}
-	dynamic, err := RunPolicy(opts, func(sc *sim.Scenario) (sched.Scheduler, error) {
+	dynamic, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
 		return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
 	}, pile, ticks)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/predict"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -103,10 +104,11 @@ type PolicyRun struct {
 	sunlitFrac float64
 }
 
-// RunPolicy executes a scheduler-managed run on a fresh scenario.
-func RunPolicy(opts sim.ScenarioOpts, mkSched func(*sim.Scenario) (sched.Scheduler, error),
-	initial func(*sim.Scenario) model.Placement, ticks int) (*PolicyRun, error) {
-	sc, err := sim.NewScenario(opts)
+// RunPolicy executes a scheduler-managed run on a fresh scenario built
+// from the spec.
+func RunPolicy(spec scenario.Spec, mkSched func(*scenario.Scenario) (sched.Scheduler, error),
+	initial func(*scenario.Scenario) model.Placement, ticks int) (*PolicyRun, error) {
+	sc, err := scenario.Build(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -154,14 +156,14 @@ func RunPolicy(opts sim.ScenarioOpts, mkSched func(*sim.Scenario) (sched.Schedul
 }
 
 // newManager wires the standard management loop around a scheduler.
-func newManager(sc *sim.Scenario, s sched.Scheduler) (*core.Manager, error) {
+func newManager(sc *scenario.Scenario, s sched.Scheduler) (*core.Manager, error) {
 	return core.NewManager(core.ManagerConfig{
 		World: sc.World, Scheduler: s, RoundTicks: RoundTicks,
 	})
 }
 
 // CostModel builds the standard Figure 3 objective for a scenario.
-func CostModel(sc *sim.Scenario) sched.CostModel {
+func CostModel(sc *scenario.Scenario) sched.CostModel {
 	return sched.NewCostModel(sc.Topology, power.Atom{}, HorizonHours)
 }
 

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // Figure4 reproduces the intra-DC comparison of Section V-B: plain
@@ -16,24 +16,12 @@ import (
 // minutes. The paper's claim: the ML variant (de-)consolidates to track
 // the load, trading energy for SLA whenever revenue pays for it.
 func Figure4(seed uint64) (*Result, error) {
-	opts := sim.ScenarioOpts{
-		Seed:      seed,
-		VMs:       5,
-		PMsPerDC:  4,
-		DCs:       1,
-		LoadScale: 2.4,
-		NoiseSD:   0.25,
-		HomeBias:  0.97, // intra-DC: clients are local
-	}
+	spec := scenario.MustPreset(scenario.IntraDC, seed)
 	ticks := model.TicksPerDay
-	initial := func(sc *sim.Scenario) model.Placement {
+	initial := func(sc *scenario.Scenario) model.Placement {
 		// Everything starts piled on the first host; the policies must dig
 		// themselves out.
-		p := model.Placement{}
-		for _, vm := range sc.VMs {
-			p[vm.ID] = 0
-		}
-		return p
+		return sc.PileOn(0)
 	}
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
@@ -41,15 +29,15 @@ func Figure4(seed uint64) (*Result, error) {
 	}
 	policies := []struct {
 		name string
-		mk   func(*sim.Scenario) (sched.Scheduler, error)
+		mk   func(*scenario.Scenario) (sched.Scheduler, error)
 	}{
-		{"BF", func(sc *sim.Scenario) (sched.Scheduler, error) {
+		{"BF", func(sc *scenario.Scenario) (sched.Scheduler, error) {
 			return sched.NewBestFit(CostModel(sc), sched.NewObserved()), nil
 		}},
-		{"BF-OB", func(sc *sim.Scenario) (sched.Scheduler, error) {
+		{"BF-OB", func(sc *scenario.Scenario) (sched.Scheduler, error) {
 			return sched.NewBestFit(CostModel(sc), sched.NewOverbooked()), nil
 		}},
-		{"BF+ML", func(sc *sim.Scenario) (sched.Scheduler, error) {
+		{"BF+ML", func(sc *scenario.Scenario) (sched.Scheduler, error) {
 			return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
 		}},
 	}
@@ -59,7 +47,7 @@ func Figure4(seed uint64) (*Result, error) {
 	slaChart.Caption = "Figure 4 (SLA over 24 h, per policy)"
 	pmChart.Caption = "Figure 4 (active PMs over 24 h, per policy)"
 	for _, pol := range policies {
-		run, err := RunPolicy(opts, pol.mk, initial, ticks)
+		run, err := RunPolicy(spec, pol.mk, initial, ticks)
 		if err != nil {
 			return nil, fmt.Errorf("figure4 %s: %w", pol.name, err)
 		}

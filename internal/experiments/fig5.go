@@ -5,9 +5,9 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Figure5 reproduces the "follow the load" sanity check of Section V-C:
@@ -17,31 +17,10 @@ import (
 // afternoon, so the dominant load source rotates — and the placement must
 // rotate with it.
 func Figure5(seed uint64) (*Result, error) {
-	vm := sim.DefaultVMSpecs(1, 4)[0]
-	cfg := trace.RotatingConfig(seed, vm, 4, trace.PaperTZOffsets())
-	gen, err := trace.NewGenerator(cfg)
+	sc, err := scenario.Build(scenario.MustPreset(scenario.FollowLoad, seed))
 	if err != nil {
 		return nil, err
 	}
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: seed, VMs: 1, PMsPerDC: 1, DCs: 4,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Swap in the rotating workload.
-	world, err := sim.NewWorld(sim.Config{
-		Inventory: sc.Inventory,
-		Topology:  sc.Topology,
-		Generator: gen,
-		Seed:      seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	sc.World = world
-	sc.Generator = gen
-
 	cost := CostModel(sc)
 	cost.LatencyOnly = true
 	s := sched.NewBestFit(cost, sched.NewObserved())

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // Figure6 reproduces the full inter-DC scheduling run of Section V-C: four
@@ -15,23 +15,15 @@ import (
 // workloads scaled differently per region and a flash crowd in minutes
 // 70-90 that "clearly exceeds the capacity of the system".
 func Figure6(seed uint64) (*Result, error) {
-	opts := sim.ScenarioOpts{
-		Seed:       seed,
-		VMs:        5,
-		PMsPerDC:   1,
-		DCs:        4,
-		LoadScale:  1.8,
-		NoiseSD:    0.25,
-		FlashCrowd: true,
-	}
+	spec := scenario.MustPreset(scenario.FlashCrowd, seed)
 	ticks := model.TicksPerDay
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
 		return nil, err
 	}
-	run, err := RunPolicy(opts, func(sc *sim.Scenario) (sched.Scheduler, error) {
+	run, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
 		return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
-	}, func(sc *sim.Scenario) model.Placement { return sc.HomePlacement() }, ticks)
+	}, func(sc *scenario.Scenario) model.Placement { return sc.HomePlacement() }, ticks)
 	if err != nil {
 		return nil, fmt.Errorf("figure6: %w", err)
 	}

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // PaperTableIII holds the published Table III values (per 5 VMs).
@@ -26,23 +26,15 @@ var PaperTableIII = map[string]struct {
 // dynamic keeps SLA slightly better while cutting energy ~42% (175.9 W ->
 // 102.0 W) by consolidating across datacenters.
 func Figure7TableIII(seed uint64) (*Result, error) {
-	opts := sim.ScenarioOpts{
-		Seed:      seed,
-		VMs:       5,
-		PMsPerDC:  1,
-		DCs:       4,
-		LoadScale: 1.0,
-		NoiseSD:   0.2,
-		HomeBias:  0.5,
-	}
+	spec := scenario.MustPreset(scenario.MultiDC, seed)
 	ticks := model.TicksPerDay
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
 		return nil, err
 	}
-	home := func(sc *sim.Scenario) model.Placement { return sc.HomePlacement() }
+	home := func(sc *scenario.Scenario) model.Placement { return sc.HomePlacement() }
 
-	static, err := RunPolicy(opts, func(sc *sim.Scenario) (sched.Scheduler, error) {
+	static, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
 		return &sched.Fixed{P: sc.HomePlacement()}, nil
 	}, home, ticks)
 	if err != nil {
@@ -50,7 +42,7 @@ func Figure7TableIII(seed uint64) (*Result, error) {
 	}
 	static.Policy = "Static-Global"
 
-	dynamic, err := RunPolicy(opts, func(sc *sim.Scenario) (sched.Scheduler, error) {
+	dynamic, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
 		return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
 	}, home, ticks)
 	if err != nil {

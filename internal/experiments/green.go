@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/model"
-	"repro/internal/network"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // GreenEnergy implements the paper's future-work item ("the green energy
@@ -24,18 +23,14 @@ func GreenEnergy(seed uint64) (*Result, error) {
 		return nil, err
 	}
 	ticks := 2 * model.TicksPerDay
-	base := []float64{0.1314, 0.1218, 0.1513, 0.1120}
-	solar := network.SolarPricing(base, trace.PaperTZOffsets(), 0.95)
+	spec := scenario.MustPreset(scenario.GreenSolar, seed)
+	base := spec.Pricing.Base
 
 	run := func(dynamic bool) (*PolicyRun, error) {
-		sc, err := sim.NewScenario(sim.ScenarioOpts{
-			Seed: seed, VMs: 5, PMsPerDC: 1, DCs: 4,
-			LoadScale: 0.9, NoiseSD: 0.2, HomeBias: 0.3,
-		})
+		sc, err := scenario.Build(spec)
 		if err != nil {
 			return nil, err
 		}
-		sc.Topology.SetPriceSchedule(solar)
 		var s sched.Scheduler
 		if dynamic {
 			s = sched.NewBestFit(CostModel(sc), sched.NewML(bundle))
@@ -69,7 +64,7 @@ func GreenEnergy(seed uint64) (*Result, error) {
 			dc := sc.World.State().DCOfVM(0)
 			pr.DCSeries = append(pr.DCSeries, float64(dc))
 			// Count ticks where vm0's host enjoys solar-discounted power.
-			if dc >= 0 && solar(dc, st.Tick) < base[dc]*0.7 {
+			if dc >= 0 && sc.Topology.EnergyPriceAt(dc, st.Tick) < base[dc]*0.7 {
 				sunlit++
 			}
 		})

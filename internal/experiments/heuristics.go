@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // Heuristics re-measures the claim inherited from the authors' prior work
@@ -14,48 +14,34 @@ import (
 // heuristics"): the profit-driven Ordered Best-Fit against First-Fit,
 // Worst-Fit and Round-Robin on the intra-DC consolidation scenario.
 func Heuristics(seed uint64) (*Result, error) {
-	opts := sim.ScenarioOpts{
-		Seed:      seed,
-		VMs:       5,
-		PMsPerDC:  4,
-		DCs:       1,
-		LoadScale: 2.4,
-		NoiseSD:   0.25,
-		HomeBias:  0.97,
-	}
+	spec := scenario.MustPreset(scenario.IntraDC, seed)
 	ticks := model.TicksPerDay
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
 		return nil, err
 	}
-	initial := func(sc *sim.Scenario) model.Placement {
-		p := model.Placement{}
-		for _, vm := range sc.VMs {
-			p[vm.ID] = 0
-		}
-		return p
-	}
+	initial := func(sc *scenario.Scenario) model.Placement { return sc.PileOn(0) }
 	policies := []struct {
 		name string
-		mk   func(*sim.Scenario) (sched.Scheduler, error)
+		mk   func(*scenario.Scenario) (sched.Scheduler, error)
 	}{
-		{"RoundRobin", func(*sim.Scenario) (sched.Scheduler, error) {
+		{"RoundRobin", func(*scenario.Scenario) (sched.Scheduler, error) {
 			return sched.RoundRobin{}, nil
 		}},
-		{"FirstFit", func(*sim.Scenario) (sched.Scheduler, error) {
+		{"FirstFit", func(*scenario.Scenario) (sched.Scheduler, error) {
 			return &sched.FirstFit{Est: sched.NewML(bundle)}, nil
 		}},
-		{"WorstFit", func(*sim.Scenario) (sched.Scheduler, error) {
+		{"WorstFit", func(*scenario.Scenario) (sched.Scheduler, error) {
 			return &sched.WorstFit{Est: sched.NewML(bundle)}, nil
 		}},
-		{"BestFit+ML", func(sc *sim.Scenario) (sched.Scheduler, error) {
+		{"BestFit+ML", func(sc *scenario.Scenario) (sched.Scheduler, error) {
 			return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
 		}},
 	}
 	res := &Result{Name: "Heuristics", Metrics: map[string]float64{}}
 	var runs []*PolicyRun
 	for _, pol := range policies {
-		run, err := RunPolicy(opts, pol.mk, initial, ticks)
+		run, err := RunPolicy(spec, pol.mk, initial, ticks)
 		if err != nil {
 			return nil, fmt.Errorf("heuristics %s: %w", pol.name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/predict"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -70,10 +71,10 @@ type hierarchyRun struct {
 }
 
 func runHierarchyPolicy(seed uint64, vms, pmsPerDC int, bundle *predict.Bundle, twoLayer bool) (*hierarchyRun, error) {
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: seed, VMs: vms, PMsPerDC: pmsPerDC, DCs: 4,
-		LoadScale: 1.4, NoiseSD: 0.2,
-	})
+	spec := scenario.MustPreset(scenario.Hierarchy, seed)
+	spec.VMs = vms
+	spec.PMsPerDC = pmsPerDC
+	sc, err := scenario.Build(spec)
 	if err != nil {
 		return nil, err
 	}

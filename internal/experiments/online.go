@@ -7,6 +7,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/predict"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -34,10 +35,7 @@ func OnlineLearning(seed uint64) (*Result, error) {
 	shifted.CPUCostFactor = 2.2
 
 	run := func(online bool) (*PolicyRun, *predict.Online, error) {
-		sc, err := sim.NewScenario(sim.ScenarioOpts{
-			Seed: seed, VMs: 5, PMsPerDC: 4, DCs: 1,
-			LoadScale: 1.6, NoiseSD: 0.2, HomeBias: 0.97,
-		})
+		sc, err := scenario.Build(scenario.MustPreset(scenario.OnlineShift, seed))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -65,11 +63,7 @@ func OnlineLearning(seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		pile := model.Placement{}
-		for _, vm := range sc.VMs {
-			pile[vm.ID] = 0
-		}
-		if err := world.PlaceInitial(pile); err != nil {
+		if err := world.PlaceInitial(sc.PileOn(0)); err != nil {
 			return nil, nil, err
 		}
 		pr := &PolicyRun{Ticks: ticks, MinSLA: 1}

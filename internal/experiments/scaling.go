@@ -8,8 +8,8 @@ import (
 	"repro/internal/network"
 	"repro/internal/power"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // SchedulerScaling reproduces the Section IV-C scalability claim: exact
@@ -82,8 +82,10 @@ func SchedulerScaling(seed uint64) (*Result, error) {
 // syntheticProblem builds a deterministic scheduling problem with mixed
 // demands for the scaling measurements.
 func syntheticProblem(seed uint64, vms, hosts int) (*sched.Problem, error) {
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: seed, VMs: vms, PMsPerDC: (hosts + 3) / 4, DCs: 4, LoadScale: 1.5,
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "scaling", Seed: seed,
+		DCs: 4, PMsPerDC: (hosts + 3) / 4, VMs: vms,
+		LoadScale: 1.5,
 	})
 	if err != nil {
 		return nil, err

@@ -47,14 +47,38 @@ type NoiseConfig struct {
 // DefaultNoise matches the distortions the paper describes.
 var DefaultNoise = NoiseConfig{RelSD: 0.05, SpikeProb: 0.03, SpikeCPUPct: 50}
 
+// ring is a fixed-capacity chronological window. Once full, observations
+// overwrite the oldest slot in place, so the steady-state observation
+// path allocates nothing.
+type ring[T any] struct {
+	buf  []T
+	n    int // elements stored (<= window)
+	next int // slot the next push overwrites once full
+}
+
+func (r *ring[T]) push(v T, window int) {
+	if r.n < window {
+		r.buf = append(r.buf, v)
+		r.n++
+		return
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % window
+}
+
+// at returns the k-th element in chronological order, k in [0, n).
+func (r *ring[T]) at(k int) T { return r.buf[(r.next+k)%r.n] }
+
+func (r *ring[T]) last() T { return r.at(r.n - 1) }
+
 // Observer distorts ground truth into monitored samples and keeps per-VM
 // rolling windows.
 type Observer struct {
 	noise   NoiseConfig
 	stream  *rng.Stream
 	window  int
-	history map[model.VMID][]Sample
-	pmHist  map[model.PMID][]model.Resources
+	history map[model.VMID]*ring[Sample]
+	pmHist  map[model.PMID]*ring[model.Resources]
 }
 
 // NewObserver builds an observer with the given window length in ticks
@@ -67,8 +91,8 @@ func NewObserver(noise NoiseConfig, window int, stream *rng.Stream) *Observer {
 		noise:   noise,
 		stream:  stream,
 		window:  window,
-		history: make(map[model.VMID][]Sample),
-		pmHist:  make(map[model.PMID][]model.Resources),
+		history: make(map[model.VMID]*ring[Sample]),
+		pmHist:  make(map[model.PMID]*ring[model.Resources]),
 	}
 }
 
@@ -88,11 +112,12 @@ func (o *Observer) ObserveVM(tick int, vm model.VMID, trueUsage model.Resources,
 		SLA:      clamp01(slaLvl),
 		QueueLen: queueLen,
 	}
-	h := append(o.history[vm], s)
-	if len(h) > o.window {
-		h = h[len(h)-o.window:]
+	r := o.history[vm]
+	if r == nil {
+		r = &ring[Sample]{buf: make([]Sample, 0, o.window)}
+		o.history[vm] = r
 	}
-	o.history[vm] = h
+	r.push(s, o.window)
 	return s
 }
 
@@ -103,11 +128,12 @@ func (o *Observer) ObservePM(tick int, pm model.PMID, trueUsage model.Resources)
 	if o.stream != nil && o.stream.Bool(o.noise.SpikeProb) {
 		obs.CPUPct += o.stream.Uniform(0.3, 1.0) * o.noise.SpikeCPUPct
 	}
-	h := append(o.pmHist[pm], obs)
-	if len(h) > o.window {
-		h = h[len(h)-o.window:]
+	r := o.pmHist[pm]
+	if r == nil {
+		r = &ring[model.Resources]{buf: make([]model.Resources, 0, o.window)}
+		o.pmHist[pm] = r
 	}
-	o.pmHist[pm] = h
+	r.push(obs, o.window)
 	return obs
 }
 
@@ -115,27 +141,27 @@ func (o *Observer) ObservePM(tick int, pm model.PMID, trueUsage model.Resources)
 // the "resources it has used in the last 10 minutes" input to plain
 // Best-Fit. ok is false when no samples exist yet.
 func (o *Observer) WindowAvgVM(vm model.VMID) (model.Resources, bool) {
-	h := o.history[vm]
-	if len(h) == 0 {
+	r := o.history[vm]
+	if r == nil || r.n == 0 {
 		return model.Resources{}, false
 	}
 	var sum model.Resources
-	for _, s := range h {
-		sum = sum.Add(s.Usage)
+	for k := 0; k < r.n; k++ {
+		sum = sum.Add(r.at(k).Usage)
 	}
-	return sum.Scale(1 / float64(len(h))), true
+	return sum.Scale(1 / float64(r.n)), true
 }
 
 // WindowMaxVM returns the element-wise max observed usage over the window,
 // a more conservative sizing estimate.
 func (o *Observer) WindowMaxVM(vm model.VMID) (model.Resources, bool) {
-	h := o.history[vm]
-	if len(h) == 0 {
+	r := o.history[vm]
+	if r == nil || r.n == 0 {
 		return model.Resources{}, false
 	}
-	mx := h[0].Usage
-	for _, s := range h[1:] {
-		mx = mx.Max(s.Usage)
+	mx := r.at(0).Usage
+	for k := 1; k < r.n; k++ {
+		mx = mx.Max(r.at(k).Usage)
 	}
 	return mx, true
 }
@@ -144,13 +170,13 @@ func (o *Observer) WindowMaxVM(vm model.VMID) (model.Resources, bool) {
 // per-request characteristics for a VM — the per-round gateway statistics
 // a scheduler should size against rather than one noisy tick.
 func (o *Observer) WindowAvgLoad(vm model.VMID) (model.Load, bool) {
-	h := o.history[vm]
-	if len(h) == 0 {
+	r := o.history[vm]
+	if r == nil || r.n == 0 {
 		return model.Load{}, false
 	}
 	var agg model.Load
-	for _, s := range h {
-		l := s.Load
+	for k := 0; k < r.n; k++ {
+		l := r.at(k).Load
 		if l.RPS <= 0 {
 			continue
 		}
@@ -164,39 +190,39 @@ func (o *Observer) WindowAvgLoad(vm model.VMID) (model.Load, bool) {
 		agg.BytesOutRq /= agg.RPS
 		agg.CPUTimeReq /= agg.RPS
 	}
-	agg.RPS /= float64(len(h))
+	agg.RPS /= float64(r.n)
 	return agg, true
 }
 
 // LastVM returns the most recent sample for a VM.
 func (o *Observer) LastVM(vm model.VMID) (Sample, bool) {
-	h := o.history[vm]
-	if len(h) == 0 {
+	r := o.history[vm]
+	if r == nil || r.n == 0 {
 		return Sample{}, false
 	}
-	return h[len(h)-1], true
+	return r.last(), true
 }
 
 // LastPM returns the most recent observed aggregate usage of a PM.
 func (o *Observer) LastPM(pm model.PMID) (model.Resources, bool) {
-	h := o.pmHist[pm]
-	if len(h) == 0 {
+	r := o.pmHist[pm]
+	if r == nil || r.n == 0 {
 		return model.Resources{}, false
 	}
-	return h[len(h)-1], true
+	return r.last(), true
 }
 
 // WindowAvgPM returns the mean observed aggregate usage of a PM.
 func (o *Observer) WindowAvgPM(pm model.PMID) (model.Resources, bool) {
-	h := o.pmHist[pm]
-	if len(h) == 0 {
+	r := o.pmHist[pm]
+	if r == nil || r.n == 0 {
 		return model.Resources{}, false
 	}
 	var sum model.Resources
-	for _, u := range h {
-		sum = sum.Add(u)
+	for k := 0; k < r.n; k++ {
+		sum = sum.Add(r.at(k))
 	}
-	return sum.Scale(1 / float64(len(h))), true
+	return sum.Scale(1 / float64(r.n)), true
 }
 
 func (o *Observer) noisyResources(r model.Resources) model.Resources {

@@ -6,8 +6,8 @@ import (
 	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Harvest holds the seven training datasets gathered from monitored runs.
@@ -73,52 +73,22 @@ func Collect(opts HarvestOpts) (*Harvest, error) {
 	if opts.ShuffleEvery <= 0 {
 		opts.ShuffleEvery = 10
 	}
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed:      opts.Seed,
-		VMs:       opts.VMs,
-		PMsPerDC:  opts.PMsPerDC,
-		DCs:       opts.DCs,
-		LoadScale: opts.LoadScale,
-		NoiseSD:   0.15,
-	})
-	if err != nil {
-		return nil, err
-	}
+	spec := scenario.MustPreset(scenario.Harvest, opts.Seed)
+	spec.VMs = opts.VMs
+	spec.PMsPerDC = opts.PMsPerDC
+	spec.DCs = opts.DCs
+	spec.LoadScale = opts.LoadScale
 	// Spread each VM's load scale around the nominal value so the training
 	// data covers light through pathological regimes — the deployed models
 	// must not extrapolate when an experiment runs hotter than the harvest.
-	if gen := sc.Generator; gen != nil {
-		// Scales are baked into the generator at construction; rebuild it
-		// with per-VM diversity.
-		scale := make(map[model.VMID][]float64, len(sc.VMs))
-		for i, vm := range sc.VMs {
-			f := opts.LoadScale * (0.4 + 0.45*float64(i))
-			row := []float64{f, f, f, f}
-			scale[vm.ID] = row
-		}
-		cfg := trace.Config{
-			Seed:      opts.Seed,
-			Sources:   4,
-			VMs:       sc.VMs,
-			TZOffsetH: trace.PaperTZOffsets(),
-			Scale:     scale,
-			NoiseSD:   0.15,
-		}
-		gen2, err := trace.NewGenerator(cfg)
-		if err != nil {
-			return nil, err
-		}
-		world, err := sim.NewWorld(sim.Config{
-			Inventory: sc.Inventory,
-			Topology:  sc.Topology,
-			Generator: gen2,
-			Seed:      opts.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sc.World = world
-		sc.Generator = gen2
+	spec.VMScale = make(map[model.VMID][]float64, opts.VMs)
+	for i := 0; i < opts.VMs; i++ {
+		f := opts.LoadScale * (0.4 + 0.45*float64(i))
+		spec.VMScale[model.VMID(i)] = []float64{f, f, f, f}
+	}
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		return nil, err
 	}
 	h := NewHarvest()
 	stream := rng.NewNamed(opts.Seed, "predict/harvest")

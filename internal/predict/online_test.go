@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/ml"
 	"repro/internal/model"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
 func TestTailTruncation(t *testing.T) {
@@ -49,8 +49,9 @@ func TestOnlineObserveAndRetrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, err := sim.NewScenario(sim.ScenarioOpts{
-		Seed: 5, VMs: 4, PMsPerDC: 2, DCs: 2, LoadScale: 2,
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "online-test", Seed: 5,
+		DCs: 2, PMsPerDC: 2, VMs: 4, LoadScale: 2,
 	})
 	if err != nil {
 		t.Fatal(err)

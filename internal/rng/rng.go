@@ -9,7 +9,6 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
 )
@@ -17,32 +16,65 @@ import (
 // Stream is a deterministic source of pseudo-random values. It is NOT safe
 // for concurrent use; split one stream per goroutine instead.
 type Stream struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a stream seeded from the two seed words.
 func New(seed1, seed2 uint64) *Stream {
-	return &Stream{r: rand.New(rand.NewPCG(seed1, seed2))}
+	pcg := rand.NewPCG(seed1, seed2)
+	return &Stream{r: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the stream in place to the state a fresh New(seed1, seed2)
+// would have. It lets hot paths that need one short-lived stream per work
+// item (the trace generator draws per (VM, tick)) reuse a single Stream
+// instead of allocating one per item.
+func (s *Stream) Reseed(seed1, seed2 uint64) { s.pcg.Seed(seed1, seed2) }
+
+// fnv1aOffset and fnv1aPrime are the 64-bit FNV-1a constants, inlined so
+// name hashing never allocates a hash.Hash.
+const (
+	fnv1aOffset uint64 = 14695981039346656037
+	fnv1aPrime  uint64 = 1099511628211
+)
+
+// NamedSeed hashes a stream name to a seed word with FNV-1a — the mixing
+// NewNamed applies.
+func NamedSeed(name string) uint64 {
+	h := fnv1aOffset
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnv1aPrime
+	}
+	return h
+}
+
+// NamedSeedBytes is NamedSeed over a byte slice, for callers that build
+// names into a reusable buffer to avoid per-call string allocation.
+func NamedSeedBytes(name []byte) uint64 {
+	h := fnv1aOffset
+	for _, b := range name {
+		h ^= uint64(b)
+		h *= fnv1aPrime
+	}
+	return h
 }
 
 // NewNamed derives a stream from a root seed and a name, mixing the name
 // into the seed with FNV-1a. Identical (seed, name) pairs always produce
 // identical streams.
 func NewNamed(seed uint64, name string) *Stream {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return New(seed, h.Sum64())
+	return New(seed, NamedSeed(name))
 }
 
 // Split derives an independent child stream. The child's sequence depends
 // only on the parent's seed and the given name, not on how many values the
 // parent has produced, because the derivation consumes no parent draws.
 func (s *Stream) Split(name string) *Stream {
-	h := fnv.New64a()
-	h.Write([]byte(name))
 	// Consume two words deterministically positioned at the time of the
 	// split; callers split everything up front so ordering is stable.
-	return New(s.r.Uint64(), h.Sum64())
+	return New(s.r.Uint64(), NamedSeed(name))
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Preset names. Every experiment (and cmd/mdcsim -scenario) builds its
+// world from one of these specs; new studies start from a preset and
+// override fields, or add a spec literal here.
+const (
+	// IntraDC is the Figure 4 / heuristics setup: one DC, four Atom
+	// hosts, five web-services at 2.4x load with local clients.
+	IntraDC = "intra-dc"
+	// FollowLoad is the Figure 5 setup: one VM, four single-host DCs,
+	// a client base that rotates around the world.
+	FollowLoad = "follow-load"
+	// FlashCrowd is the Figure 6 setup: four single-host DCs, five VMs,
+	// differently scaled regions and the minute-70..90 crowd.
+	FlashCrowd = "flash-crowd"
+	// MultiDC is the Figure 7 / Table III setup: four single-host DCs,
+	// five VMs at nominal load, globally spread clients.
+	MultiDC = "multi-dc"
+	// Delocation is the §V-C benefit-of-de-locating setup: all load homed
+	// in DC 0 beyond its capacity, three remote DCs standing by.
+	Delocation = "delocation"
+	// GreenSolar is the follow-the-sun extension: solar-discounted energy
+	// prices rotating with the daylight.
+	GreenSolar = "green-solar"
+	// OnlineShift is the online-learning setup: an intra-DC fleet that a
+	// mid-run software update silently makes more CPU-expensive.
+	OnlineShift = "online-shift"
+	// Harvest is the predictor-training fleet: six VMs over eight hosts
+	// in four DCs, load spread across regimes by the harvester.
+	Harvest = "harvest"
+	// Hierarchy is the two-layer-vs-flat ablation base; experiments scale
+	// VMs and PMsPerDC up from here.
+	Hierarchy = "hierarchy"
+	// HeteroFleet is a heterogeneous fleet no paper experiment covers:
+	// each DC mixes Atom hosts with one double-size host, so schedulers
+	// face asymmetric bins.
+	HeteroFleet = "hetero-fleet"
+	// GridSpike is a grid-event scenario no paper experiment covers: the
+	// multi-DC fleet under a 6-hour 4x electricity-price spike at DC 0.
+	GridSpike = "price-spike"
+)
+
+// presets maps names to spec literals. Seeds are zero: callers set them.
+var presets = map[string]Spec{
+	IntraDC: {
+		Name: IntraDC,
+		DCs:  1, PMsPerDC: 4, VMs: 5,
+		LoadScale: 2.4, NoiseSD: 0.25, HomeBias: 0.97,
+	},
+	FollowLoad: {
+		Name: FollowLoad,
+		DCs:  4, PMsPerDC: 1, VMs: 1,
+		Rotating: true,
+	},
+	FlashCrowd: {
+		Name: FlashCrowd,
+		DCs:  4, PMsPerDC: 1, VMs: 5,
+		LoadScale: 1.8, NoiseSD: 0.25, FlashCrowd: true,
+	},
+	MultiDC: {
+		Name: MultiDC,
+		DCs:  4, PMsPerDC: 1, VMs: 5,
+		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.5,
+	},
+	Delocation: {
+		Name: Delocation,
+		DCs:  4, PMsPerDC: 1, VMs: 5,
+		LoadScale: 2.1, NoiseSD: 0.2, HomeBias: 0.97,
+		AllHomesAt: dcPtr(0),
+	},
+	GreenSolar: {
+		Name: GreenSolar,
+		DCs:  4, PMsPerDC: 1, VMs: 5,
+		LoadScale: 0.9, NoiseSD: 0.2, HomeBias: 0.3,
+		Pricing: Pricing{
+			Kind:     "solar",
+			Base:     []float64{0.1314, 0.1218, 0.1513, 0.1120},
+			SolarDip: 0.95,
+		},
+	},
+	OnlineShift: {
+		Name: OnlineShift,
+		DCs:  1, PMsPerDC: 4, VMs: 5,
+		LoadScale: 1.6, NoiseSD: 0.2, HomeBias: 0.97,
+	},
+	Harvest: {
+		Name: Harvest,
+		DCs:  4, PMsPerDC: 2, VMs: 6,
+		LoadScale: 2.5, NoiseSD: 0.15,
+	},
+	Hierarchy: {
+		Name: Hierarchy,
+		DCs:  4, PMsPerDC: 2, VMs: 8,
+		LoadScale: 1.4, NoiseSD: 0.2,
+	},
+	HeteroFleet: {
+		Name: HeteroFleet,
+		DCs:  2, VMs: 6,
+		LoadScale: 2.0, NoiseSD: 0.2, HomeBias: 0.8,
+		PMClasses: []PMClass{
+			{PerDC: 2, Capacity: AtomCapacity, Cores: 4},
+			{PerDC: 1, Capacity: model.Resources{CPUPct: 800, MemMB: 8192, BWMbps: 2000}, Cores: 8},
+		},
+	},
+	GridSpike: {
+		Name: GridSpike,
+		DCs:  4, PMsPerDC: 1, VMs: 5,
+		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.5,
+		Pricing: Pricing{
+			Kind: "spike",
+			Spikes: []PriceSpike{
+				{DC: 0, StartTick: 9 * 60, EndTick: 15 * 60, Factor: 4},
+			},
+		},
+	},
+}
+
+// Names lists the preset names in stable order.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset returns a deep copy of the named spec with the given seed, so
+// callers may override any field — including slice elements — without
+// corrupting the shared preset table.
+func Preset(name string, seed uint64) (Spec, error) {
+	spec, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, Names())
+	}
+	spec.Seed = seed
+	spec.PMClasses = append([]PMClass(nil), spec.PMClasses...)
+	spec.Pricing.Base = append([]float64(nil), spec.Pricing.Base...)
+	spec.Pricing.Spikes = append([]PriceSpike(nil), spec.Pricing.Spikes...)
+	if spec.VMScale != nil {
+		scale := make(map[model.VMID][]float64, len(spec.VMScale))
+		for id, row := range spec.VMScale {
+			scale[id] = append([]float64(nil), row...)
+		}
+		spec.VMScale = scale
+	}
+	if spec.AllHomesAt != nil {
+		dc := *spec.AllHomesAt
+		spec.AllHomesAt = &dc
+	}
+	if spec.UniformClass != nil {
+		c := *spec.UniformClass
+		spec.UniformClass = &c
+	}
+	return spec, nil
+}
+
+// MustPreset is Preset for compile-time-constant names; it panics on
+// unknown names.
+func MustPreset(name string, seed uint64) Spec {
+	spec, err := Preset(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func dcPtr(dc model.DCID) *model.DCID { return &dc }

@@ -1,0 +1,319 @@
+// Package scenario is the shared world-building layer: a declarative Spec
+// describing a multi-DC fleet (DC count, PM/VM mix, workload shape, price
+// profile) plus named presets, so every experiment, command and example
+// constructs its world through one Build call and a new scenario is a spec
+// literal, not a new file.
+//
+// The package sits above sim (it assembles Inventory + Topology + Workload
+// into a World) and below experiments/cmd, which consume it.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AtomCapacity is the per-PM capacity of the paper's Atom hosts: 4 cores,
+// 4 GB of RAM and a 1 Gbps NIC.
+var AtomCapacity = model.Resources{CPUPct: 400, MemMB: 4096, BWMbps: 1000}
+
+// PMClass describes one group of identical physical machines per DC; a
+// spec with several classes builds a heterogeneous fleet.
+type PMClass struct {
+	PerDC    int
+	Capacity model.Resources
+	Cores    int
+}
+
+// PriceSpike is a transient electricity-price excursion at one DC — a
+// grid event the scheduler should dodge by de-locating load.
+type PriceSpike struct {
+	DC        model.DCID
+	StartTick int
+	EndTick   int     // first tick after the spike
+	Factor    float64 // price multiplier during the spike
+}
+
+// Pricing selects the electricity-price profile of the scenario.
+type Pricing struct {
+	// Kind is "" or "flat" (static Table II prices), "solar" (SolarPricing
+	// dips while each DC's sun shines) or "spike" (transient excursions).
+	Kind string
+	// Base overrides the per-DC base prices (nil keeps Table II).
+	Base []float64
+	// SolarDip is the maximal price reduction at local solar noon (solar).
+	SolarDip float64
+	// Spikes are the excursions of a "spike" profile.
+	Spikes []PriceSpike
+}
+
+// Spec declaratively describes a runnable scenario. The zero values of
+// most knobs mean "paper defaults"; Build validates the rest.
+type Spec struct {
+	// Name labels the scenario in reports (presets fill it in).
+	Name string
+	Seed uint64
+
+	// Fleet shape. DCs draws 1..4 datacenters from the paper topology;
+	// PMsPerDC builds that many Atom hosts per DC unless PMClasses is set.
+	DCs       int
+	PMsPerDC  int
+	PMClasses []PMClass
+	VMs       int
+
+	// Workload shape.
+	LoadScale  float64 // multiplies every request rate (0 = 1.0)
+	NoiseSD    float64 // per-tick multiplicative workload noise
+	FlashCrowd bool    // inject the Figure 6 minute-70..90 crowd
+	// HomeBias is the share of each VM's load originating at its home
+	// location (0 = generator default of 0.6; intra-DC experiments use a
+	// high bias so clients are local).
+	HomeBias float64
+	// AllHomesAt homes every VM in one DC instead of round-robin when
+	// non-nil (the §V-C de-location setup, where a single DC carries all
+	// the load).
+	AllHomesAt *model.DCID
+	// UniformClass assigns every VM the same service class instead of
+	// cycling through the built-in mix.
+	UniformClass *trace.ServiceClass
+	// Rotating replaces the diurnal per-home workload with the Figure 5
+	// follow-the-load shape: a single VM whose dominant client region
+	// rotates around the world. Requires VMs == 1.
+	Rotating bool
+	// VMScale overrides the uniform LoadScale with per-(VM, source) rows
+	// (the harvest runs spread VMs across load regimes this way).
+	VMScale map[model.VMID][]float64
+
+	// Pricing selects the electricity-price profile.
+	Pricing Pricing
+
+	// Params overrides the world's ground-truth constants when non-nil.
+	Params *sim.Params
+}
+
+// Scenario bundles the pieces of a ready-to-run experiment setup.
+type Scenario struct {
+	Spec      Spec
+	World     *sim.World
+	Inventory *cluster.Inventory
+	Topology  *network.Topology
+	Generator *trace.Generator
+	VMs       []model.VMSpec
+}
+
+// DefaultVMSpecs builds n VM specs in the paper's style: 4 GB images,
+// 256 MB memory floor, EC2-like pricing, homes spread round-robin over dcs.
+func DefaultVMSpecs(n, dcs int) []model.VMSpec {
+	specs := make([]model.VMSpec, n)
+	for i := range specs {
+		specs[i] = model.VMSpec{
+			ID:          model.VMID(i),
+			Name:        fmt.Sprintf("web%d", i),
+			ImageSizeGB: 4,
+			BaseMemMB:   256,
+			MaxMemMB:    1024,
+			Terms:       model.DefaultSLATerms,
+			PriceEURh:   0.17,
+			HomeDC:      model.DCID(i % dcs),
+		}
+	}
+	return specs
+}
+
+// Build assembles inventory, topology, workload and world for a spec: up
+// to four DCs (Brisbane, Bangaluru, Barcelona, Boston) with the requested
+// host fleet.
+func Build(spec Spec) (*Scenario, error) {
+	if spec.DCs <= 0 || spec.DCs > 4 {
+		return nil, fmt.Errorf("scenario: DCs must be 1..4, got %d", spec.DCs)
+	}
+	if spec.VMs <= 0 {
+		return nil, fmt.Errorf("scenario: need at least one VM")
+	}
+	if spec.Rotating {
+		if spec.VMs != 1 {
+			return nil, fmt.Errorf("scenario: Rotating requires exactly one VM, got %d", spec.VMs)
+		}
+		// The rotating workload has its own fixed shape; reject knobs it
+		// would silently ignore rather than let overrides go unnoticed.
+		if spec.FlashCrowd || spec.UniformClass != nil || spec.VMScale != nil ||
+			spec.NoiseSD != 0 || spec.HomeBias != 0 ||
+			(spec.LoadScale != 0 && spec.LoadScale != 1) {
+			return nil, fmt.Errorf("scenario: Rotating is incompatible with workload-shape overrides (LoadScale/NoiseSD/HomeBias/FlashCrowd/UniformClass/VMScale)")
+		}
+	}
+	classes := spec.PMClasses
+	if len(classes) == 0 {
+		if spec.PMsPerDC <= 0 {
+			return nil, fmt.Errorf("scenario: need at least one PM per DC")
+		}
+		classes = []PMClass{{PerDC: spec.PMsPerDC, Capacity: AtomCapacity, Cores: 4}}
+	}
+	for _, c := range classes {
+		if c.PerDC <= 0 {
+			return nil, fmt.Errorf("scenario: PM class with non-positive PerDC")
+		}
+	}
+	if spec.LoadScale <= 0 {
+		spec.LoadScale = 1
+	}
+
+	top := network.PaperTopology()
+	if err := applyPricing(top, spec.Pricing); err != nil {
+		return nil, err
+	}
+
+	var pms []model.PMSpec
+	id := 0
+	for dc := 0; dc < spec.DCs; dc++ {
+		for _, c := range classes {
+			for k := 0; k < c.PerDC; k++ {
+				pms = append(pms, model.PMSpec{
+					ID: model.PMID(id), DC: model.DCID(dc),
+					Capacity: c.Capacity, Cores: c.Cores,
+				})
+				id++
+			}
+		}
+	}
+	vms := DefaultVMSpecs(spec.VMs, spec.DCs)
+	if spec.AllHomesAt != nil {
+		for i := range vms {
+			vms[i].HomeDC = *spec.AllHomesAt
+		}
+	}
+	inv, err := cluster.NewInventory(pms, vms)
+	if err != nil {
+		return nil, err
+	}
+
+	var cfg trace.Config
+	if spec.Rotating {
+		cfg = trace.RotatingConfig(spec.Seed, vms[0], 4, trace.PaperTZOffsets())
+	} else {
+		scale := spec.VMScale
+		if scale == nil {
+			scale = make(map[model.VMID][]float64, len(vms))
+			for _, vm := range vms {
+				row := make([]float64, 4)
+				for i := range row {
+					row[i] = spec.LoadScale
+				}
+				scale[vm.ID] = row
+			}
+		}
+		cfg = trace.Config{
+			Seed:      spec.Seed,
+			Sources:   4,
+			VMs:       vms,
+			TZOffsetH: trace.PaperTZOffsets(),
+			Scale:     scale,
+			NoiseSD:   spec.NoiseSD,
+			HomeBias:  spec.HomeBias,
+		}
+		if spec.UniformClass != nil {
+			cfg.ClassOf = make(map[model.VMID]trace.ServiceClass, len(vms))
+			for _, vm := range vms {
+				cfg.ClassOf[vm.ID] = *spec.UniformClass
+			}
+		}
+		if spec.FlashCrowd {
+			// The paper's crowd hits in minutes 70-90 and "clearly exceeds
+			// the capacity of the system".
+			for _, vm := range vms {
+				cfg.Crowds = append(cfg.Crowds, trace.FlashCrowd{
+					StartTick: 70, EndTick: 90, Magnitude: 6,
+					Source: model.LocationID(int(vm.HomeDC)), VM: vm.ID,
+				})
+			}
+		}
+	}
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{
+		Inventory: inv,
+		Topology:  top,
+		Generator: gen,
+		Seed:      spec.Seed,
+	}
+	if spec.Params != nil {
+		simCfg.Params = *spec.Params
+	}
+	world, err := sim.NewWorld(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Spec: spec, World: world, Inventory: inv, Topology: top, Generator: gen, VMs: vms}, nil
+}
+
+// applyPricing installs the requested price schedule on the topology.
+func applyPricing(top *network.Topology, p Pricing) error {
+	base := p.Base
+	if base == nil {
+		base = make([]float64, top.NumDCs())
+		for dc := range base {
+			base[dc] = top.EnergyPrice(model.DCID(dc))
+		}
+	} else if len(base) != top.NumDCs() {
+		return fmt.Errorf("scenario: pricing has %d base prices, topology has %d DCs",
+			len(base), top.NumDCs())
+	}
+	switch p.Kind {
+	case "", "flat":
+		if p.Base != nil {
+			top.SetPriceSchedule(func(dc model.DCID, tick int) float64 { return base[dc] })
+		}
+	case "solar":
+		dip := p.SolarDip
+		if dip <= 0 {
+			dip = 0.95
+		}
+		top.SetPriceSchedule(network.SolarPricing(base, trace.PaperTZOffsets(), dip))
+	case "spike":
+		spikes := p.Spikes
+		top.SetPriceSchedule(func(dc model.DCID, tick int) float64 {
+			price := base[dc]
+			for _, s := range spikes {
+				if s.DC == dc && tick >= s.StartTick && tick < s.EndTick && s.Factor > 0 {
+					price *= s.Factor
+				}
+			}
+			return price
+		})
+	default:
+		return fmt.Errorf("scenario: unknown pricing kind %q", p.Kind)
+	}
+	return nil
+}
+
+// HomePlacement returns the placement that pins every VM to a PM of its
+// home DC — the static baseline of Figure 7 / Table III.
+func (s *Scenario) HomePlacement() model.Placement {
+	p := make(model.Placement, len(s.VMs))
+	for _, vm := range s.VMs {
+		pms := s.Inventory.PMsOfDC(vm.HomeDC)
+		if len(pms) == 0 {
+			p[vm.ID] = model.NoPM
+			continue
+		}
+		p[vm.ID] = pms[int(vm.ID)%len(pms)]
+	}
+	return p
+}
+
+// PileOn returns the placement that stacks every VM onto one host — the
+// degenerate starting point several experiments dig themselves out of.
+func (s *Scenario) PileOn(pm model.PMID) model.Placement {
+	p := make(model.Placement, len(s.VMs))
+	for _, vm := range s.VMs {
+		p[vm.ID] = pm
+	}
+	return p
+}

@@ -1,4 +1,4 @@
-package sim
+package sim_test
 
 import (
 	"testing"
@@ -7,7 +7,7 @@ import (
 )
 
 func TestFailPMEvictsGuests(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.PlaceInitial(model.Placement{0: 0, 1: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestFailPMEvictsGuests(t *testing.T) {
 }
 
 func TestFailPMUnknownAndIdempotent(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
 	if err := sc.World.FailPM(99); err == nil {
 		t.Fatal("accepted unknown PM")
 	}
@@ -47,7 +47,7 @@ func TestFailPMUnknownAndIdempotent(t *testing.T) {
 }
 
 func TestApplyScheduleRejectsFailedTargets(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.FailPM(1); err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestApplyScheduleRejectsFailedTargets(t *testing.T) {
 }
 
 func TestRecoverPMRestoresCandidacy(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
 	sc.World.FailPM(1)
 	if got := sc.World.FailedPMs(); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("FailedPMs = %v", got)
@@ -75,7 +75,7 @@ func TestRecoverPMRestoresCandidacy(t *testing.T) {
 }
 
 func TestFailureCancelsInFlightMigration(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.PlaceInitial(model.Placement{0: 0}); err != nil {
 		t.Fatal(err)
 	}

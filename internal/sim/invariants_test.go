@@ -1,4 +1,4 @@
-package sim
+package sim_test
 
 import (
 	"bytes"
@@ -7,6 +7,8 @@ import (
 	"testing/quick"
 
 	"repro/internal/model"
+	"repro/internal/scenario"
+	. "repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -16,8 +18,9 @@ import (
 // only on active hosts.
 func TestWorldInvariantsUnderRandomPlacements(t *testing.T) {
 	f := func(seed uint64, churn uint8) bool {
-		sc, err := NewScenario(ScenarioOpts{
-			Seed: seed%1000 + 1, VMs: 4, PMsPerDC: 2, DCs: 2, LoadScale: 2,
+		sc, err := scenario.Build(scenario.Spec{
+			Name: "invariants", Seed: seed%1000 + 1,
+			DCs: 2, PMsPerDC: 2, VMs: 4, LoadScale: 2,
 		})
 		if err != nil {
 			return false
@@ -103,7 +106,9 @@ func TestWorldInvariantsUnderRandomPlacements(t *testing.T) {
 // generator, the CSV codec and the simulator: a world driven by a replayed
 // export behaves identically to one driven by the generator.
 func TestWorldRunsOnReplayedTrace(t *testing.T) {
-	sc, err := NewScenario(ScenarioOpts{Seed: 77, VMs: 3, PMsPerDC: 1, DCs: 2})
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "replay", Seed: 77, DCs: 2, PMsPerDC: 1, VMs: 3,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,20 +12,19 @@
 //     bandwidth-pressure penalties;
 //   - migrating VMs answer nothing (SLA 0) for the migration duration;
 //   - empty machines are powered off, active ones follow the Atom curve.
+//
+// The computation lives in Engine, a flat, index-based core whose tick hot
+// path is allocation-free (see engine.go). World wraps an Engine with the
+// historical map-shaped API (TickStats with per-DC maps and a placement
+// snapshot) so existing callers keep working.
 package sim
 
 import (
-	"fmt"
-	"math"
-
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/network"
 	"repro/internal/power"
-	"repro/internal/queueing"
-	"repro/internal/rng"
-	"repro/internal/sla"
 )
 
 // Params are the ground-truth behavioural constants of the simulated fleet.
@@ -82,9 +81,16 @@ func DefaultParams() Params {
 
 // Workload supplies the per-tick load vectors of every VM. The synthetic
 // generator (trace.Generator) and the CSV replayer (trace.Replay) both
-// implement it; results must be deterministic in tick.
+// implement it.
+//
+// Fill writes the load vector of vms[i] into dst[i] for every i. Each
+// dst[i] is a caller-owned row with one slot per client location that the
+// implementation must fully overwrite (zeroing slots it has no data for),
+// never grow or retain — the engine reuses the rows across ticks, which is
+// what keeps the tick hot path allocation-free. Results must be
+// deterministic in tick.
 type Workload interface {
-	Loads(tick int) map[model.VMID]model.LoadVector
+	Fill(tick int, vms []model.VMID, dst []model.LoadVector)
 }
 
 // Config assembles a world.
@@ -139,396 +145,57 @@ type TickStats struct {
 	Placement     model.Placement
 }
 
-// vmOutcome pairs a VM's spec with the truth being computed for the tick.
-type vmOutcome struct {
-	truth VMTruth
-	spec  model.VMSpec
-}
-
-// World is the running simulation. It is not safe for concurrent use.
-type World struct {
-	cfg      Config
-	state    *cluster.State
-	obs      *monitor.Observer
-	rt       *rng.Stream
-	tick     int
-	ledger   sla.Ledger
-	energy   power.Accountant
-	queues   map[model.VMID]float64
-	downtime map[model.VMID]float64 // remaining migration downtime, seconds
-	vmTruth  map[model.VMID]VMTruth
-	pmTruth  map[model.PMID]PMTruth
-	failed   map[model.PMID]bool
-	migrated int // total migrations started
-	// migratedAtLastStep snapshots migrated at the end of each Step so the
-	// next Step can attribute newly started migrations to itself even when
-	// ApplySchedule ran between the two steps.
-	migratedAtLastStep int
-}
-
 // TickSeconds is the tick length in seconds.
 const TickSeconds = 60.0
 
 // TickHours is the tick length in hours.
 const TickHours = TickSeconds / 3600
 
+// World is the running simulation: a thin adapter that keeps the
+// historical map-shaped API on top of the index-based Engine. All state
+// lives in the embedded Engine; World only reshapes Step's output. It is
+// not safe for concurrent use.
+type World struct {
+	*Engine
+}
+
 // NewWorld validates the configuration and builds a fresh world at tick 0
 // with every VM unplaced.
 func NewWorld(cfg Config) (*World, error) {
-	if cfg.Inventory == nil || cfg.Topology == nil || cfg.Generator == nil {
-		return nil, fmt.Errorf("sim: inventory, topology and generator are required")
-	}
-	if cfg.Power == nil {
-		cfg.Power = power.Atom{}
-	}
-	if cfg.Params == (Params{}) {
-		cfg.Params = DefaultParams()
-	}
-	if cfg.Noise == (monitor.NoiseConfig{}) {
-		// The paper's monitors are noisy by nature (Section IV-B); a zero
-		// config means "default distortions", not a perfect oracle.
-		cfg.Noise = monitor.DefaultNoise
-	}
-	if cfg.Inventory.NumDCs() > cfg.Topology.NumDCs() {
-		return nil, fmt.Errorf("sim: inventory spans %d DCs but topology has %d",
-			cfg.Inventory.NumDCs(), cfg.Topology.NumDCs())
-	}
-	w := &World{
-		cfg:      cfg,
-		state:    cluster.NewState(cfg.Inventory),
-		obs:      monitor.NewObserver(cfg.Noise, 10, rng.NewNamed(cfg.Seed, "sim/monitor")),
-		rt:       rng.NewNamed(cfg.Seed, "sim/rt"),
-		queues:   make(map[model.VMID]float64),
-		downtime: make(map[model.VMID]float64),
-		vmTruth:  make(map[model.VMID]VMTruth),
-		pmTruth:  make(map[model.PMID]PMTruth),
-	}
-	return w, nil
-}
-
-// State exposes the placement state (for schedulers via the manager).
-func (w *World) State() *cluster.State { return w.state }
-
-// Observer exposes the monitored view of the world.
-func (w *World) Observer() *monitor.Observer { return w.obs }
-
-// Topology exposes the network substrate.
-func (w *World) Topology() *network.Topology { return w.cfg.Topology }
-
-// Inventory exposes the fleet description.
-func (w *World) Inventory() *cluster.Inventory { return w.cfg.Inventory }
-
-// Params exposes the ground-truth constants.
-func (w *World) Params() Params { return w.cfg.Params }
-
-// SetParams swaps the ground-truth behavioural constants mid-run — the
-// injection point for "hardware or middleware changes" (Section IV-B):
-// a kernel update altering the memory footprint, a hypervisor upgrade
-// changing its overhead. Learned models trained before the change are
-// silently wrong after it; the online-learning extension detects and
-// repairs this.
-func (w *World) SetParams(p Params) { w.cfg.Params = p }
-
-// Tick returns the current simulation tick.
-func (w *World) Tick() int { return w.tick }
-
-// Ledger returns a copy of the money accounting so far.
-func (w *World) Ledger() sla.Ledger { return w.ledger }
-
-// TotalMigrations returns the number of migrations started since t=0.
-func (w *World) TotalMigrations() int { return w.migrated }
-
-// VMTruthAt returns the hidden state of a VM from the last Step.
-func (w *World) VMTruthAt(vm model.VMID) (VMTruth, bool) {
-	t, ok := w.vmTruth[vm]
-	return t, ok
-}
-
-// PMTruthAt returns the hidden state of a PM from the last Step.
-func (w *World) PMTruthAt(pm model.PMID) (PMTruth, bool) {
-	t, ok := w.pmTruth[pm]
-	return t, ok
-}
-
-// PlaceInitial installs a placement with no migration cost, valid only at
-// tick zero (before any Step).
-func (w *World) PlaceInitial(p model.Placement) error {
-	if w.tick != 0 {
-		return fmt.Errorf("sim: PlaceInitial after tick %d", w.tick)
-	}
-	_, err := w.state.Apply(p)
-	return err
-}
-
-// ApplySchedule installs a new placement, starting a migration (with its
-// SLA blackout) for every VM whose host changes.
-func (w *World) ApplySchedule(p model.Placement) error {
-	if err := w.validatePlacementTargets(p); err != nil {
-		return err
-	}
-	old := w.state.Placement()
-	moved, err := w.state.Apply(p)
+	e, err := NewEngine(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for _, vm := range moved {
-		spec, ok := w.cfg.Inventory.VM(vm)
-		if !ok {
-			continue
-		}
-		oldPM, hadOld := old[vm]
-		newPM := p[vm]
-		if !hadOld || oldPM == model.NoPM || newPM == model.NoPM {
-			continue // initial placement or eviction: no image transfer
-		}
-		fromDC := w.cfg.Inventory.DCOf(oldPM)
-		toDC := w.cfg.Inventory.DCOf(newPM)
-		d := w.cfg.Topology.MigrationDuration(spec.ImageSizeGB, fromDC, toDC)
-		w.downtime[vm] += d
-		w.migrated++
-		// The explicit fpenalty charge: full price for the downtime.
-		w.ledger.AddPenalty(sla.MigrationPenalty(spec.PriceEURh, d/3600))
-	}
-	return nil
+	return &World{Engine: e}, nil
 }
 
-// RequiredResources computes the true requirement of a VM under the given
-// aggregate load — fRequiredResources (constraint 5.1).
-func (w *World) RequiredResources(spec model.VMSpec, total model.Load) model.Resources {
-	p := w.cfg.Params
-	cpu := p.VMBaseCPUPct + queueing.CPURequiredPct(queueing.Demand{
-		RPS: total.RPS, CPUTimeReq: total.CPUTimeReq * p.cpuCostFactor(),
-	}, p.TargetRho)
-	mem := spec.BaseMemMB + p.MemPerRPS*total.RPS
-	if spec.MaxMemMB > 0 && mem > spec.MaxMemMB {
-		mem = spec.MaxMemMB
-	}
-	bw := queueing.BandwidthNeedMbps(total.RPS, total.BytesInReq, total.BytesOutRq)
-	return model.Resources{CPUPct: cpu, MemMB: mem, BWMbps: bw}
-}
-
-// Step advances the world by one tick: draws the workload, resolves
-// resource occupation on every PM, computes response times, SLA, power and
-// money, feeds the monitoring pipeline and returns the tick summary.
+// Step advances the world by one tick and reshapes the Engine's summary
+// into the map-carrying TickStats. The numbers are bit-identical to the
+// Engine path: Step adds no computation, only the map views.
 func (w *World) Step() TickStats {
-	loads := w.cfg.Generator.Loads(w.tick)
-	stats := TickStats{
-		Tick:       w.tick,
-		MinSLA:     1,
-		PerDCWatts: make(map[model.DCID]float64),
-		Placement:  w.state.Placement(),
+	s := w.Engine.Step()
+	st := TickStats{
+		Tick:          s.Tick,
+		AvgSLA:        s.AvgSLA,
+		MinSLA:        s.MinSLA,
+		FacilityWatts: s.FacilityWatts,
+		ActivePMs:     s.ActivePMs,
+		Migrations:    s.Migrations,
+		RevenueEUR:    s.RevenueEUR,
+		EnergyEUR:     s.EnergyEUR,
+		PenaltyEUR:    s.PenaltyEUR,
+		ProfitEUR:     s.ProfitEUR,
+		TotalRPS:      s.TotalRPS,
+		PerDCWatts:    make(map[model.DCID]float64),
+		Placement:     w.State().Placement(),
 	}
-
-	// Per-PM resolution.
-	outcomes := make(map[model.VMID]*vmOutcome)
-	var slaWeighted, rpsTotal float64
-
-	for _, pmSpec := range w.cfg.Inventory.PMs() {
-		guests := w.state.GuestsOf(pmSpec.ID)
-		pmt := PMTruth{Guests: len(guests)}
-		if len(guests) == 0 {
-			w.pmTruth[pmSpec.ID] = pmt
-			continue
+	watts := w.PerDCWatts()
+	for dc, active := range w.PerDCActive() {
+		if active > 0 {
+			st.PerDCWatts[model.DCID(dc)] = watts[dc]
 		}
-		pmt.On = true
-		// Requirements of every guest under its current load.
-		req := make(map[model.VMID]model.Resources, len(guests))
-		for _, vm := range guests {
-			spec, _ := w.cfg.Inventory.VM(vm)
-			lv, ok := loads[vm]
-			if !ok {
-				lv = make(model.LoadVector, w.cfg.Topology.NumDCs())
-			}
-			total := lv.Total()
-			req[vm] = w.RequiredResources(spec, total)
-			outcomes[vm] = &vmOutcome{
-				spec: spec,
-				truth: VMTruth{
-					Load:     lv,
-					Total:    total,
-					Required: req[vm],
-					Host:     pmSpec.ID,
-				},
-			}
-		}
-		grants := cluster.Occupation(pmSpec.Capacity, req)
-		var sumUsedCPU, sumMem, sumBW float64
-		for _, vm := range guests {
-			oc := outcomes[vm]
-			oc.truth.Granted = grants[vm]
-			w.resolveVM(oc, pmSpec)
-			sumUsedCPU += oc.truth.Used.CPUPct
-			sumMem += oc.truth.Used.MemMB
-			sumBW += oc.truth.Used.BWMbps
-		}
-		// PM aggregate: guests plus hypervisor overhead (the reason the
-		// paper learns PM CPU separately from the VM sum).
-		p := w.cfg.Params
-		pmCPU := sumUsedCPU + p.VirtBasePct + p.VirtPerVMPct*float64(len(guests)) + p.VirtFrac*sumUsedCPU
-		if pmCPU > pmSpec.Capacity.CPUPct {
-			pmCPU = pmSpec.Capacity.CPUPct
-		}
-		pmt.Usage = model.Resources{CPUPct: pmCPU, MemMB: sumMem, BWMbps: sumBW}
-		pmt.ITWatts = w.cfg.Power.Watts(pmCPU)
-		pmt.FacilityWatts = power.FacilityWatts(w.cfg.Power, pmCPU)
-		w.pmTruth[pmSpec.ID] = pmt
-
-		dc := pmSpec.DC
-		stats.PerDCWatts[dc] += pmt.FacilityWatts
-		stats.FacilityWatts += pmt.FacilityWatts
-		stats.ActivePMs++
-		priceKWh := w.cfg.Topology.EnergyPriceAt(dc, w.tick)
-		w.ledger.AddEnergy(power.EnergyEUR(pmt.FacilityWatts, TickHours, priceKWh))
-		w.energy.Observe(pmt.FacilityWatts, priceKWh, TickHours)
-		w.obs.ObservePM(w.tick, pmSpec.ID, pmt.Usage)
 	}
-
-	// Unhosted VMs: no service at all.
-	for _, spec := range w.cfg.Inventory.VMs() {
-		if _, ok := outcomes[spec.ID]; ok {
-			continue
-		}
-		lv, ok := loads[spec.ID]
-		if !ok {
-			lv = make(model.LoadVector, w.cfg.Topology.NumDCs())
-		}
-		total := lv.Total()
-		oc := &vmOutcome{spec: spec, truth: VMTruth{
-			Load: lv, Total: total, Host: model.NoPM,
-			RTProcess: queueing.MaxRT, SLA: 0,
-		}}
-		if total.RPS <= 0 {
-			oc.truth.SLA = 1
-		}
-		oc.truth.RTBySource = make([]float64, w.cfg.Topology.NumDCs())
-		for i := range oc.truth.RTBySource {
-			oc.truth.RTBySource[i] = queueing.MaxRT
-		}
-		outcomes[spec.ID] = oc
-	}
-
-	// Money and monitoring per VM, in stable inventory order so floating-
-	// point accumulation is deterministic run to run.
-	for _, spec := range w.cfg.Inventory.VMs() {
-		vmID := spec.ID
-		oc := outcomes[vmID]
-		t := &oc.truth
-		rev := sla.Revenue(oc.spec.PriceEURh, t.SLA, TickHours)
-		w.ledger.AddRevenue(rev)
-		stats.RevenueEUR += rev
-		slaWeighted += t.SLA * math.Max(t.Total.RPS, 1e-9)
-		rpsTotal += math.Max(t.Total.RPS, 1e-9)
-		stats.TotalRPS += t.Total.RPS
-		if t.SLA < stats.MinSLA {
-			stats.MinSLA = t.SLA
-		}
-		w.obs.ObserveVM(w.tick, vmID, t.Used, t.Total, t.RTProcess, t.SLA, t.QueueLen)
-		w.vmTruth[vmID] = *t
-	}
-
-	if rpsTotal > 0 {
-		stats.AvgSLA = slaWeighted / rpsTotal
-	} else {
-		stats.AvgSLA = 1
-	}
-	stats.Migrations = w.migrated - w.migratedAtLastStep
-	w.migratedAtLastStep = w.migrated
-	w.ledger.Tick()
-	w.energy.Tick()
-	stats.EnergyEUR = w.ledger.EnergyCost()
-	stats.PenaltyEUR = w.ledger.Penalties()
-	stats.ProfitEUR = w.ledger.Profit()
-	w.tick++
-	return stats
-}
-
-// resolveVM computes the hidden behaviour of one hosted VM for this tick.
-func (w *World) resolveVM(oc *vmOutcome, pmSpec model.PMSpec) {
-	t := &oc.truth
-	total := t.Total
-	p := w.cfg.Params
-
-	// Migration blackout: consume remaining downtime against this tick.
-	downFrac := 0.0
-	if d := w.downtime[oc.spec.ID]; d > 0 {
-		use := math.Min(d, TickSeconds)
-		w.downtime[oc.spec.ID] = d - use
-		if w.downtime[oc.spec.ID] <= 1e-9 {
-			delete(w.downtime, oc.spec.ID)
-		}
-		downFrac = use / TickSeconds
-		t.Migrating = true
-	}
-
-	demand := queueing.Demand{
-		RPS:        total.RPS,
-		CPUTimeReq: total.CPUTimeReq * p.cpuCostFactor(),
-		BytesInReq: total.BytesInReq,
-		BytesOutRq: total.BytesOutRq,
-	}
-	grant := queueing.Grant{
-		CPUPct:   math.Max(t.Granted.CPUPct-p.VMBaseCPUPct, 1),
-		MemMB:    t.Granted.MemMB,
-		MemReqMB: t.Required.MemMB,
-		BWMbps:   t.Granted.BWMbps,
-		BWReqMbp: t.Required.BWMbps,
-	}
-	rt := queueing.ResponseTime(demand, grant)
-	// A pending-request backlog at the gateway delays every new arrival by
-	// the time needed to serve the queue ahead of it — the reason queue
-	// length is a predictive feature in the paper.
-	mu := queueing.ServiceCapacityRPS(grant.CPUPct, total.CPUTimeReq*p.cpuCostFactor())
-	backlogBefore := w.queues[oc.spec.ID]
-	if backlogBefore > 0 && !math.IsInf(mu, 1) && mu > 0 {
-		wait := backlogBefore / mu
-		if wait > p.MaxWaitRT {
-			wait = p.MaxWaitRT
-		}
-		rt += wait
-	}
-	if p.RTNoiseSD > 0 {
-		rt *= w.rt.LogNormal(-p.RTNoiseSD*p.RTNoiseSD/2, p.RTNoiseSD)
-	}
-	if rt > queueing.MaxRT {
-		rt = queueing.MaxRT
-	}
-	t.RTProcess = rt
-
-	// Backlog dynamics: grows by the arrival surplus, drains by the
-	// service surplus plus an expiry fraction (impatient clients).
-	backlog := backlogBefore
-	if !math.IsInf(mu, 1) {
-		backlog += (total.RPS - mu) * TickSeconds
-	}
-	backlog *= (1 - p.QueueDecay)
-	if backlog < 1 {
-		backlog = 0
-	}
-	if backlog > 1e6 {
-		backlog = 1e6
-	}
-	w.queues[oc.spec.ID] = backlog
-	t.QueueLen = backlog
-
-	// Transport RT per source and the weighted SLA.
-	hostDC := pmSpec.DC
-	nloc := w.cfg.Topology.NumDCs()
-	t.RTBySource = make([]float64, nloc)
-	for loc := 0; loc < nloc; loc++ {
-		t.RTBySource[loc] = rt + w.cfg.Topology.LatencyClientDC(model.LocationID(loc), hostDC)
-	}
-	lvl := sla.WeightedFulfilment(oc.spec.Terms, t.RTBySource, t.Load)
-	// The migration blackout removes the migrating fraction of the tick.
-	t.SLA = lvl * (1 - downFrac)
-
-	// True resource use: a VM cannot use more than granted, and uses less
-	// when the load does not need the full grant.
-	wantCPU := p.VMBaseCPUPct + total.RPS*total.CPUTimeReq*p.cpuCostFactor()*100
-	t.Used = model.Resources{
-		CPUPct: math.Min(wantCPU, t.Granted.CPUPct),
-		MemMB:  math.Min(t.Required.MemMB, t.Granted.MemMB),
-		BWMbps: math.Min(t.Required.BWMbps, t.Granted.BWMbps),
-	}
+	return st
 }
 
 // Run advances n ticks, invoking cb (if non-nil) after each.
@@ -540,6 +207,3 @@ func (w *World) Run(n int, cb func(TickStats)) {
 		}
 	}
 }
-
-// AvgFacilityWatts returns the mean facility draw per tick so far.
-func (w *World) AvgFacilityWatts() float64 { return w.energy.AvgWatts(TickHours) }

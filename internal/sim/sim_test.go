@@ -1,37 +1,35 @@
-package sim
+package sim_test
 
 import (
 	"math"
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/scenario"
+	. "repro/internal/sim"
 )
 
-func newTestScenario(t *testing.T, opts ScenarioOpts) *Scenario {
+// testOpts mirrors the historical scenario knobs the world tests exercise.
+type testOpts struct {
+	Seed               uint64
+	VMs, PMsPerDC, DCs int
+	LoadScale, NoiseSD float64
+}
+
+func newTestScenario(t *testing.T, opts testOpts) *scenario.Scenario {
 	t.Helper()
 	if opts.Seed == 0 {
 		opts.Seed = 42
 	}
-	sc, err := NewScenario(opts)
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "sim-test", Seed: opts.Seed,
+		DCs: opts.DCs, PMsPerDC: opts.PMsPerDC, VMs: opts.VMs,
+		LoadScale: opts.LoadScale, NoiseSD: opts.NoiseSD,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return sc
-}
-
-func TestScenarioValidation(t *testing.T) {
-	if _, err := NewScenario(ScenarioOpts{DCs: 0, VMs: 1, PMsPerDC: 1}); err == nil {
-		t.Fatal("accepted 0 DCs")
-	}
-	if _, err := NewScenario(ScenarioOpts{DCs: 5, VMs: 1, PMsPerDC: 1}); err == nil {
-		t.Fatal("accepted 5 DCs")
-	}
-	if _, err := NewScenario(ScenarioOpts{DCs: 2, VMs: 0, PMsPerDC: 1}); err == nil {
-		t.Fatal("accepted 0 VMs")
-	}
-	if _, err := NewScenario(ScenarioOpts{DCs: 2, VMs: 1, PMsPerDC: 0}); err == nil {
-		t.Fatal("accepted 0 PMs")
-	}
 }
 
 func TestNewWorldValidation(t *testing.T) {
@@ -41,7 +39,7 @@ func TestNewWorldValidation(t *testing.T) {
 }
 
 func TestUnplacedVMsEarnNothing(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
 	st := sc.World.Step()
 	if st.AvgSLA != 0 {
 		t.Fatalf("unplaced AvgSLA = %v, want 0", st.AvgSLA)
@@ -55,7 +53,7 @@ func TestUnplacedVMsEarnNothing(t *testing.T) {
 }
 
 func TestPlacedVMServesWell(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
 	if err := sc.World.PlaceInitial(model.Placement{0: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +81,7 @@ func TestPlacedVMServesWell(t *testing.T) {
 }
 
 func TestPlaceInitialAfterStepFails(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
 	sc.World.Step()
 	if err := sc.World.PlaceInitial(model.Placement{0: 0}); err == nil {
 		t.Fatal("PlaceInitial allowed after Step")
@@ -92,7 +90,7 @@ func TestPlaceInitialAfterStepFails(t *testing.T) {
 
 func TestOverloadDegradesSLA(t *testing.T) {
 	// Crank load far beyond one host's capacity.
-	sc := newTestScenario(t, ScenarioOpts{VMs: 4, PMsPerDC: 1, DCs: 1, LoadScale: 6})
+	sc := newTestScenario(t, testOpts{VMs: 4, PMsPerDC: 1, DCs: 1, LoadScale: 6})
 	p := model.Placement{}
 	for i := 0; i < 4; i++ {
 		p[model.VMID(i)] = 0
@@ -113,7 +111,7 @@ func TestOverloadDegradesSLA(t *testing.T) {
 }
 
 func TestMigrationBlackoutAndPenalty(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.PlaceInitial(model.Placement{0: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +144,7 @@ func TestMigrationBlackoutAndPenalty(t *testing.T) {
 }
 
 func TestInitialPlacementViaApplyCostsNothing(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.ApplySchedule(model.Placement{0: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +156,7 @@ func TestInitialPlacementViaApplyCostsNothing(t *testing.T) {
 func TestConsolidationUsesFewerWatts(t *testing.T) {
 	// Two VMs on one PM vs two PMs: consolidated must burn fewer watts.
 	run := func(p model.Placement) float64 {
-		sc := newTestScenario(t, ScenarioOpts{VMs: 2, PMsPerDC: 2, DCs: 1})
+		sc := newTestScenario(t, testOpts{VMs: 2, PMsPerDC: 2, DCs: 1})
 		if err := sc.World.PlaceInitial(p); err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +179,7 @@ func TestRemoteHostingAddsTransportRT(t *testing.T) {
 	// Same VM hosted at home vs across the world: remote must see worse SLA
 	// under identical load.
 	run := func(pm model.PMID) float64 {
-		sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 4, Seed: 9})
+		sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 4, Seed: 9})
 		if err := sc.World.PlaceInitial(model.Placement{0: pm}); err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +196,7 @@ func TestRemoteHostingAddsTransportRT(t *testing.T) {
 }
 
 func TestPMTruthAndPerDCWatts(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
 	if err := sc.World.PlaceInitial(model.Placement{0: 0, 1: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +227,7 @@ func TestPMTruthAndPerDCWatts(t *testing.T) {
 }
 
 func TestRequiredResourcesShape(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
+	sc := newTestScenario(t, testOpts{VMs: 1, PMsPerDC: 1, DCs: 1})
 	spec := sc.VMs[0]
 	low := sc.World.RequiredResources(spec, model.Load{RPS: 5, CPUTimeReq: 0.01, BytesOutRq: 1000})
 	high := sc.World.RequiredResources(spec, model.Load{RPS: 50, CPUTimeReq: 0.01, BytesOutRq: 1000})
@@ -250,7 +248,7 @@ func TestRequiredResourcesShape(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	run := func() []float64 {
-		sc := newTestScenario(t, ScenarioOpts{VMs: 3, PMsPerDC: 2, DCs: 2, Seed: 77, NoiseSD: 0.1})
+		sc := newTestScenario(t, testOpts{VMs: 3, PMsPerDC: 2, DCs: 2, Seed: 77, NoiseSD: 0.1})
 		p := model.Placement{0: 0, 1: 1, 2: 2}
 		if err := sc.World.PlaceInitial(p); err != nil {
 			t.Fatal(err)
@@ -270,7 +268,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestQueueBacklogGrowsUnderOverload(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 4, PMsPerDC: 1, DCs: 1, LoadScale: 8})
+	sc := newTestScenario(t, testOpts{VMs: 4, PMsPerDC: 1, DCs: 1, LoadScale: 8})
 	p := model.Placement{}
 	for i := 0; i < 4; i++ {
 		p[model.VMID(i)] = 0
@@ -292,7 +290,7 @@ func TestQueueBacklogGrowsUnderOverload(t *testing.T) {
 }
 
 func TestHomePlacement(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 5, PMsPerDC: 1, DCs: 4})
+	sc := newTestScenario(t, testOpts{VMs: 5, PMsPerDC: 1, DCs: 4})
 	p := sc.HomePlacement()
 	for _, vm := range sc.VMs {
 		pm := p[vm.ID]
@@ -303,7 +301,7 @@ func TestHomePlacement(t *testing.T) {
 }
 
 func TestLedgerConsistency(t *testing.T) {
-	sc := newTestScenario(t, ScenarioOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
+	sc := newTestScenario(t, testOpts{VMs: 2, PMsPerDC: 1, DCs: 2})
 	sc.World.PlaceInitial(model.Placement{0: 0, 1: 1})
 	var last TickStats
 	sc.World.Run(30, func(st TickStats) { last = st })

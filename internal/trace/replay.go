@@ -90,8 +90,28 @@ func NewReplay(r io.Reader, sources int) (*Replay, error) {
 // Ticks returns the recording length.
 func (r *Replay) Ticks() int { return r.ticks }
 
-// Loads implements the sim.Workload contract; ticks wrap modulo the
-// recording length.
+// Fill implements the sim.Workload contract; ticks wrap modulo the
+// recording length. Rows are fully overwritten: recorded streams are
+// copied in, everything else is zeroed. Fill performs no allocations.
+func (r *Replay) Fill(tick int, vms []model.VMID, dst []model.LoadVector) {
+	t := tick % r.ticks
+	if t < 0 {
+		t += r.ticks
+	}
+	byVM := r.loads[t]
+	for i, id := range vms {
+		row := dst[i]
+		for k := range row {
+			row[k] = model.Load{}
+		}
+		if lv, ok := byVM[id]; ok {
+			copy(row, lv)
+		}
+	}
+}
+
+// Loads returns the recorded load vectors of one tick in a fresh map;
+// ticks wrap modulo the recording length.
 func (r *Replay) Loads(tick int) map[model.VMID]model.LoadVector {
 	t := tick % r.ticks
 	if t < 0 {
@@ -116,14 +136,17 @@ func ExportCSV(w io.Writer, g *Generator, ticks int) error {
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for t := 0; t < ticks; t++ {
-		for vm, lv := range g.Loads(t) {
+		// Rows come out in (tick, VM, source) order so exports are
+		// byte-stable across runs.
+		for _, vm := range g.cfg.VMs {
+			lv := g.LoadsFor(vm.ID, t)
 			for src, l := range lv {
 				if l.RPS <= 0 {
 					continue
 				}
 				err := cw.Write([]string{
 					strconv.Itoa(t),
-					strconv.Itoa(int(vm)),
+					strconv.Itoa(int(vm.ID)),
 					strconv.Itoa(src),
 					f(l.RPS), f(l.BytesInReq), f(l.BytesOutRq), f(l.CPUTimeReq),
 				})

@@ -19,6 +19,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/model"
 	"repro/internal/rng"
@@ -113,10 +114,17 @@ type Config struct {
 	DiurnalFloor float64
 }
 
-// Generator produces per-tick load vectors for every VM.
+// Generator produces per-tick load vectors for every VM. It is not safe
+// for concurrent use: Fill and Loads share one reseedable draw stream.
 type Generator struct {
-	cfg     Config
-	streams map[model.VMID]*rng.Stream
+	cfg  Config
+	byID map[model.VMID]*model.VMSpec
+	// scratch is the reusable per-(VM, tick) stream: each fill reseeds it
+	// to the state a fresh NewNamed(seed, "trace/<vm>/<tick>") would have,
+	// so the draws are identical to building one stream per call without
+	// the per-call allocations.
+	scratch *rng.Stream
+	nameBuf []byte
 }
 
 // NewGenerator validates the configuration and builds a generator.
@@ -147,9 +155,14 @@ func NewGenerator(cfg Config) (*Generator, error) {
 			cfg.ClassOf[vm.ID] = ClassByIndex(i)
 		}
 	}
-	g := &Generator{cfg: cfg, streams: make(map[model.VMID]*rng.Stream, len(cfg.VMs))}
-	for _, vm := range cfg.VMs {
-		g.streams[vm.ID] = rng.NewNamed(cfg.Seed, "trace/"+vm.Name+vm.ID.String())
+	g := &Generator{
+		cfg:     cfg,
+		byID:    make(map[model.VMID]*model.VMSpec, len(cfg.VMs)),
+		scratch: rng.New(0, 0),
+		nameBuf: make([]byte, 0, 32),
+	}
+	for i := range cfg.VMs {
+		g.byID[cfg.VMs[i].ID] = &cfg.VMs[i]
 	}
 	return g, nil
 }
@@ -170,33 +183,61 @@ func diurnal(localHour, floor float64) float64 {
 	return floor + (1-floor)*base
 }
 
-// Loads returns the load vector of every VM at the given tick. The result
-// is deterministic in (seed, tick): calling Loads twice for the same tick
-// yields identical vectors, which the simulator relies on.
+// Fill implements the sim.Workload contract: it writes the load vector of
+// vms[i] into dst[i] for every i, overwriting every slot so rows can be
+// reused across ticks. Rows shorter than Sources receive a prefix; slots
+// beyond Sources are zeroed. The result is deterministic in (seed, tick)
+// and independent of query order. Fill performs no per-tick allocations.
+func (g *Generator) Fill(tick int, vms []model.VMID, dst []model.LoadVector) {
+	for i, id := range vms {
+		g.fillFor(id, tick, dst[i])
+	}
+}
+
+// Loads returns the load vector of every VM at the given tick in a fresh
+// map — the convenience form of Fill for exporters and tests.
 func (g *Generator) Loads(tick int) map[model.VMID]model.LoadVector {
 	out := make(map[model.VMID]model.LoadVector, len(g.cfg.VMs))
 	for _, vm := range g.cfg.VMs {
-		out[vm.ID] = g.loadsFor(vm, tick)
+		lv := make(model.LoadVector, g.cfg.Sources)
+		g.fillFor(vm.ID, tick, lv)
+		out[vm.ID] = lv
 	}
 	return out
 }
 
 // LoadsFor returns one VM's load vector at the given tick.
 func (g *Generator) LoadsFor(id model.VMID, tick int) model.LoadVector {
-	for _, vm := range g.cfg.VMs {
-		if vm.ID == id {
-			return g.loadsFor(vm, tick)
-		}
-	}
-	return make(model.LoadVector, g.cfg.Sources)
+	lv := make(model.LoadVector, g.cfg.Sources)
+	g.fillFor(id, tick, lv)
+	return lv
 }
 
-func (g *Generator) loadsFor(vm model.VMSpec, tick int) model.LoadVector {
-	class := g.cfg.ClassOf[vm.ID]
+// tickStream reseeds the scratch stream to the deterministic per-(vm, tick)
+// state, equivalent to rng.NewNamed(seed, fmt.Sprintf("trace/%s/%d", vm, tick))
+// without the allocations.
+func (g *Generator) tickStream(id model.VMID, tick int) *rng.Stream {
+	b := append(g.nameBuf[:0], "trace/vm"...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(tick), 10)
+	g.nameBuf = b
+	g.scratch.Reseed(g.cfg.Seed, rng.NamedSeedBytes(b))
+	return g.scratch
+}
+
+func (g *Generator) fillFor(id model.VMID, tick int, row model.LoadVector) {
+	for i := range row {
+		row[i] = model.Load{}
+	}
+	vm, ok := g.byID[id]
+	if !ok {
+		return
+	}
+	class := g.cfg.ClassOf[id]
 	// Deterministic per-(vm, tick) stream: noise does not depend on how many
 	// times or in what order ticks are queried.
-	s := rng.NewNamed(g.cfg.Seed, fmt.Sprintf("trace/%s/%d", vm.ID, tick))
-	lv := make(model.LoadVector, g.cfg.Sources)
+	s := g.tickStream(id, tick)
 	hourUTC := float64(tick) / float64(model.TicksPerHour)
 	for loc := 0; loc < g.cfg.Sources; loc++ {
 		tz := 0.0
@@ -205,13 +246,13 @@ func (g *Generator) loadsFor(vm model.VMSpec, tick int) model.LoadVector {
 		}
 		localHour := math.Mod(hourUTC+tz+240, 24) // +240 keeps Mod positive
 		day := diurnal(localHour, g.cfg.DiurnalFloor)
-		share := g.sourceShare(vm, model.LocationID(loc))
+		share := g.sourceShare(*vm, model.LocationID(loc))
 		rate := class.BaseRPS * day * share
-		rate *= g.scale(vm.ID, loc)
+		rate *= g.scale(id, loc)
 		if g.cfg.NoiseSD > 0 {
 			rate *= s.LogNormal(-g.cfg.NoiseSD*g.cfg.NoiseSD/2, g.cfg.NoiseSD)
 		}
-		rate += g.crowdBoost(vm.ID, model.LocationID(loc), tick, class.BaseRPS)
+		rate += g.crowdBoost(id, model.LocationID(loc), tick, class.BaseRPS)
 		if rate < 0 {
 			rate = 0
 		}
@@ -225,14 +266,17 @@ func (g *Generator) loadsFor(vm model.VMSpec, tick int) model.LoadVector {
 			}
 		}
 		cpuReq := class.CPUTimeReq * s.LogNormal(-0.02, 0.2)
-		lv[loc] = model.Load{
+		bytesIn := class.BytesInReq * s.LogNormal(-0.005, 0.1)
+		if loc >= len(row) {
+			continue // draws stay aligned even when the row is short
+		}
+		row[loc] = model.Load{
 			RPS:        rate,
-			BytesInReq: class.BytesInReq * s.LogNormal(-0.005, 0.1),
+			BytesInReq: bytesIn,
 			BytesOutRq: out,
 			CPUTimeReq: cpuReq,
 		}
 	}
-	return lv
 }
 
 // sourceShare distributes a VM's clients: HomeBias at the home location,
