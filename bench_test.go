@@ -271,7 +271,7 @@ func BenchmarkEngineTick(b *testing.B) {
 // BenchmarkBestFitRound measures one full scheduling decision, serial vs
 // parallel candidate evaluation (the hpc ablation).
 func BenchmarkBestFitRound(b *testing.B) {
-	problem := syntheticProblem(b, 24, 16)
+	problem := syntheticProblem(24, 16)
 	cost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
 	for _, mode := range []struct {
 		name     string
@@ -280,6 +280,38 @@ func BenchmarkBestFitRound(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			bf := sched.NewBestFit(cost, sched.NewObserved())
 			bf.Parallel = mode.parallel
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Schedule(problem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleRound measures one full scheduling round (the paper's
+// 10-minute decision, Algorithm 1 with the ML estimator) at paper size and
+// at production-fleet size. This is the decision-maker hot path the
+// allocation-free Round refactor targets; AllocsPerRun coverage lives in
+// sched_alloc_test.go.
+func BenchmarkScheduleRound(b *testing.B) {
+	bundle, err := experiments.TrainedBundle(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
+	for _, size := range []struct {
+		name       string
+		vms, hosts int
+	}{
+		{"Small", 24, 16},
+		{"Large", 200, 80},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			problem := syntheticProblem(size.vms, size.hosts)
+			bf := sched.NewBestFit(cost, sched.NewML(bundle))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := bf.Schedule(problem); err != nil {
@@ -313,9 +345,9 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
-// syntheticProblem builds a larger scheduling round for the solver benches.
-func syntheticProblem(b *testing.B, vms, hosts int) *sched.Problem {
-	b.Helper()
+// syntheticProblem builds a larger scheduling round for the solver benches
+// and the steady-state allocation tests.
+func syntheticProblem(vms, hosts int) *sched.Problem {
 	stream := rng.New(benchSeed, 99)
 	p := &sched.Problem{}
 	for i := 0; i < vms; i++ {

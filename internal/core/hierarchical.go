@@ -25,18 +25,32 @@ type Hierarchical struct {
 	// ExportSLA is the local-fulfilment threshold below which a VM is
 	// offered to the global round.
 	ExportSLA float64
+	// MaxExportsPerDC bounds how many struggling VMs each DC offers to the
+	// global round, keeping the paper's interface actually narrow: under
+	// fleet-wide strain the threshold alone would export nearly everything
+	// and the global round would grow back to the flat problem. The worst
+	// locally-fulfilled VMs are exported first; the rest retry next round.
+	MaxExportsPerDC int
 	// HostsPerDC is how many candidate hosts each DC exports.
 	HostsPerDC int
 	// Workers bounds the per-DC parallelism of the local rounds.
 	Workers int
+
+	// Reused per-DC local schedulers plus the global-round scheduler: each
+	// owns a Round whose storage (and memoized estimates) survive across
+	// management rounds. localBF[dc] is touched only by the worker running
+	// dc's local round.
+	localBF  []*sched.BestFit
+	globalBF *sched.BestFit
 }
 
 // NewHierarchical builds the two-layer scheduler with paper-ish defaults.
 func NewHierarchical(inv *cluster.Inventory, cost sched.CostModel, est sched.Estimator) *Hierarchical {
 	return &Hierarchical{
 		Inv: inv, Cost: cost, Est: est,
-		ExportSLA:  0.98,
-		HostsPerDC: 1,
+		ExportSLA:       0.98,
+		MaxExportsPerDC: 4,
+		HostsPerDC:      1,
 	}
 }
 
@@ -80,36 +94,54 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 	for dc := 0; dc < nDC; dc++ {
 		dcs = append(dcs, model.DCID(dc))
 	}
+	if len(h.localBF) < nDC {
+		h.localBF = append(h.localBF, make([]*sched.BestFit, nDC-len(h.localBF))...)
+	}
 	results := par.Map(dcs, h.Workers, func(dc model.DCID) localResult {
-		local := &sched.Problem{VMs: vmsByDC[dc], Hosts: hostsByDC[dc]}
+		local := &sched.Problem{VMs: vmsByDC[dc], Hosts: hostsByDC[dc], Tick: p.Tick}
 		if len(local.Hosts) == 0 {
 			return localResult{placement: model.Placement{}}
 		}
-		bf := sched.NewBestFit(h.Cost, h.Est)
+		if h.localBF[dc] == nil {
+			h.localBF[dc] = sched.NewBestFit(h.Cost, h.Est)
+		}
+		bf := h.localBF[dc]
 		placement, err := bf.Schedule(local)
 		if err != nil {
 			return localResult{err: err}
 		}
-		slas, err := h.estimateSLAs(local, placement)
+		slas, err := h.estimateSLAs(local, placement, bf.Session())
 		if err != nil {
 			return localResult{err: err}
 		}
-		var exports []sched.VMInfo
+		var candidates []int
 		for k := range local.VMs {
 			if slas[k] < h.ExportSLA {
-				vm := local.VMs[k]
-				// The export carries its local assignment as Current so the
-				// global round's hysteresis can keep it home: without a
-				// "stay" option, a strained DC's exports would all cram onto
-				// the few offered hosts.
-				if pm, ok := placement[vm.Spec.ID]; ok && pm != model.NoPM {
-					vm.Current = pm
-					vm.CurrentDC = dc
-				}
-				exports = append(exports, vm)
+				candidates = append(candidates, k)
 			}
 		}
-		offers := h.offerHosts(local, placement, exports)
+		// Narrow interface: only the worst-off candidates go global.
+		if cap := h.MaxExportsPerDC; cap > 0 && len(candidates) > cap {
+			sort.SliceStable(candidates, func(a, b int) bool {
+				return slas[candidates[a]] < slas[candidates[b]]
+			})
+			candidates = candidates[:cap]
+			sort.Ints(candidates) // restore VM order for determinism
+		}
+		var exports []sched.VMInfo
+		for _, k := range candidates {
+			vm := local.VMs[k]
+			// The export carries its local assignment as Current so the
+			// global round's hysteresis can keep it home: without a
+			// "stay" option, a strained DC's exports would all cram onto
+			// the few offered hosts.
+			if pm, ok := placement[vm.Spec.ID]; ok && pm != model.NoPM {
+				vm.Current = pm
+				vm.CurrentDC = dc
+			}
+			exports = append(exports, vm)
+		}
+		offers := h.offerHosts(local, placement, exports, bf.Session())
 		return localResult{placement: placement, exports: exports, offers: offers}
 	})
 
@@ -130,8 +162,10 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 
 	// Phase 2: the global inter-DC round over the narrow interface.
 	if len(globalVMs) > 0 && len(globalHosts) > 0 {
-		gbf := sched.NewBestFit(h.Cost, h.Est)
-		gPlacement, err := gbf.Schedule(&sched.Problem{VMs: globalVMs, Hosts: globalHosts})
+		if h.globalBF == nil {
+			h.globalBF = sched.NewBestFit(h.Cost, h.Est)
+		}
+		gPlacement, err := h.globalBF.Schedule(&sched.Problem{VMs: globalVMs, Hosts: globalHosts, Tick: p.Tick})
 		if err != nil {
 			return nil, err
 		}
@@ -152,8 +186,13 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 // estimateSLAs scores every VM's fulfilment under a local placement using
 // proportional occupation, the same arithmetic the simulator applies. The
 // result is indexed by the VM's position in p.VMs; unplaced VMs (and VMs
-// on hosts outside p.Hosts) score zero.
-func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement) ([]float64, error) {
+// on hosts outside p.Hosts) score zero. round is the Best-Fit session that
+// produced the placement: its memoized latencies always apply, and on
+// uncontended hosts — where the proportional share is exactly the full
+// requirement — its full-grant SLA estimates are reused instead of
+// re-running the estimator.
+func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement, round *sched.Round) ([]float64, error) {
+	var scratch sched.Scratch
 	req := make([]model.Resources, len(p.VMs))
 	hostPos := make(map[model.PMID]int, len(p.Hosts))
 	for j := range p.Hosts {
@@ -162,7 +201,7 @@ func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement)
 	members := make([][]int, len(p.Hosts)) // host position -> VM positions
 	for k := range p.VMs {
 		vm := &p.VMs[k]
-		req[k] = h.Est.Required(vm)
+		req[k] = h.Est.Required(vm, &scratch)
 		pm, ok := placement[vm.Spec.ID]
 		if !ok || pm == model.NoPM {
 			continue
@@ -184,20 +223,27 @@ func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement)
 			sum = sum.Add(req[k])
 		}
 		shCPU, shMem, shBW := cluster.ShareFactors(capacity, sum)
+		fullShare := shCPU == 1 && shMem == 1 && shBW == 1
 		for _, k := range ms {
 			vm := &p.VMs[k]
 			r := req[k]
+			lat := round.Latency(k, host.Spec.DC)
+			// Full share of an uncapped requirement == the full grant the
+			// round already scored (same estimator, same query).
+			if fullShare && !h.Cost.LatencyOnly && r == round.Required(k) {
+				out[k] = round.FullGrantSLA(k, host.Spec.DC)
+				continue
+			}
 			grant := model.Resources{
 				CPUPct: r.CPUPct * shCPU,
 				MemMB:  r.MemMB * shMem,
 				BWMbps: r.BWMbps * shBW,
 			}
-			lat := h.Cost.Top.MeanLatencyFrom(host.Spec.DC, vm.Load)
 			memDef := 0.0
 			if r.MemMB > 0 && grant.MemMB < r.MemMB {
 				memDef = (r.MemMB - grant.MemMB) / r.MemMB
 			}
-			if v, ok := h.Est.SLA(vm, grant.CPUPct, memDef, lat); ok {
+			if v, ok := h.Est.SLA(vm, grant.CPUPct, memDef, lat, &scratch); ok {
 				out[k] = v
 			} else {
 				out[k] = sched.HeuristicSLA(vm, r, grant, lat)
@@ -210,8 +256,10 @@ func (h *Hierarchical) estimateSLAs(p *sched.Problem, placement model.Placement)
 // offerHosts exposes the DC's least-loaded hosts to the global round plus
 // every host currently holding an exported VM (so "leave it where the
 // local round put it" stays on the table). Resident aggregates describe
-// the guests that stay.
-func (h *Hierarchical) offerHosts(p *sched.Problem, placement model.Placement, exports []sched.VMInfo) []sched.HostInfo {
+// the guests that stay. round supplies memoized per-VM CPU estimates when
+// its (capped) requirement matches the raw one.
+func (h *Hierarchical) offerHosts(p *sched.Problem, placement model.Placement, exports []sched.VMInfo, round *sched.Round) []sched.HostInfo {
+	var scratch sched.Scratch
 	exported := make(map[model.VMID]bool, len(exports))
 	holdsExport := make(map[model.PMID]bool, len(exports))
 	for _, vm := range exports {
@@ -235,11 +283,15 @@ func (h *Hierarchical) offerHosts(p *sched.Problem, placement model.Placement, e
 			if placement[vm.Spec.ID] != host.Spec.ID || exported[vm.Spec.ID] {
 				continue
 			}
-			r := h.Est.Required(vm)
+			r := h.Est.Required(vm, &scratch)
 			resident = resident.Add(r)
 			guests++
 			rps += vm.Total.RPS
-			cpuUse += h.Est.VMCPUUsage(vm, r.CPUPct)
+			if r == round.Required(i) {
+				cpuUse += round.FullGrantVMCPU(i)
+			} else {
+				cpuUse += h.Est.VMCPUUsage(vm, r.CPUPct, &scratch)
+			}
 		}
 		offered := host
 		offered.Resident = resident.Min(host.Spec.Capacity)

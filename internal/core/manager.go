@@ -29,6 +29,19 @@ type ManagerConfig struct {
 type Manager struct {
 	cfg    ManagerConfig
 	rounds int
+	// problem, loadBufs and placement are reused across rounds so the
+	// steady-state MAPE loop stops allocating a fresh scheduler view (and
+	// result map) every 10 minutes.
+	problem   sched.Problem
+	loadBufs  []model.LoadVector
+	placement model.Placement
+}
+
+// intoScheduler is the optional allocation-free scheduling contract: the
+// manager recycles one placement map across rounds for schedulers that
+// support it (the world applies placements without retaining the map).
+type intoScheduler interface {
+	ScheduleInto(p *sched.Problem, placement model.Placement) error
 }
 
 // NewManager validates and builds a manager.
@@ -51,14 +64,19 @@ func (m *Manager) Rounds() int { return m.rounds }
 // BuildProblem assembles the scheduler's view of the world from monitored
 // data: gateway load characteristics (with per-source split), queue
 // backlogs, window-averaged usage and the current placement. It walks the
-// engine's dense index space directly — no per-VM map lookups.
+// engine's dense index space directly — no per-VM map lookups — and reuses
+// the manager's problem storage, so steady-state rounds allocate nothing.
+// The returned problem (including every VMInfo.Load) is valid until the
+// next BuildProblem call.
 func (m *Manager) BuildProblem() *sched.Problem {
 	w := m.cfg.World
 	obs := w.Observer()
-	p := &sched.Problem{Tick: w.Tick()}
+	nDC := w.Topology().NumDCs()
+	p := &m.problem
+	p.Tick = w.Tick()
+	p.VMs = p.VMs[:0]
+	p.Hosts = p.Hosts[:0]
 	nVM, nPM := w.NumVMs(), w.NumPMs()
-	p.VMs = make([]sched.VMInfo, 0, nVM)
-	p.Hosts = make([]sched.HostInfo, 0, nPM)
 	for i := 0; i < nVM; i++ {
 		spec := w.VMSpecAt(i)
 		if m.cfg.Movable != nil && !m.cfg.Movable(spec.ID) {
@@ -74,14 +92,26 @@ func (m *Manager) BuildProblem() *sched.Problem {
 			info.Current = host.ID
 			info.CurrentDC = host.DC
 		}
+		// One reusable per-slot load vector: the truth row aliases engine
+		// buffers, so it is copied (not referenced) before scaling.
+		if len(p.VMs) == len(m.loadBufs) {
+			m.loadBufs = append(m.loadBufs, make(model.LoadVector, nDC))
+		}
+		buf := m.loadBufs[len(p.VMs)]
+		if cap(buf) < nDC {
+			buf = make(model.LoadVector, nDC)
+			m.loadBufs[len(p.VMs)] = buf
+		}
+		buf = buf[:nDC]
 		if truth, ok := w.VMTruthByIndex(i); ok {
-			// The gateway sees per-source request streams; that is public
-			// middleware knowledge, not hidden simulator state. The truth
-			// row aliases engine buffers, so clone before scaling.
-			info.Load = truth.Load.Clone()
+			copy(buf, truth.Load)
+			info.Load = buf
 			info.Total = info.Load.Total()
 		} else {
-			info.Load = make(model.LoadVector, w.Topology().NumDCs())
+			for s := range buf {
+				buf[s] = model.Load{}
+			}
+			info.Load = buf
 		}
 		if avg, ok := obs.WindowAvgLoad(spec.ID); ok && avg.RPS > 0 {
 			// Size against the round-averaged gateway statistics, not one
@@ -119,9 +149,23 @@ func (m *Manager) Step() (sim.TickStats, error) {
 	w := m.cfg.World
 	if t := w.Tick(); t > 0 && t%m.cfg.RoundTicks == 0 {
 		problem := m.BuildProblem()
-		placement, err := m.cfg.Scheduler.Schedule(problem)
-		if err != nil {
-			return sim.TickStats{}, fmt.Errorf("core: scheduling round at tick %d: %w", t, err)
+		var placement model.Placement
+		if is, ok := m.cfg.Scheduler.(intoScheduler); ok {
+			if m.placement == nil {
+				m.placement = make(model.Placement, len(problem.VMs))
+			} else {
+				clear(m.placement)
+			}
+			if err := is.ScheduleInto(problem, m.placement); err != nil {
+				return sim.TickStats{}, fmt.Errorf("core: scheduling round at tick %d: %w", t, err)
+			}
+			placement = m.placement
+		} else {
+			var err error
+			placement, err = m.cfg.Scheduler.Schedule(problem)
+			if err != nil {
+				return sim.TickStats{}, fmt.Errorf("core: scheduling round at tick %d: %w", t, err)
+			}
 		}
 		if err := w.ApplySchedule(placement); err != nil {
 			return sim.TickStats{}, fmt.Errorf("core: applying schedule: %w", err)

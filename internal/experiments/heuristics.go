@@ -4,10 +4,23 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 )
+
+// ParallelBestFit builds the ML Best-Fit with concurrent candidate
+// evaluation — the configuration large-fleet runs use so the decision
+// round rides all cores. Placements are bit-identical to the serial
+// scheduler (asserted by TestParallelMatchesSerialHeteroFleet and the
+// sched parity suite).
+func ParallelBestFit(cost sched.CostModel, est sched.Estimator) *sched.BestFit {
+	bf := sched.NewBestFit(cost, est)
+	bf.Parallel = true
+	bf.Workers = par.DefaultWorkers()
+	return bf
+}
 
 // Heuristics re-measures the claim inherited from the authors' prior work
 // ("Best-Fit performs better among greedy classical ad-hoc and
@@ -36,6 +49,9 @@ func Heuristics(seed uint64) (*Result, error) {
 		}},
 		{"BestFit+ML", func(sc *scenario.Scenario) (sched.Scheduler, error) {
 			return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
+		}},
+		{"BestFit+ML-par", func(sc *scenario.Scenario) (sched.Scheduler, error) {
+			return ParallelBestFit(CostModel(sc), sched.NewML(bundle)), nil
 		}},
 	}
 	res := &Result{Name: "Heuristics", Metrics: map[string]float64{}}

@@ -90,6 +90,21 @@ func (b *Bagged) Predict(x []float64) float64 {
 	return s / float64(len(b.Members))
 }
 
+// PredictBuf is Predict over caller-provided scratch: each member that
+// supports buffered inference reuses buf, so ensemble inference is
+// allocation-free when the members' paths are. Summation order matches
+// Predict, so the two are bit-identical.
+func (b *Bagged) PredictBuf(x []float64, buf *Buf) float64 {
+	if len(b.Members) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, m := range b.Members {
+		s += PredictBuffered(m, x, buf)
+	}
+	return s / float64(len(b.Members))
+}
+
 // PredictWithSpread returns the ensemble mean and the member standard
 // deviation — a cheap epistemic-uncertainty signal a decision maker can
 // use to distrust off-manifold queries.
@@ -112,4 +127,7 @@ func (b *Bagged) PredictWithSpread(x []float64) (mean, spread float64) {
 	return mean, math.Sqrt(v)
 }
 
-var _ Regressor = (*Bagged)(nil)
+var (
+	_ Regressor         = (*Bagged)(nil)
+	_ BufferedRegressor = (*Bagged)(nil)
+)

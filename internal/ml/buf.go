@@ -1,0 +1,28 @@
+package ml
+
+// Buf is reusable inference scratch: the standardized-query row and the
+// neighbour buffers a k-NN query needs. Passing one Buf through repeated
+// predictions makes inference allocation-free after the first call. The
+// zero value is ready to use. A Buf must not be shared between goroutines.
+type Buf struct {
+	row    []float64
+	heap   neighborHeap
+	sorted []neighbor
+}
+
+// BufferedRegressor is a Regressor with an allocation-free prediction path
+// over caller-provided scratch. PredictBuf must return exactly the value
+// Predict returns for the same row.
+type BufferedRegressor interface {
+	Regressor
+	PredictBuf(x []float64, b *Buf) float64
+}
+
+// PredictBuffered routes through the zero-alloc path when the regressor has
+// one and falls back to the plain (possibly allocating) Predict otherwise.
+func PredictBuffered(r Regressor, x []float64, b *Buf) float64 {
+	if br, ok := r.(BufferedRegressor); ok {
+		return br.PredictBuf(x, b)
+	}
+	return r.Predict(x)
+}

@@ -161,11 +161,20 @@ func FitStandardizer(d *Dataset) *Standardizer {
 
 // Apply transforms one row into z-scores (allocates a new slice).
 func (s *Standardizer) Apply(x []float64) []float64 {
-	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.Mean[j]) / s.Std[j]
+	return s.ApplyInto(nil, x)
+}
+
+// ApplyInto transforms one row into z-scores, reusing dst's capacity; it
+// returns the (possibly grown) destination. dst may be nil.
+func (s *Standardizer) ApplyInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return dst
 }
 
 // ApplyDataset transforms a whole dataset.

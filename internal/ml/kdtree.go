@@ -1,7 +1,6 @@
 package ml
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -83,11 +82,27 @@ func (t *kdTree) widestAxis(idx []int) int {
 	return best
 }
 
-// search returns the k nearest stored points to q in ascending distance.
-func (t *kdTree) search(q []float64, k int) []neighbor {
-	h := &neighborHeap{}
+// search collects the k nearest stored points to q into the caller's heap
+// (callers drain it with sortedInto for ascending-distance order).
+func (t *kdTree) search(q []float64, k int, h *neighborHeap) {
 	t.searchNode(t.root, q, k, h)
-	return h.sorted()
+}
+
+// sqDistWithin is sqDist with an early exit once the partial sum reaches
+// bound. Partial sums only grow, so a rejected point is exactly a point
+// whose full distance would fail the d2 < bound test, and an accepted
+// point's distance is the same sum in the same order — selection and
+// values are bit-identical to the full computation.
+func sqDistWithin(a, b []float64, bound float64) (float64, bool) {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+		if s >= bound {
+			return 0, false
+		}
+	}
+	return s, true
 }
 
 func (t *kdTree) searchNode(id int, q []float64, k int, h *neighborHeap) {
@@ -96,12 +111,11 @@ func (t *kdTree) searchNode(id int, q []float64, k int, h *neighborHeap) {
 	}
 	node := t.nodes[id]
 	p := t.points[node.point]
-	d2 := sqDist(q, p)
 	if h.Len() < k {
-		heap.Push(h, neighbor{node.point, d2})
-	} else if d2 < (*h)[0].d2 {
+		h.push(neighbor{node.point, sqDist(q, p)})
+	} else if d2, within := sqDistWithin(q, p, (*h)[0].d2); within {
 		(*h)[0] = neighbor{node.point, d2}
-		heap.Fix(h, 0)
+		h.fixRoot()
 	}
 	diff := q[node.axis] - p[node.axis]
 	near, far := node.left, node.right

@@ -1,7 +1,6 @@
 package ml
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -66,26 +65,35 @@ func (k *KNN) K() int { return k.cfg.K }
 
 // Predict averages the targets of the K nearest training rows.
 func (k *KNN) Predict(x []float64) float64 {
-	q := k.std.Apply(x)
-	var nb []neighbor
+	var b Buf
+	return k.PredictBuf(x, &b)
+}
+
+// PredictBuf is Predict over caller-provided scratch: allocation-free once
+// the Buf has warmed up, bit-identical to Predict.
+func (k *KNN) PredictBuf(x []float64, b *Buf) float64 {
+	b.row = k.std.ApplyInto(b.row, x)
+	b.heap = b.heap[:0]
 	if k.tree != nil {
-		nb = k.tree.search(q, k.cfg.K)
+		k.tree.search(b.row, k.cfg.K, &b.heap)
 	} else {
-		nb = k.bruteSearch(q)
+		k.bruteSearch(b.row, &b.heap)
 	}
-	return k.blend(nb)
+	b.sorted = b.heap.sortedInto(b.sorted[:0])
+	return k.blend(b.sorted)
 }
 
 // Neighbors exposes the raw nearest neighbours (index, squared distance)
 // for diagnostics and tests.
 func (k *KNN) Neighbors(x []float64) []neighborInfo {
 	q := k.std.Apply(x)
-	var nb []neighbor
+	var h neighborHeap
 	if k.tree != nil {
-		nb = k.tree.search(q, k.cfg.K)
+		k.tree.search(q, k.cfg.K, &h)
 	} else {
-		nb = k.bruteSearch(q)
+		k.bruteSearch(q, &h)
 	}
+	nb := h.sortedInto(nil)
 	out := make([]neighborInfo, len(nb))
 	for i, n := range nb {
 		out[i] = neighborInfo{Index: n.idx, Dist2: n.d2, Y: k.y[n.idx]}
@@ -104,20 +112,21 @@ type neighbor struct {
 	d2  float64
 }
 
-func (k *KNN) bruteSearch(q []float64) []neighbor {
-	h := &neighborHeap{}
+func (k *KNN) bruteSearch(q []float64, h *neighborHeap) {
 	for i, row := range k.x {
 		d2 := sqDist(q, row)
 		if h.Len() < k.cfg.K {
-			heap.Push(h, neighbor{i, d2})
+			h.push(neighbor{i, d2})
 		} else if d2 < (*h)[0].d2 {
 			(*h)[0] = neighbor{i, d2}
-			heap.Fix(h, 0)
+			h.fixRoot()
 		}
 	}
-	return h.sorted()
 }
 
+// blend combines neighbours in ascending-distance order; keeping the
+// summation order fixed keeps predictions bit-identical across the
+// allocating and buffered query paths.
 func (k *KNN) blend(nb []neighbor) float64 {
 	if len(nb) == 0 {
 		return 0
@@ -149,28 +158,80 @@ func sqDist(a, b []float64) float64 {
 }
 
 // neighborHeap is a max-heap on distance so the worst of the current K
-// candidates sits at the root for O(1) comparisons.
+// candidates sits at the root for O(1) comparisons. The sift primitives
+// replicate container/heap's algorithm exactly (same swap sequences, hence
+// the same arrangement under distance ties) without the interface boxing
+// that made every Push/Pop allocate.
 type neighborHeap []neighbor
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(v interface{}) { *h = append(*h, v.(neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
+func (h neighborHeap) Len() int           { return len(h) }
+func (h neighborHeap) less(i, j int) bool { return h[i].d2 > h[j].d2 }
+
+// push appends v and restores the heap property (container/heap.Push).
+func (h *neighborHeap) push(v neighbor) {
+	*h = append(*h, v)
+	h.up(len(*h) - 1)
+}
+
+// fixRoot re-establishes the heap property after the root was replaced
+// (container/heap.Fix(h, 0): down only, since up(0) is a no-op).
+func (h *neighborHeap) fixRoot() { h.down(0, len(*h)) }
+
+// popMax removes and returns the root (container/heap.Pop).
+func (h *neighborHeap) popMax() neighbor {
 	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	v := old[n]
+	*h = old[:n]
 	return v
 }
 
-// sorted drains the heap into ascending-distance order.
-func (h *neighborHeap) sorted() []neighbor {
-	out := make([]neighbor, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(neighbor)
+func (h neighborHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
 	}
-	return out
 }
 
-var _ Regressor = (*KNN)(nil)
+func (h neighborHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// sortedInto drains the heap into dst in ascending-distance order.
+func (h *neighborHeap) sortedInto(dst []neighbor) []neighbor {
+	n := h.Len()
+	if cap(dst) < n {
+		dst = make([]neighbor, n)
+	}
+	dst = dst[:n]
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = h.popMax()
+	}
+	return dst
+}
+
+var (
+	_ Regressor         = (*KNN)(nil)
+	_ BufferedRegressor = (*KNN)(nil)
+)

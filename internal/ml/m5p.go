@@ -266,28 +266,24 @@ func (m *M5P) predictRaw(x []float64) float64 {
 		}
 		return node.lm.Predict(x)
 	}
-	// Collect the path, predict at the leaf, then smooth upwards:
-	// p := (n*p + k*q) / (n + k) at every ancestor.
-	var path []*m5pNode
-	node := m.root
-	for {
-		path = append(path, node)
-		if node.isLeaf() {
-			break
-		}
-		if x[node.feature] <= node.thresh {
-			node = node.left
-		} else {
-			node = node.right
-		}
+	return m.predictSmoothed(m.root, x)
+}
+
+// predictSmoothed routes x to its leaf and blends the prediction with every
+// ancestor model on the way back up — p := (n*p + k*q) / (n + k) — using the
+// call stack as the path, so inference never allocates. The blend order is
+// exactly the old explicit-path loop's (deepest ancestor first).
+func (m *M5P) predictSmoothed(node *m5pNode, x []float64) float64 {
+	if node.isLeaf() {
+		return node.lm.Predict(x)
 	}
-	p := path[len(path)-1].lm.Predict(x)
-	for i := len(path) - 2; i >= 0; i-- {
-		anc := path[i]
-		q := anc.lm.Predict(x)
-		p = (float64(anc.n)*p + m.cfg.SmoothK*q) / (float64(anc.n) + m.cfg.SmoothK)
+	child := node.left
+	if x[node.feature] > node.thresh {
+		child = node.right
 	}
-	return p
+	p := m.predictSmoothed(child, x)
+	q := node.lm.Predict(x)
+	return (float64(node.n)*p + m.cfg.SmoothK*q) / (float64(node.n) + m.cfg.SmoothK)
 }
 
 // NumLeaves returns the number of leaf linear models.

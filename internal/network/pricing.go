@@ -32,6 +32,18 @@ func (t *Topology) EnergyPriceAt(dc model.DCID, tick int) float64 {
 	return t.prices[dc]
 }
 
+// EnergyPricesAt appends the per-DC electricity prices ruling at a tick to
+// dst[:0] and returns it — the batch cache hook for decision makers that
+// price many candidate assignments against the same tick (one schedule
+// call per DC per round instead of one per candidate).
+func (t *Topology) EnergyPricesAt(tick int, dst []float64) []float64 {
+	dst = dst[:0]
+	for dc := range t.prices {
+		dst = append(dst, t.EnergyPriceAt(model.DCID(dc), tick))
+	}
+	return dst
+}
+
 // CheapestDCAt returns the DC with the lowest price at the given tick.
 func (t *Topology) CheapestDCAt(tick int) model.DCID {
 	best := model.DCID(0)

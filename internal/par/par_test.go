@@ -21,6 +21,46 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerCoversAllIndicesWithValidWorkerIDs(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 1000
+		seen := make([]int32, n)
+		var badWorker atomic.Int32
+		ForEachWorker(n, workers, func(w, i int) {
+			if w < 0 || (workers > 0 && w >= workers) || w >= n {
+				badWorker.Store(1)
+			}
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if badWorker.Load() != 0 {
+			t.Fatalf("workers=%d: worker id out of range", workers)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerScratchDisjoint proves the contract callers rely on for
+// per-worker scratch: no two concurrent invocations share a worker id, so
+// indexing a scratch slice by w is race-free.
+func TestForEachWorkerScratchDisjoint(t *testing.T) {
+	const workers = 8
+	var busy [workers]atomic.Int32
+	var clash atomic.Int32
+	ForEachWorker(10000, workers, func(w, i int) {
+		if !busy[w].CompareAndSwap(0, 1) {
+			clash.Store(1)
+		}
+		busy[w].Store(0)
+	})
+	if clash.Load() != 0 {
+		t.Fatal("two invocations shared a worker id concurrently")
+	}
+}
+
 func TestForEachZeroAndNegativeN(t *testing.T) {
 	called := false
 	ForEach(0, 4, func(int) { called = true })

@@ -77,6 +77,29 @@ func (c Custom) Watts(cpuPct float64) float64 {
 	return interpolateCurve(c.Curve, cpuPct)
 }
 
+// CurveModel is the devirtualisation cache hook for hot loops: models that
+// are pure piecewise-linear curves expose their points once, and callers
+// evaluate with Interpolate instead of paying an interface dispatch per
+// candidate assignment.
+type CurveModel interface {
+	Model
+	// CurvePoints returns the watts-at-k-active-cores points (index 0 =
+	// idle-on). Callers must not mutate the returned slice.
+	CurvePoints() []float64
+}
+
+// CurvePoints implements CurveModel.
+func (Atom) CurvePoints() []float64 { return AtomCurve[:] }
+
+// CurvePoints implements CurveModel.
+func (c Custom) CurvePoints() []float64 { return c.Curve }
+
+// Interpolate evaluates a per-active-core-count curve at the given CPU
+// activity — exactly the arithmetic behind Atom.Watts and Custom.Watts.
+func Interpolate(curve []float64, cpuPct float64) float64 {
+	return interpolateCurve(curve, cpuPct)
+}
+
 func interpolateCurve(curve []float64, cpuPct float64) float64 {
 	maxCores := float64(len(curve) - 1)
 	cores := cpuPct / 100
@@ -151,5 +174,5 @@ func ActiveCores(m Model, cpuPct float64) int {
 	return cores
 }
 
-var _ Model = Atom{}
-var _ Model = Custom{}
+var _ CurveModel = Atom{}
+var _ CurveModel = Custom{}

@@ -126,16 +126,42 @@ func Train(h *Harvest, cfg TrainConfig) (*Bundle, error) {
 	return b, nil
 }
 
+// Scratch carries one goroutine's reusable inference buffers (the feature
+// row and the ML-level scratch) through repeated bundle predictions. The
+// zero value is ready; a Scratch must not be shared between goroutines.
+type Scratch struct {
+	feat []float64
+	buf  ml.Buf
+}
+
 // PredictVMResources anticipates the resources a VM will need to serve the
 // given load — the replacement for reading stale monitors (Section IV-B).
 func (b *Bundle) PredictVMResources(load model.Load, queueLen float64) model.Resources {
-	cpu := b.VMCPU.Predict(VMCPUFeatures(load, queueLen))
-	mem := b.VMMem.Predict(VMMemFeatures(load))
-	inKB := b.VMIn.Predict(VMNetFeatures(load.RPS, load.BytesInReq))
-	outKB := b.VMOut.Predict(VMNetFeatures(load.RPS, load.BytesOutRq))
+	var s Scratch
+	return b.PredictVMResourcesBuf(&s, load, queueLen)
+}
+
+// PredictVMResourcesBuf is PredictVMResources over caller scratch:
+// allocation-free once s has warmed up, bit-identical results.
+func (b *Bundle) PredictVMResourcesBuf(s *Scratch, load model.Load, queueLen float64) model.Resources {
+	s.feat = VMCPUFeaturesInto(s.feat, load, queueLen)
+	cpu := ml.PredictBuffered(b.VMCPU, s.feat, &s.buf)
+	s.feat = VMMemFeaturesInto(s.feat, load)
+	mem := ml.PredictBuffered(b.VMMem, s.feat, &s.buf)
+	s.feat = VMNetFeaturesInto(s.feat, load.RPS, load.BytesInReq)
+	inKB := ml.PredictBuffered(b.VMIn, s.feat, &s.buf)
+	s.feat = VMNetFeaturesInto(s.feat, load.RPS, load.BytesOutRq)
+	outKB := ml.PredictBuffered(b.VMOut, s.feat, &s.buf)
 	bw := (inKB + outKB) * 1024 * 8 / 1e6 // KB/s -> Mbps
 	r := model.Resources{CPUPct: cpu, MemMB: mem, BWMbps: bw}
 	return r.Max(model.Resources{}) // clamp regression undershoot
+}
+
+// PredictVMCPUBuf predicts the raw "Predict VM CPU" model over caller
+// scratch, unclamped — callers bound the result to their grant.
+func (b *Bundle) PredictVMCPUBuf(s *Scratch, load model.Load, queueLen float64) float64 {
+	s.feat = VMCPUFeaturesInto(s.feat, load, queueLen)
+	return ml.PredictBuffered(b.VMCPU, s.feat, &s.buf)
 }
 
 // PredictPMCPU anticipates a host's total CPU (including virtualisation
@@ -144,7 +170,14 @@ func (b *Bundle) PredictVMResources(load model.Load, queueLen float64) model.Res
 // regression undershoot on off-manifold queries is physically impossible
 // and clamped away.
 func (b *Bundle) PredictPMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 {
-	v := b.PMCPU.Predict(PMCPUFeatures(nGuests, sumVMCPUPct, sumRPS))
+	var s Scratch
+	return b.PredictPMCPUBuf(&s, nGuests, sumVMCPUPct, sumRPS)
+}
+
+// PredictPMCPUBuf is PredictPMCPU over caller scratch.
+func (b *Bundle) PredictPMCPUBuf(s *Scratch, nGuests int, sumVMCPUPct, sumRPS float64) float64 {
+	s.feat = PMCPUFeaturesInto(s.feat, nGuests, sumVMCPUPct, sumRPS)
+	v := ml.PredictBuffered(b.PMCPU, s.feat, &s.buf)
 	if v < sumVMCPUPct {
 		v = sumVMCPUPct
 	}
@@ -157,7 +190,14 @@ func (b *Bundle) PredictPMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 
 // PredictRT anticipates the processing response time of a VM under a
 // tentative CPU grant.
 func (b *Bundle) PredictRT(load model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) float64 {
-	v := b.VMRT.Predict(VMRTFeatures(load, grantedCPUPct, memDeficitFrac, queueLen))
+	var s Scratch
+	return b.PredictRTBuf(&s, load, grantedCPUPct, memDeficitFrac, queueLen)
+}
+
+// PredictRTBuf is PredictRT over caller scratch.
+func (b *Bundle) PredictRTBuf(s *Scratch, load model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) float64 {
+	s.feat = VMRTFeaturesInto(s.feat, load, grantedCPUPct, memDeficitFrac, queueLen)
+	v := ml.PredictBuffered(b.VMRT, s.feat, &s.buf)
 	if v < 0 {
 		return 0
 	}
@@ -175,7 +215,14 @@ func (b *Bundle) PredictRT(load model.Load, grantedCPUPct, memDeficitFrac, queue
 // so a fast service absorbs a small hop for free (rt stays under RT0)
 // while a strained one is hurt in proportion.
 func (b *Bundle) PredictSLA(terms model.SLATerms, load model.Load, grantedCPUPct, memDeficitFrac, queueLen, latencySec float64) float64 {
-	v := b.VMSLA.Predict(VMSLAFeatures(load, grantedCPUPct, memDeficitFrac, queueLen))
+	var s Scratch
+	return b.PredictSLABuf(&s, terms, load, grantedCPUPct, memDeficitFrac, queueLen, latencySec)
+}
+
+// PredictSLABuf is PredictSLA over caller scratch.
+func (b *Bundle) PredictSLABuf(s *Scratch, terms model.SLATerms, load model.Load, grantedCPUPct, memDeficitFrac, queueLen, latencySec float64) float64 {
+	s.feat = VMSLAFeaturesInto(s.feat, load, grantedCPUPct, memDeficitFrac, queueLen)
+	v := ml.PredictBuffered(b.VMSLA, s.feat, &s.buf)
 	if v < 0 {
 		v = 0
 	}
@@ -185,7 +232,7 @@ func (b *Bundle) PredictSLA(terms model.SLATerms, load model.Load, grantedCPUPct
 	if latencySec <= 0 || v == 0 {
 		return v
 	}
-	rtProc := b.PredictRT(load, grantedCPUPct, memDeficitFrac, queueLen)
+	rtProc := b.PredictRTBuf(s, load, grantedCPUPct, memDeficitFrac, queueLen)
 	base := terms.Fulfilment(rtProc)
 	if base <= 1e-9 {
 		return 0

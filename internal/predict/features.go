@@ -22,13 +22,18 @@ import "repro/internal/model"
 // VMCPUFeatures maps the monitored load characteristics of one VM to the
 // feature row of the "Predict VM CPU" model.
 func VMCPUFeatures(l model.Load, queueLen float64) []float64 {
-	return []float64{
+	return VMCPUFeaturesInto(nil, l, queueLen)
+}
+
+// VMCPUFeaturesInto is VMCPUFeatures into dst's reused capacity.
+func VMCPUFeaturesInto(dst []float64, l model.Load, queueLen float64) []float64 {
+	return append(dst[:0],
 		l.RPS,
-		l.BytesInReq / 1024,
-		l.BytesOutRq / 1024,
-		l.CPUTimeReq * 1000,
+		l.BytesInReq/1024,
+		l.BytesOutRq/1024,
+		l.CPUTimeReq*1000,
 		queueLen,
-	}
+	)
 }
 
 // VMCPUFeatureNames labels VMCPUFeatures.
@@ -39,7 +44,12 @@ func VMCPUFeatureNames() []string {
 // VMMemFeatures maps load to the memory model's features. The paper found
 // memory to be essentially linear in load, hence the single regressor.
 func VMMemFeatures(l model.Load) []float64 {
-	return []float64{l.RPS}
+	return VMMemFeaturesInto(nil, l)
+}
+
+// VMMemFeaturesInto is VMMemFeatures into dst's reused capacity.
+func VMMemFeaturesInto(dst []float64, l model.Load) []float64 {
+	return append(dst[:0], l.RPS)
 }
 
 // VMMemFeatureNames labels VMMemFeatures.
@@ -48,7 +58,12 @@ func VMMemFeatureNames() []string { return []string{"rps"} }
 // VMNetFeatures maps load to the network I/O models' features (shared by
 // the IN and OUT models, with the relevant byte size).
 func VMNetFeatures(rps, bytesPerReq float64) []float64 {
-	return []float64{rps, bytesPerReq / 1024}
+	return VMNetFeaturesInto(nil, rps, bytesPerReq)
+}
+
+// VMNetFeaturesInto is VMNetFeatures into dst's reused capacity.
+func VMNetFeaturesInto(dst []float64, rps, bytesPerReq float64) []float64 {
+	return append(dst[:0], rps, bytesPerReq/1024)
 }
 
 // VMNetFeatureNames labels VMNetFeatures.
@@ -58,7 +73,12 @@ func VMNetFeatureNames() []string { return []string{"rps", "bytesKB"} }
 // features: the paper learns PM CPU as a function of "the number of VM's
 // and their metrics" because the total exceeds the plain sum.
 func PMCPUFeatures(nGuests int, sumVMCPUPct, sumRPS float64) []float64 {
-	return []float64{float64(nGuests), sumVMCPUPct, sumRPS}
+	return PMCPUFeaturesInto(nil, nGuests, sumVMCPUPct, sumRPS)
+}
+
+// PMCPUFeaturesInto is PMCPUFeatures into dst's reused capacity.
+func PMCPUFeaturesInto(dst []float64, nGuests int, sumVMCPUPct, sumRPS float64) []float64 {
+	return append(dst[:0], float64(nGuests), sumVMCPUPct, sumRPS)
 }
 
 // PMCPUFeatureNames labels PMCPUFeatures.
@@ -67,13 +87,18 @@ func PMCPUFeatureNames() []string { return []string{"guests", "sumVmCpu", "sumRp
 // VMRTFeatures maps (load, tentative grant) to the response-time model's
 // features.
 func VMRTFeatures(l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) []float64 {
-	return []float64{
+	return VMRTFeaturesInto(nil, l, grantedCPUPct, memDeficitFrac, queueLen)
+}
+
+// VMRTFeaturesInto is VMRTFeatures into dst's reused capacity.
+func VMRTFeaturesInto(dst []float64, l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) []float64 {
+	return append(dst[:0],
 		l.RPS,
-		l.CPUTimeReq * 1000,
+		l.CPUTimeReq*1000,
 		grantedCPUPct,
 		memDeficitFrac,
 		queueLen,
-	}
+	)
 }
 
 // VMRTFeatureNames labels VMRTFeatures.
@@ -87,13 +112,18 @@ func VMRTFeatureNames() []string {
 // the *processing* SLA; the transport component is deterministic
 // (constraints 6.2-6.3 of Figure 3) and applied analytically on top.
 func VMSLAFeatures(l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) []float64 {
-	return []float64{
+	return VMSLAFeaturesInto(nil, l, grantedCPUPct, memDeficitFrac, queueLen)
+}
+
+// VMSLAFeaturesInto is VMSLAFeatures into dst's reused capacity.
+func VMSLAFeaturesInto(dst []float64, l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) []float64 {
+	return append(dst[:0],
 		l.RPS,
-		l.CPUTimeReq * 1000,
+		l.CPUTimeReq*1000,
 		grantedCPUPct,
 		memDeficitFrac,
 		queueLen,
-	}
+	)
 }
 
 // VMSLAFeatureNames labels VMSLAFeatures.

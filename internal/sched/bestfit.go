@@ -11,6 +11,11 @@ import (
 // BestFit is the paper's Descending Best-Fit (Algorithm 1): VMs are
 // ordered by decreasing demand and each is assigned to the host with the
 // highest tentative profit, updating availability as it goes.
+//
+// A BestFit instance owns a reusable Round and scratch buffers, so
+// steady-state Schedule calls allocate nothing beyond the returned
+// placement (ScheduleInto allocates nothing at all). One instance must not
+// run concurrent Schedule calls; use one instance per goroutine.
 type BestFit struct {
 	Cost CostModel
 	Est  Estimator
@@ -26,6 +31,16 @@ type BestFit struct {
 	MinGainEUR float64
 	// label overrides the reported name (e.g. "bestfit-ml").
 	label string
+
+	// Reused session state.
+	round     Round
+	order     []int
+	demand    []float64
+	scores    []float64
+	scratches []Scratch
+	sorter    demandSorter
+	curVM     int
+	evalFn    func(worker, j int)
 }
 
 // DefaultMinGainEUR is roughly 10% of one VM's per-round revenue at the
@@ -47,57 +62,105 @@ func (b *BestFit) Name() string {
 
 // Schedule implements Scheduler.
 func (b *BestFit) Schedule(p *Problem) (model.Placement, error) {
-	if len(p.Hosts) == 0 {
-		return nil, fmt.Errorf("sched: no candidate hosts")
-	}
-	r, err := NewRound(p, b.Cost, b.Est)
-	if err != nil {
+	placement := make(model.Placement, len(p.VMs))
+	if err := b.ScheduleInto(p, placement); err != nil {
 		return nil, err
+	}
+	return placement, nil
+}
+
+// Session exposes the round state of the last Schedule call — valid until
+// the next call — so composite schedulers can reuse its memoized
+// requirement and SLA estimates instead of re-running the estimator.
+func (b *BestFit) Session() *Round { return &b.round }
+
+// ScheduleInto is Schedule writing into a caller-provided placement (which
+// should arrive empty) — the allocation-free form for callers that recycle
+// the map across rounds.
+func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
+	if len(p.Hosts) == 0 {
+		return fmt.Errorf("sched: no candidate hosts")
+	}
+	r := &b.round
+	if err := r.Reset(p, b.Cost, b.Est); err != nil {
+		return err
 	}
 	// order_by_demand(vms, desc): dominant share of the requirement against
 	// the first host's capacity as the common yardstick.
 	ref := p.Hosts[0].Spec.Capacity
-	order := make([]int, len(p.VMs))
-	for i := range order {
-		order[i] = i
+	n := len(p.VMs)
+	b.order = grown(b.order, n)
+	b.demand = grown(b.demand, n)
+	for i := 0; i < n; i++ {
+		b.order[i] = i
+		b.demand[i] = r.Required(i).Dominant(ref)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return r.Required(order[a]).Dominant(ref) > r.Required(order[b]).Dominant(ref)
-	})
+	b.sorter.order, b.sorter.demand = b.order, b.demand
+	sort.Stable(&b.sorter)
 
-	placement := make(model.Placement, len(p.VMs))
-	scores := make([]float64, len(p.Hosts))
-	hostIdx := make(map[model.PMID]int, len(p.Hosts))
-	for j := range p.Hosts {
-		hostIdx[p.Hosts[j].Spec.ID] = j
+	nh := len(p.Hosts)
+	b.scores = grown(b.scores, nh)
+	workers := 0
+	if b.Parallel && nh > 1 {
+		workers = b.Workers
+		if workers <= 0 {
+			workers = par.DefaultWorkers()
+		}
+		if workers > nh {
+			workers = nh
+		}
+		if cap(b.scratches) < workers {
+			b.scratches = make([]Scratch, workers)
+		}
+		b.scratches = b.scratches[:workers]
+		if b.evalFn == nil {
+			// One closure for the lifetime of the scheduler: the current VM
+			// travels through b.curVM so the hot loop creates nothing.
+			b.evalFn = func(worker, j int) {
+				b.scores[j] = b.round.ProfitScratch(b.curVM, j, &b.scratches[worker])
+			}
+		}
 	}
-	for _, i := range order {
-		if b.Parallel && len(p.Hosts) > 1 {
-			par.ForEach(len(p.Hosts), b.Workers, func(j int) {
-				scores[j] = r.Profit(i, j)
-			})
+	for _, i := range b.order {
+		if workers > 1 {
+			b.curVM = i
+			par.ForEachWorker(nh, workers, b.evalFn)
 		} else {
-			for j := range p.Hosts {
-				scores[j] = r.Profit(i, j)
+			for j := 0; j < nh; j++ {
+				b.scores[j] = r.Profit(i, j)
 			}
 		}
 		best := 0
-		for j := 1; j < len(scores); j++ {
-			if scores[j] > scores[best] {
+		for j := 1; j < nh; j++ {
+			if b.scores[j] > b.scores[best] {
 				best = j
 			}
 		}
 		// Hysteresis: prefer the current host unless the winner clearly
 		// beats it.
-		if cur, ok := hostIdx[p.VMs[i].Current]; ok && best != cur &&
-			scores[best] < scores[cur]+b.MinGainEUR {
+		if cur, ok := r.HostIndex(p.VMs[i].Current); ok && best != cur &&
+			b.scores[best] < b.scores[cur]+b.MinGainEUR {
 			best = cur
 		}
 		r.Assign(i, best)
 		placement[p.VMs[i].Spec.ID] = r.HostID(best)
 	}
-	return placement, nil
+	return nil
 }
+
+// demandSorter stable-sorts the order permutation by descending demand
+// without the closure allocation of sort.SliceStable (same algorithm, so
+// the resulting permutation is identical).
+type demandSorter struct {
+	order  []int
+	demand []float64
+}
+
+func (s *demandSorter) Len() int { return len(s.order) }
+func (s *demandSorter) Less(a, b int) bool {
+	return s.demand[s.order[a]] > s.demand[s.order[b]]
+}
+func (s *demandSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
 // Fixed always returns the same placement — the "static global multi-DC
 // network" baseline of Figure 7, where every VM stays in its customer-

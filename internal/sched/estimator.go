@@ -5,22 +5,84 @@ import (
 	"repro/internal/predict"
 )
 
+// Scratch carries one goroutine's reusable inference buffers through
+// estimator calls, making the ML prediction path allocation-free. The zero
+// value is ready; a Scratch must not be shared between goroutines. Round
+// owns one for its serial paths; parallel candidate evaluation threads one
+// per worker.
+type Scratch struct {
+	// Predict is the bundle-level scratch the ML estimator forwards.
+	Predict predict.Scratch
+
+	// Congested-grant memo: when a VM is scored against many hosts whose
+	// remaining capacity clamps its grant, the clamped (grantCPU, memDef,
+	// DC) tuples repeat across hosts with equal availability, and
+	// estimators are pure — so the answers are memoized here per VM. The
+	// cache is scoped to one (Round generation, VM) and holds exact-match
+	// float keys, so hits return bit-identical values.
+	cacheRound *Round
+	cacheGen   uint64
+	cacheVM    int
+	cacheN     int
+	cache      [profitCacheSize]profitCacheEntry
+}
+
+// profitCacheSize bounds the per-VM congested-grant memo; one VM rarely
+// sees more distinct clamped grants than hosts-with-distinct-availability
+// per DC.
+const profitCacheSize = 16
+
+type profitCacheEntry struct {
+	grantCPU, memDef float64
+	dc               int
+	sla, vmCPU       float64
+	hasSLA, hasCPU   bool
+}
+
+// profitEntry returns the memo slot for the exact key, resetting the cache
+// when the round generation or VM changed. A full cache recycles its last
+// slot (correctness is unaffected; only reuse is lost).
+func (s *Scratch) profitEntry(r *Round, i int, grantCPU, memDef float64, dc int) *profitCacheEntry {
+	if s.cacheRound != r || s.cacheGen != r.gen || s.cacheVM != i {
+		s.cacheRound, s.cacheGen, s.cacheVM = r, r.gen, i
+		s.cacheN = 0
+	}
+	for k := 0; k < s.cacheN; k++ {
+		e := &s.cache[k]
+		if e.grantCPU == grantCPU && e.memDef == memDef && e.dc == dc {
+			return e
+		}
+	}
+	if s.cacheN < profitCacheSize {
+		s.cacheN++
+	}
+	e := &s.cache[s.cacheN-1]
+	*e = profitCacheEntry{grantCPU: grantCPU, memDef: memDef, dc: dc}
+	return e
+}
+
 // Estimator supplies the uncertain quantities of the mathematical program:
 // what a VM will need, what SLA a tentative grant will yield, and what a
 // host's aggregate CPU will be. The paper's thesis is precisely that
 // learned estimators beat monitored windows here.
+//
+// Every method takes the caller's scratch; implementations must be safe
+// for concurrent calls with distinct scratches (shared state read-only),
+// must tolerate a nil scratch by paying a local allocation, and must be
+// pure functions of their arguments (the scratch carries buffers, never
+// meaning) — purity is what lets the profit evaluator memoize answers.
 type Estimator interface {
 	// Required returns the resources the VM needs next round.
-	Required(vm *VMInfo) model.Resources
+	Required(vm *VMInfo, s *Scratch) model.Resources
 	// SLA predicts fulfilment under a tentative grant; ok=false means the
 	// estimator has no QoS model and the caller should fall back to the
 	// fit-based heuristic.
-	SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64) (float64, bool)
+	SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64, s *Scratch) (float64, bool)
 	// VMCPUUsage estimates the CPU a VM will actually burn under the grant
 	// (for host power aggregation).
-	VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64
+	VMCPUUsage(vm *VMInfo, grantCPUPct float64, s *Scratch) float64
 	// PMCPU estimates a host's aggregate CPU for a tentative population.
-	PMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64
+	PMCPU(nGuests int, sumVMCPUPct, sumRPS float64, s *Scratch) float64
 	// Name identifies the estimator in reports.
 	Name() string
 }
@@ -53,7 +115,7 @@ func (o *Observed) Name() string {
 }
 
 // Required implements Estimator using the monitoring window.
-func (o *Observed) Required(vm *VMInfo) model.Resources {
+func (o *Observed) Required(vm *VMInfo, _ *Scratch) model.Resources {
 	ob := o.Overbook
 	if ob <= 0 {
 		ob = 1
@@ -74,13 +136,13 @@ func (o *Observed) Required(vm *VMInfo) model.Resources {
 }
 
 // SLA implements Estimator: the monitored world has no QoS model.
-func (o *Observed) SLA(*VMInfo, float64, float64, float64) (float64, bool) {
+func (o *Observed) SLA(*VMInfo, float64, float64, float64, *Scratch) (float64, bool) {
 	return 0, false
 }
 
 // VMCPUUsage implements Estimator: assume the VM keeps using what the
 // window showed, bounded by the grant.
-func (o *Observed) VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64 {
+func (o *Observed) VMCPUUsage(vm *VMInfo, grantCPUPct float64, _ *Scratch) float64 {
 	use := vm.Observed.CPUPct
 	if !vm.HasObserved {
 		use = 25
@@ -92,7 +154,7 @@ func (o *Observed) VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64 {
 }
 
 // PMCPU implements Estimator with a plain sum plus the hardcoded overhead.
-func (o *Observed) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 {
+func (o *Observed) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64, _ *Scratch) float64 {
 	if nGuests == 0 {
 		return 0
 	}
@@ -122,6 +184,14 @@ func (m *ML) Name() string { return "ml" }
 // effective load (one scheduling round).
 const RoundSeconds = 600
 
+// ps unwraps the bundle scratch, tolerating callers that pass none.
+func (m *ML) ps(s *Scratch) *predict.Scratch {
+	if s == nil {
+		return new(predict.Scratch)
+	}
+	return &s.Predict
+}
+
 // effectiveLoad folds the pending-request backlog into the request rate:
 // the paper treats queue sizes as "additional immediate load". Sizing a
 // tentative placement against current-rate-only would ignore the debt the
@@ -135,9 +205,9 @@ func (m *ML) effectiveLoad(vm *VMInfo) model.Load {
 }
 
 // Required implements Estimator via the learned resource models.
-func (m *ML) Required(vm *VMInfo) model.Resources {
+func (m *ML) Required(vm *VMInfo, s *Scratch) model.Resources {
 	eff := m.effectiveLoad(vm)
-	r := m.Bundle.PredictVMResources(eff, 0)
+	r := m.Bundle.PredictVMResourcesBuf(m.ps(s), eff, 0)
 	rho := m.TargetRho
 	if rho <= 0 || rho > 1 {
 		rho = 0.7
@@ -158,7 +228,7 @@ func (m *ML) Required(vm *VMInfo) model.Resources {
 // queue (the model's starved neighbourhoods answer), a generous grant
 // drains it (healthy neighbourhoods answer) — this is what restores the
 // profit gradient for a currently-backlogged VM.
-func (m *ML) SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64) (float64, bool) {
+func (m *ML) SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64, s *Scratch) (float64, bool) {
 	l := vm.Total
 	qAfter := vm.QueueLen
 	if l.CPUTimeReq > 0 {
@@ -168,12 +238,12 @@ func (m *ML) SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64) (f
 			qAfter = 0
 		}
 	}
-	return m.Bundle.PredictSLA(vm.Spec.Terms, l, grantCPUPct, memDeficitFrac, qAfter, latencySec), true
+	return m.Bundle.PredictSLABuf(m.ps(s), vm.Spec.Terms, l, grantCPUPct, memDeficitFrac, qAfter, latencySec), true
 }
 
 // VMCPUUsage implements Estimator via the learned CPU model.
-func (m *ML) VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64 {
-	use := m.Bundle.VMCPU.Predict(predict.VMCPUFeatures(m.effectiveLoad(vm), 0))
+func (m *ML) VMCPUUsage(vm *VMInfo, grantCPUPct float64, s *Scratch) float64 {
+	use := m.Bundle.PredictVMCPUBuf(m.ps(s), m.effectiveLoad(vm), 0)
 	if use < 0 {
 		use = 0
 	}
@@ -184,11 +254,11 @@ func (m *ML) VMCPUUsage(vm *VMInfo, grantCPUPct float64) float64 {
 }
 
 // PMCPU implements Estimator via the learned host model.
-func (m *ML) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64) float64 {
+func (m *ML) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64, s *Scratch) float64 {
 	if nGuests == 0 {
 		return 0
 	}
-	return m.Bundle.PredictPMCPU(nGuests, sumVMCPUPct, sumRPS)
+	return m.Bundle.PredictPMCPUBuf(m.ps(s), nGuests, sumVMCPUPct, sumRPS)
 }
 
 var (

@@ -138,13 +138,9 @@ func (e *Exhaustive) scorePlacement(p *Problem, placement model.Placement) float
 	if err != nil {
 		return math.Inf(-1)
 	}
-	hostIdx := make(map[model.PMID]int, len(p.Hosts))
-	for j := range p.Hosts {
-		hostIdx[p.Hosts[j].Spec.ID] = j
-	}
 	total := 0.0
 	for i := range p.VMs {
-		j, ok := hostIdx[placement[p.VMs[i].Spec.ID]]
+		j, ok := r.HostIndex(placement[p.VMs[i].Spec.ID])
 		if !ok {
 			return math.Inf(-1)
 		}

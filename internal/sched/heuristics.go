@@ -35,11 +35,12 @@ func (f *FirstFit) Schedule(p *Problem) (model.Placement, error) {
 		avail[j] = h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{})
 	}
 	// Descending demand, like the paper's ordered variants.
+	var s Scratch
 	reqs := make([]model.Resources, len(p.VMs))
 	order := make([]int, len(p.VMs))
 	ref := p.Hosts[0].Spec.Capacity
 	for i := range p.VMs {
-		reqs[i] = f.Est.Required(&p.VMs[i]).Max(model.Resources{}).Min(ref)
+		reqs[i] = f.Est.Required(&p.VMs[i], &s).Max(model.Resources{}).Min(ref)
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
@@ -111,11 +112,12 @@ func (w *WorstFit) Schedule(p *Problem) (model.Placement, error) {
 	for j, h := range p.Hosts {
 		avail[j] = h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{})
 	}
+	var s Scratch
 	ref := p.Hosts[0].Spec.Capacity
 	reqs := make([]model.Resources, len(p.VMs))
 	order := make([]int, len(p.VMs))
 	for i := range p.VMs {
-		reqs[i] = w.Est.Required(&p.VMs[i]).Max(model.Resources{}).Min(ref)
+		reqs[i] = w.Est.Required(&p.VMs[i], &s).Max(model.Resources{}).Min(ref)
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {

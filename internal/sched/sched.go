@@ -107,154 +107,351 @@ func (c *CostModel) Validate() error {
 	return nil
 }
 
-// hostState tracks one host's tentative occupancy during a round.
-type hostState struct {
-	info     HostInfo
-	avail    model.Resources
-	guests   int
-	sumCPU   float64 // predicted/observed CPU usage of tentative guests
-	sumRPS   float64
-	assigned int // guests assigned during this round
-}
-
-func newHostState(h HostInfo) *hostState {
-	return &hostState{
-		info:   h,
-		avail:  h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{}),
-		guests: h.ResidentGuests,
-		sumCPU: h.ResidentCPUUsage,
-		sumRPS: h.ResidentRPS,
-	}
-}
-
-// on reports whether the host would be powered in the tentative plan.
-func (s *hostState) on() bool { return s.guests > 0 }
-
-// Round is a profit-evaluation session over one problem: requirements are
-// estimated once per VM, and host states are updated as VMs are assigned.
+// Round is a reusable profit-evaluation session over one problem. Host
+// state lives in dense structure-of-arrays slices, and everything the old
+// per-candidate evaluation recomputed from scratch is memoized once per
+// round (see DESIGN.md, "Scheduling round hot path"):
+//
+//   - per-VM requirements and full-grant VM CPU usage,
+//   - per-(VM, DC) request-weighted mean latencies, full-grant SLA
+//     estimates and migration penalties,
+//   - per-DC energy prices at the round's tick,
+//   - per-host powered-on baseline watts, invalidated only by
+//     Assign/Unassign (the only mutations of tentative host state).
+//
+// Profit therefore mutates nothing: concurrent ProfitScratch calls with
+// distinct scratches are safe between mutations, which is what makes
+// BestFit's parallel candidate evaluation race-free.
 type Round struct {
-	cost  CostModel
-	est   Estimator
-	vms   []VMInfo
-	req   []model.Resources
-	hosts []*hostState
-	tick  int
+	cost CostModel
+	est  Estimator
+	vms  []VMInfo
+	tick int
+
+	// per-VM state.
+	req       []model.Resources
+	vmCPUFull []float64         // est.VMCPUUsage at the full-requirement grant
+	prevAvail []model.Resources // snapshot for exact Unassign restoration
+
+	// per-host SoA state (index parallel to Problem.Hosts).
+	hID          []model.PMID
+	hDC          []model.DCID
+	hCapCPU      []float64
+	hAvail       []model.Resources
+	hGuests      []int
+	hSumCPU      []float64
+	hSumRPS      []float64
+	hAssigned    []int
+	hWattsBefore []float64 // facility watts of the tentative population
+
+	// memoized tables. Only rows of DCs present among the candidate hosts
+	// are filled; absent-DC entries are stale and must not be read.
+	nDC       int
+	dcs       []int     // distinct DCs hosting candidates
+	dcPresent []bool    // [dc] membership of dcs
+	priceDC   []float64 // EUR/kWh per DC at tick
+	latVMDC   []float64 // [i*nDC+dc] mean client latency
+	slaFull   []float64 // [i*nDC+dc] SLA estimate at grant == req
+	migPen    []float64 // [i*nDC+dc] migration penalty EUR
+
+	idx       map[model.PMID]int
+	curve     []float64 // power fast path (nil: interface dispatch)
+	needWatts bool
+	gen       uint64 // Reset counter, invalidates scratch-level memos
+	scratch   Scratch
 }
 
-// NewRound precomputes per-VM requirements with the estimator.
+// NewRound builds a Round and primes it for the problem; Reset reuses it.
 func NewRound(p *Problem, cost CostModel, est Estimator) (*Round, error) {
-	if err := cost.Validate(); err != nil {
+	r := &Round{}
+	if err := r.Reset(p, cost, est); err != nil {
 		return nil, err
 	}
-	if est == nil {
-		return nil, fmt.Errorf("sched: estimator is nil")
+	return r, nil
+}
+
+// Reset re-primes the round for a (possibly new) problem, reusing all
+// internal storage — the steady-state path allocates nothing. The round
+// aliases p.VMs until the next Reset.
+func (r *Round) Reset(p *Problem, cost CostModel, est Estimator) error {
+	if err := cost.Validate(); err != nil {
+		return err
 	}
-	r := &Round{cost: cost, est: est, vms: p.VMs, tick: p.Tick}
+	if est == nil {
+		return fmt.Errorf("sched: estimator is nil")
+	}
+	r.cost, r.est, r.vms, r.tick = cost, est, p.VMs, p.Tick
+	r.gen++
+	nV, nH := len(p.VMs), len(p.Hosts)
+	r.nDC = cost.Top.NumDCs()
+
+	// Hosts: dense columns plus the id index.
+	r.hID = grown(r.hID, nH)
+	r.hDC = grown(r.hDC, nH)
+	r.hCapCPU = grown(r.hCapCPU, nH)
+	r.hAvail = grown(r.hAvail, nH)
+	r.hGuests = grown(r.hGuests, nH)
+	r.hSumCPU = grown(r.hSumCPU, nH)
+	r.hSumRPS = grown(r.hSumRPS, nH)
+	r.hAssigned = grown(r.hAssigned, nH)
+	r.hWattsBefore = grown(r.hWattsBefore, nH)
+	if r.idx == nil {
+		r.idx = make(map[model.PMID]int, nH)
+	} else {
+		clear(r.idx)
+	}
+	var maxCap model.Resources
+	for j := range p.Hosts {
+		h := &p.Hosts[j]
+		if h.Spec.DC < 0 || int(h.Spec.DC) >= r.nDC {
+			return fmt.Errorf("sched: host %v in DC %v outside topology (%d DCs)",
+				h.Spec.ID, h.Spec.DC, r.nDC)
+		}
+		r.hID[j] = h.Spec.ID
+		r.hDC[j] = h.Spec.DC
+		r.hCapCPU[j] = h.Spec.Capacity.CPUPct
+		r.hAvail[j] = h.Spec.Capacity.Sub(h.Resident).Max(model.Resources{})
+		r.hGuests[j] = h.ResidentGuests
+		r.hSumCPU[j] = h.ResidentCPUUsage
+		r.hSumRPS[j] = h.ResidentRPS
+		r.hAssigned[j] = 0
+		r.idx[h.Spec.ID] = j
+		maxCap = maxCap.Max(h.Spec.Capacity)
+	}
+	// Distinct DCs among the candidates: the per-(VM, DC) tables below are
+	// filled only for these, so a single-DC sub-problem (the hierarchical
+	// scheduler's local rounds) pays one column, not the whole topology.
+	r.dcPresent = grown(r.dcPresent, r.nDC)
+	for dc := range r.dcPresent {
+		r.dcPresent[dc] = false
+	}
+	r.dcs = r.dcs[:0]
+	for j := 0; j < nH; j++ {
+		if dc := int(r.hDC[j]); !r.dcPresent[dc] {
+			r.dcPresent[dc] = true
+			r.dcs = append(r.dcs, dc)
+		}
+	}
+
 	// A VM's requirement is capped at the largest host: constraint (2) of
 	// Figure 3 makes asking for more than a whole machine meaningless, and
 	// the cap defuses estimator extrapolation on unseen load levels.
-	var maxCap model.Resources
-	for _, h := range p.Hosts {
-		maxCap = maxCap.Max(h.Spec.Capacity)
-	}
-	r.req = make([]model.Resources, len(p.VMs))
+	r.req = grown(r.req, nV)
+	r.vmCPUFull = grown(r.vmCPUFull, nV)
+	r.prevAvail = grown(r.prevAvail, nV)
 	for i := range p.VMs {
-		req := est.Required(&p.VMs[i]).Max(model.Resources{})
-		if len(p.Hosts) > 0 {
+		req := est.Required(&p.VMs[i], &r.scratch).Max(model.Resources{})
+		if nH > 0 {
 			req = req.Min(maxCap)
 		}
 		r.req[i] = req
+		r.vmCPUFull[i] = est.VMCPUUsage(&p.VMs[i], req.CPUPct, &r.scratch)
 	}
-	r.hosts = make([]*hostState, len(p.Hosts))
-	for i, h := range p.Hosts {
-		r.hosts[i] = newHostState(h)
+
+	// Per-DC energy prices at this round's tick.
+	r.priceDC = cost.Top.EnergyPricesAt(p.Tick, r.priceDC)
+
+	// Per-(VM, DC) tables: mean latency, full-grant SLA, migration penalty.
+	r.latVMDC = grown(r.latVMDC, nV*r.nDC)
+	r.slaFull = grown(r.slaFull, nV*r.nDC)
+	r.migPen = grown(r.migPen, nV*r.nDC)
+	for i := range p.VMs {
+		vm := &p.VMs[i]
+		req := r.req[i]
+		base := i * r.nDC
+		for _, dc := range r.dcs {
+			lat := cost.Top.MeanLatencyFrom(model.DCID(dc), vm.Load)
+			r.latVMDC[base+dc] = lat
+			var sla float64
+			switch {
+			case cost.LatencyOnly:
+				sla = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + lat)
+			default:
+				if v, ok := est.SLA(vm, req.CPUPct, 0, lat, &r.scratch); ok {
+					sla = v
+				} else {
+					sla = HeuristicSLA(vm, req, req, lat)
+				}
+			}
+			r.slaFull[base+dc] = sla
+			pen := 0.0
+			if cost.MigrationAware && vm.Current != model.NoPM {
+				down := cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, model.DCID(dc))
+				// Explicit penalty fee plus the revenue lost while
+				// blacked out.
+				pen = 2 * vm.Spec.PriceEURh * down / 3600
+			}
+			r.migPen[base+dc] = pen
+		}
 	}
-	return r, nil
+
+	// Power: grab the raw curve when the model exposes one, then prime the
+	// per-host baseline watts.
+	r.curve = nil
+	if cm, ok := cost.Power.(power.CurveModel); ok {
+		r.curve = cm.CurvePoints()
+	}
+	r.needWatts = cost.EnergyAware && !cost.LatencyOnly
+	if r.needWatts {
+		for j := 0; j < nH; j++ {
+			r.recomputeWattsBefore(j)
+		}
+	}
+	return nil
 }
 
 // Required exposes the estimated requirement of VM i.
 func (r *Round) Required(i int) model.Resources { return r.req[i] }
 
 // NumHosts returns the candidate host count.
-func (r *Round) NumHosts() int { return len(r.hosts) }
+func (r *Round) NumHosts() int { return len(r.hID) }
 
 // NumVMs returns the schedulable VM count.
 func (r *Round) NumVMs() int { return len(r.vms) }
 
 // HostID returns the PMID of host j.
-func (r *Round) HostID(j int) model.PMID { return r.hosts[j].info.Spec.ID }
+func (r *Round) HostID(j int) model.PMID { return r.hID[j] }
+
+// HostIndex returns the dense index of the host with the given id.
+func (r *Round) HostIndex(id model.PMID) (int, bool) {
+	j, ok := r.idx[id]
+	return j, ok
+}
+
+// FullGrantSLA exposes the memoized SLA estimate of VM i when a host in dc
+// grants its full requirement — the quantity a composite scheduler (e.g.
+// the hierarchical decomposition) would otherwise re-predict. dc must be a
+// DC with candidate hosts in this round.
+func (r *Round) FullGrantSLA(i int, dc model.DCID) float64 {
+	return r.slaFull[i*r.nDC+int(dc)]
+}
+
+// FullGrantVMCPU exposes the memoized CPU usage estimate of VM i under its
+// full requirement grant.
+func (r *Round) FullGrantVMCPU(i int) float64 { return r.vmCPUFull[i] }
+
+// Latency exposes the memoized mean client latency of VM i hosted in dc.
+// dc must be a DC with candidate hosts in this round.
+func (r *Round) Latency(i int, dc model.DCID) float64 {
+	return r.latVMDC[i*r.nDC+int(dc)]
+}
+
+// facilityWatts is power.FacilityWatts through the cached curve when the
+// model exposes one (identical arithmetic, no interface dispatch).
+func (r *Round) facilityWatts(cpuPct float64) float64 {
+	if r.curve != nil {
+		return power.Interpolate(r.curve, cpuPct) * power.CoolingFactor
+	}
+	return power.FacilityWatts(r.cost.Power, cpuPct)
+}
+
+// recomputeWattsBefore refreshes host j's powered-on baseline draw; called
+// whenever the tentative population of j changes.
+func (r *Round) recomputeWattsBefore(j int) {
+	if r.hGuests[j] <= 0 {
+		r.hWattsBefore[j] = 0
+		return
+	}
+	prevPM := r.est.PMCPU(r.hGuests[j], r.hSumCPU[j], r.hSumRPS[j], &r.scratch)
+	prevPM = clampF(prevPM, 0, r.hCapCPU[j])
+	r.hWattsBefore[j] = r.facilityWatts(prevPM)
+}
 
 // Profit scores placing VM i on host j given the current tentative state —
 // the per-assignment form of Figure 3's objective:
 //
 //	frevenue(SLA) - fpenalty(migration) - fenergycost(marginal power).
-func (r *Round) Profit(i, j int) float64 {
-	vm := &r.vms[i]
-	host := r.hosts[j]
-	req := r.req[i]
-	hostDC := host.info.Spec.DC
+func (r *Round) Profit(i, j int) float64 { return r.ProfitScratch(i, j, &r.scratch) }
 
-	grant := req.Min(host.avail)
-	grantCPU := grant.CPUPct
-	memDeficit := memDeficitFrac(grant.MemMB, req.MemMB)
-	latency := r.cost.Top.MeanLatencyFrom(hostDC, vm.Load)
+// ProfitScratch is Profit with an explicit estimator scratch, the form the
+// parallel candidate evaluation uses with one scratch per worker. It reads
+// but never writes round state.
+func (r *Round) ProfitScratch(i, j int, s *Scratch) float64 {
+	vm := &r.vms[i]
+	req := r.req[i]
+	avail := r.hAvail[j]
+	dc := int(r.hDC[j])
+	base := i*r.nDC + dc
+	lat := r.latVMDC[base]
+
+	// The common uncongested case — the host can grant the full
+	// requirement — reuses the memoized full-grant estimates; the congested
+	// case pays the estimator for the clamped grant, deduplicated through
+	// the scratch memo (hosts with equal availability in the same DC pose
+	// the exact same query).
+	fits := req.FitsIn(avail)
 
 	var slaEst float64
-	if r.cost.LatencyOnly {
-		slaEst = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + latency)
-	} else if v, ok := r.est.SLA(vm, grantCPU, memDeficit, latency); ok {
-		slaEst = v
+	var entry *profitCacheEntry
+	if fits || r.cost.LatencyOnly {
+		slaEst = r.slaFull[base]
 	} else {
-		slaEst = HeuristicSLA(vm, req, grant, latency)
+		grant := req.Min(avail)
+		entry = s.profitEntry(r, i, grant.CPUPct, memDeficitFrac(grant.MemMB, req.MemMB), dc)
+		if !entry.hasSLA {
+			if v, ok := r.est.SLA(vm, entry.grantCPU, entry.memDef, lat, s); ok {
+				entry.sla = v
+			} else {
+				entry.sla = HeuristicSLA(vm, req, grant, lat)
+			}
+			entry.hasSLA = true
+		}
+		slaEst = entry.sla
 	}
 	profit := vm.Spec.PriceEURh * slaEst * r.cost.HorizonHours
 
-	if r.cost.EnergyAware && !r.cost.LatencyOnly {
-		vmCPU := r.est.VMCPUUsage(vm, grantCPU)
-		newPM := r.est.PMCPU(host.guests+1, host.sumCPU+vmCPU, host.sumRPS+vm.Total.RPS)
-		newPM = clampF(newPM, 0, host.info.Spec.Capacity.CPUPct)
-		var wattsBefore float64
-		if host.on() {
-			prevPM := r.est.PMCPU(host.guests, host.sumCPU, host.sumRPS)
-			prevPM = clampF(prevPM, 0, host.info.Spec.Capacity.CPUPct)
-			wattsBefore = power.FacilityWatts(r.cost.Power, prevPM)
+	if r.needWatts {
+		var vmCPU float64
+		if fits {
+			vmCPU = r.vmCPUFull[i]
+		} else {
+			// needWatts implies !LatencyOnly, so entry is set above.
+			if !entry.hasCPU {
+				entry.vmCPU = r.est.VMCPUUsage(vm, entry.grantCPU, s)
+				entry.hasCPU = true
+			}
+			vmCPU = entry.vmCPU
 		}
-		wattsAfter := power.FacilityWatts(r.cost.Power, newPM)
-		marginal := wattsAfter - wattsBefore
-		profit -= power.EnergyEUR(marginal, r.cost.HorizonHours, r.cost.Top.EnergyPriceAt(hostDC, r.tick))
+		newPM := r.est.PMCPU(r.hGuests[j]+1, r.hSumCPU[j]+vmCPU, r.hSumRPS[j]+vm.Total.RPS, s)
+		newPM = clampF(newPM, 0, r.hCapCPU[j])
+		marginal := r.facilityWatts(newPM) - r.hWattsBefore[j]
+		profit -= power.EnergyEUR(marginal, r.cost.HorizonHours, r.priceDC[dc])
 	}
 
-	if r.cost.MigrationAware && vm.Current != model.NoPM && vm.Current != host.info.Spec.ID {
-		down := r.cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, hostDC)
-		// Explicit penalty fee plus the revenue lost while blacked out.
-		profit -= 2 * vm.Spec.PriceEURh * down / 3600
+	if r.cost.MigrationAware && vm.Current != model.NoPM && vm.Current != r.hID[j] {
+		profit -= r.migPen[base]
 	}
 	return profit
 }
 
-// Assign commits VM i to host j, updating the tentative host state.
+// Assign commits VM i to host j, updating the tentative host state and
+// invalidating the cached baseline watts of j.
 func (r *Round) Assign(i, j int) {
-	host := r.hosts[j]
-	req := r.req[i]
-	host.avail = host.avail.Sub(req).Max(model.Resources{})
-	vmCPU := r.est.VMCPUUsage(&r.vms[i], req.CPUPct)
-	host.sumCPU += vmCPU
-	host.sumRPS += r.vms[i].Total.RPS
-	host.guests++
-	host.assigned++
+	r.prevAvail[i] = r.hAvail[j]
+	r.hAvail[j] = r.hAvail[j].Sub(r.req[i]).Max(model.Resources{})
+	r.hSumCPU[j] += r.vmCPUFull[i]
+	r.hSumRPS[j] += r.vms[i].Total.RPS
+	r.hGuests[j]++
+	r.hAssigned[j]++
+	if r.needWatts {
+		r.recomputeWattsBefore(j)
+	}
 }
 
 // Unassign reverses Assign (used by the branch-and-bound solver). The
-// caller must unwind in reverse assignment order for exact restoration.
+// caller must unwind in reverse assignment order; restoration is exact
+// because Assign snapshots the availability it clobbered — adding the
+// requirement back would over-restore whenever the requirement exceeded
+// what was actually available (the clamp in Assign).
 func (r *Round) Unassign(i, j int) {
-	host := r.hosts[j]
-	req := r.req[i]
-	host.avail = host.avail.Add(req).Min(host.info.Spec.Capacity.Sub(host.info.Resident).Max(model.Resources{}))
-	vmCPU := r.est.VMCPUUsage(&r.vms[i], req.CPUPct)
-	host.sumCPU -= vmCPU
-	host.sumRPS -= r.vms[i].Total.RPS
-	host.guests--
-	host.assigned--
+	r.hAvail[j] = r.prevAvail[i]
+	r.hSumCPU[j] -= r.vmCPUFull[i]
+	r.hSumRPS[j] -= r.vms[i].Total.RPS
+	r.hGuests[j]--
+	r.hAssigned[j]--
+	if r.needWatts {
+		r.recomputeWattsBefore(j)
+	}
 }
 
 // HeuristicSLA is the model-free QoS guess the plain Best-Fit works with:
@@ -290,4 +487,13 @@ func clampF(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
+}
+
+// grown returns s resized to n, reusing capacity; contents are undefined
+// (callers overwrite every element).
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

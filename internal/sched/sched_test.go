@@ -18,29 +18,29 @@ type fakeEstimator struct {
 
 func (f *fakeEstimator) Name() string { return "fake" }
 
-func (f *fakeEstimator) Required(vm *VMInfo) model.Resources {
+func (f *fakeEstimator) Required(vm *VMInfo, _ *Scratch) model.Resources {
 	if r, ok := f.req[vm.Spec.ID]; ok {
 		return r
 	}
 	return model.Resources{CPUPct: 50, MemMB: 256, BWMbps: 5}
 }
 
-func (f *fakeEstimator) SLA(vm *VMInfo, grantCPU, memDef, lat float64) (float64, bool) {
+func (f *fakeEstimator) SLA(vm *VMInfo, grantCPU, memDef, lat float64, _ *Scratch) (float64, bool) {
 	if f.sla == nil {
 		return 0, false
 	}
 	return f.sla(vm, grantCPU, memDef, lat)
 }
 
-func (f *fakeEstimator) VMCPUUsage(vm *VMInfo, grantCPU float64) float64 {
-	r := f.Required(vm)
+func (f *fakeEstimator) VMCPUUsage(vm *VMInfo, grantCPU float64, s *Scratch) float64 {
+	r := f.Required(vm, s)
 	if r.CPUPct > grantCPU {
 		return grantCPU
 	}
 	return r.CPUPct
 }
 
-func (f *fakeEstimator) PMCPU(nGuests int, sumCPU, sumRPS float64) float64 {
+func (f *fakeEstimator) PMCPU(nGuests int, sumCPU, sumRPS float64, _ *Scratch) float64 {
 	if nGuests == 0 {
 		return 0
 	}
@@ -325,26 +325,65 @@ func TestRoundAssignUnassignRestoresState(t *testing.T) {
 	}
 }
 
+func TestUnassignRestoresClampedAvailability(t *testing.T) {
+	// Regression: Assign clamps availability at zero, so when a
+	// requirement exceeds what is left, the amount actually subtracted is
+	// smaller than the requirement. The old Unassign added the full
+	// requirement back, handing the branch-and-bound solver phantom
+	// headroom. With the snapshot-based restore, a third VM must see
+	// exactly the pre-assign state.
+	est := &fakeEstimator{req: map[model.VMID]model.Resources{
+		0: {CPUPct: 300, MemMB: 3000, BWMbps: 10},
+		1: {CPUPct: 300, MemMB: 3000, BWMbps: 10}, // exceeds what VM0 leaves
+		2: {CPUPct: 200, MemMB: 1000, BWMbps: 10},
+	}}
+	p := &Problem{
+		VMs:   []VMInfo{mkVM(0, 0, 10, 0), mkVM(1, 0, 10, 0), mkVM(2, 0, 10, 0)},
+		Hosts: []HostInfo{mkHost(0, 0)},
+	}
+	r, err := NewRound(p, paperCost(), est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Assign(0, 0) // leaves 100 CPU / 1096 MB
+	before := r.Profit(2, 0)
+	r.Assign(1, 0) // clamped: only the remainder is actually subtracted
+	r.Unassign(1, 0)
+	after := r.Profit(2, 0)
+	if before != after {
+		t.Fatalf("clamped assign/unassign not restored: profit %v -> %v", before, after)
+	}
+	// The phantom-headroom symptom of the old code: after the cycle, VM2
+	// must still be scored against a partially-full host, not an empty one.
+	fresh, err := NewRound(p, paperCost(), est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emptyProfit := fresh.Profit(2, 0); emptyProfit == after {
+		t.Fatalf("post-cycle profit equals empty-host profit %v: availability over-restored", emptyProfit)
+	}
+}
+
 func TestObservedEstimatorSizing(t *testing.T) {
 	o := NewObserved()
 	vm := mkVM(0, 0, 10, 0)
 	// No observations: falls back to defaults with the memory floor.
-	r := o.Required(&vm)
+	r := o.Required(&vm, nil)
 	if r.MemMB < vm.Spec.BaseMemMB {
 		t.Fatalf("unobserved sizing below base mem: %v", r)
 	}
 	vm.Observed = model.Resources{CPUPct: 80, MemMB: 400, BWMbps: 8}
 	vm.HasObserved = true
-	r = o.Required(&vm)
+	r = o.Required(&vm, nil)
 	if r != vm.Observed {
 		t.Fatalf("observed sizing = %v", r)
 	}
 	ob := NewOverbooked()
-	r2 := ob.Required(&vm)
+	r2 := ob.Required(&vm, nil)
 	if math.Abs(r2.CPUPct-160) > 1e-9 {
 		t.Fatalf("overbooked CPU = %v, want 160", r2.CPUPct)
 	}
-	if _, ok := o.SLA(&vm, 100, 0, 0); ok {
+	if _, ok := o.SLA(&vm, 100, 0, 0, nil); ok {
 		t.Fatal("observed estimator should have no SLA model")
 	}
 }

@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// TestScheduleSteadyStateAllocs enforces the allocation contract of the
+// scheduling hot path: once warmed, a Best-Fit round through ScheduleInto
+// allocates nothing — the only allocation Schedule itself performs is the
+// returned placement map.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	bundle, err := experiments.TrainedBundle(benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
+	for _, tc := range []struct {
+		name string
+		est  sched.Estimator
+	}{
+		{"observed", sched.NewObserved()},
+		{"overbooked", sched.NewOverbooked()},
+		{"ml", sched.NewML(bundle)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			problem := syntheticProblem(24, 16)
+			bf := sched.NewBestFit(cost, tc.est)
+			placement := make(model.Placement, len(problem.VMs))
+			// Warm the reusable round, scratch and map storage.
+			for i := 0; i < 2; i++ {
+				clear(placement)
+				if err := bf.ScheduleInto(problem, placement); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				clear(placement)
+				if err := bf.ScheduleInto(problem, placement); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state ScheduleInto allocates %.1f objects per round, want 0", allocs)
+			}
+			if len(placement) != len(problem.VMs) {
+				t.Fatalf("placement incomplete: %d/%d", len(placement), len(problem.VMs))
+			}
+		})
+	}
+}
