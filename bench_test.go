@@ -311,6 +311,13 @@ func BenchmarkScheduleRound(b *testing.B) {
 		b.Run(size.name, func(b *testing.B) {
 			problem := syntheticProblem(size.vms, size.hosts)
 			bf := sched.NewBestFit(cost, sched.NewML(bundle))
+			// One warmup round so the reusable Round session is grown
+			// before measurement: allocs/op is then the steady state the
+			// benchgate CI job compares against BENCH_sched.json, stable
+			// even at low -benchtime iteration counts.
+			if _, err := bf.Schedule(problem); err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

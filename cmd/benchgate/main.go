@@ -1,0 +1,220 @@
+// Command benchgate turns `go test -bench -benchmem` output into a CI
+// gate: it compares every measured benchmark against the committed
+// baseline (BENCH_sched.json) and exits non-zero when allocations regress
+// at all, or bytes/time regress beyond their noise tolerances.
+//
+// Allocations per op are deterministic for a fixed code path, so the gate
+// is exact: one extra alloc/op fails. B/op is near-deterministic (map
+// bucket growth wobbles a little) and fails beyond baseline ×
+// bytes_tolerance_factor (default 1.5). Wall time varies across runners,
+// so ns/op only fails beyond baseline × ns_tolerance_factor (default 3).
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkScheduleRound -benchmem -benchtime 20x . | \
+//	    go run ./cmd/benchgate -baseline BENCH_sched.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured or baseline numbers.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed perf contract (BENCH_sched.json).
+type Baseline struct {
+	Description string `json:"description"`
+	Machine     string `json:"machine"`
+	// NsToleranceFactor scales every baseline ns/op into the failure
+	// threshold (0 = default 3, absorbing runner noise and slower CI
+	// hardware while still catching order-of-magnitude regressions).
+	NsToleranceFactor float64 `json:"ns_tolerance_factor"`
+	// BytesToleranceFactor does the same for B/op (0 = default 1.5:
+	// near-deterministic, but map bucket growth wobbles a few percent).
+	BytesToleranceFactor float64            `json:"bytes_tolerance_factor"`
+	Benchmarks           map[string]Metrics `json:"benchmarks"`
+	// History and Notes are documentation; the gate ignores them.
+	History map[string]map[string]Metrics `json:"history,omitempty"`
+	Notes   string                        `json:"notes,omitempty"`
+}
+
+const (
+	defaultNsTolerance    = 3
+	defaultBytesTolerance = 1.5
+)
+
+// parseBench extracts per-benchmark metrics from `go test -bench` output.
+// The trailing -N GOMAXPROCS suffix is stripped from names; when a name
+// repeats (e.g. -count > 1) the worst (largest) value of each metric is
+// kept, so the gate judges the least flattering run.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	got := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcs(fields[0])
+		m := got[name]
+		seen := false
+		// fields[1] is the iteration count; after it come value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = max(m.NsPerOp, v)
+				seen = true
+			case "B/op":
+				m.BytesPerOp = max(m.BytesPerOp, v)
+				seen = true
+			case "allocs/op":
+				m.AllocsPerOp = max(m.AllocsPerOp, v)
+				seen = true
+			}
+		}
+		if seen {
+			got[name] = m
+		}
+	}
+	return got, sc.Err()
+}
+
+// trimProcs removes the -N GOMAXPROCS suffix go test appends to names.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// gate compares measured metrics against the baseline and returns one
+// violation message per failure, in stable (sorted) order. Every baseline
+// benchmark must be present in the measured set: a gate that silently
+// skips a missing benchmark would pass vacuously.
+func gate(base Baseline, got map[string]Metrics) []string {
+	factor := base.NsToleranceFactor
+	if factor <= 0 {
+		factor = defaultNsTolerance
+	}
+	bytesFactor := base.BytesToleranceFactor
+	if bytesFactor <= 0 {
+		bytesFactor = defaultBytesTolerance
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: baseline benchmark missing from bench output", name))
+			continue
+		}
+		if g.AllocsPerOp > want.AllocsPerOp {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op regressed: %.0f > baseline %.0f (exact gate)",
+					name, g.AllocsPerOp, want.AllocsPerOp))
+		}
+		if limit := want.BytesPerOp * bytesFactor; g.BytesPerOp > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: B/op regressed: %.0f > %.0f (baseline %.0f × tolerance %g)",
+					name, g.BytesPerOp, limit, want.BytesPerOp, bytesFactor))
+		}
+		if limit := want.NsPerOp * factor; g.NsPerOp > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: ns/op regressed: %.0f > %.0f (baseline %.0f × tolerance %g)",
+					name, g.NsPerOp, limit, want.NsPerOp, factor))
+		}
+	}
+	return violations
+}
+
+func loadBaseline(path string) (Baseline, error) {
+	var base Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return base, fmt.Errorf("benchgate: %s has no benchmarks to gate on", path)
+	}
+	return base, nil
+}
+
+func run(baselinePath, inputPath string, out, errOut io.Writer) int {
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	in := io.Reader(os.Stdin)
+	if inputPath != "" && inputPath != "-" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	violations := gate(base, got)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(errOut, "benchgate: FAIL %s\n", v)
+		}
+		return 1
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := got[name]
+		want := base.Benchmarks[name]
+		fmt.Fprintf(out, "benchgate: ok %s: %.0f allocs/op (baseline %.0f), %.0f ns/op (baseline %.0f)\n",
+			name, g.AllocsPerOp, want.AllocsPerOp, g.NsPerOp, want.NsPerOp)
+	}
+	return 0
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_sched.json", "committed baseline file")
+	input := flag.String("input", "-", "bench output file (- = stdin)")
+	flag.Parse()
+	os.Exit(run(*baseline, *input, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testBaseline mirrors the BENCH_sched.json shape with round numbers.
+var testBaseline = Baseline{
+	NsToleranceFactor: 3,
+	Benchmarks: map[string]Metrics{
+		"BenchmarkScheduleRound/Small": {NsPerOp: 10_000_000, BytesPerOp: 1000, AllocsPerOp: 5},
+		"BenchmarkScheduleRound/Large": {NsPerOp: 250_000_000, BytesPerOp: 7000, AllocsPerOp: 5},
+	},
+}
+
+const healthyOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkScheduleRound/Small-4         	      20	  11000000 ns/op	     999 B/op	       5 allocs/op
+BenchmarkScheduleRound/Large-4         	      20	 260000000 ns/op	    7000 B/op	       5 allocs/op
+PASS
+ok  	repro	30.1s
+`
+
+func parse(t *testing.T, out string) map[string]Metrics {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	got := parse(t, healthyOutput)
+	small, ok := got["BenchmarkScheduleRound/Small"]
+	if !ok {
+		t.Fatalf("Small missing (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if small.NsPerOp != 11_000_000 || small.BytesPerOp != 999 || small.AllocsPerOp != 5 {
+		t.Fatalf("Small = %+v", small)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+}
+
+func TestParseBenchKeepsWorstOfRepeats(t *testing.T) {
+	got := parse(t, `
+BenchmarkX-4 	10	100 ns/op	50 B/op	2 allocs/op
+BenchmarkX-4 	10	300 ns/op	40 B/op	7 allocs/op
+BenchmarkX-4 	10	200 ns/op	60 B/op	3 allocs/op
+`)
+	x := got["BenchmarkX"]
+	if x.NsPerOp != 300 || x.BytesPerOp != 60 || x.AllocsPerOp != 7 {
+		t.Fatalf("repeats should keep worst per metric, got %+v", x)
+	}
+}
+
+func TestGatePassesHealthyRun(t *testing.T) {
+	if v := gate(testBaseline, parse(t, healthyOutput)); len(v) != 0 {
+		t.Fatalf("healthy run flagged: %v", v)
+	}
+}
+
+// TestGateFailsOnAllocRegression is the contract the CI job relies on:
+// one extra allocation per op in a gated hot path must fail the build.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	regressed := strings.Replace(healthyOutput,
+		"     999 B/op	       5 allocs/op",
+		"     999 B/op	       6 allocs/op", 1)
+	v := gate(testBaseline, parse(t, regressed))
+	if len(v) != 1 {
+		t.Fatalf("alloc regression not caught: %v", v)
+	}
+	if !strings.Contains(v[0], "Small") || !strings.Contains(v[0], "allocs/op regressed") {
+		t.Fatalf("wrong violation: %q", v[0])
+	}
+}
+
+func TestGateToleratesNsNoiseButNotBlowup(t *testing.T) {
+	// 2.9x the baseline: inside the 3x tolerance.
+	noisy := strings.Replace(healthyOutput, "  11000000 ns/op", "  29000000 ns/op", 1)
+	if v := gate(testBaseline, parse(t, noisy)); len(v) != 0 {
+		t.Fatalf("2.9x ns flagged despite 3x tolerance: %v", v)
+	}
+	// 4x the baseline: a real regression.
+	slow := strings.Replace(healthyOutput, "  11000000 ns/op", "  40000000 ns/op", 1)
+	v := gate(testBaseline, parse(t, slow))
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op regressed") {
+		t.Fatalf("4x ns not caught: %v", v)
+	}
+}
+
+func TestGateFailsOnBytesBlowup(t *testing.T) {
+	// 999 -> 1400 B/op: inside the 1.5x tolerance (baseline 1000).
+	wobble := strings.Replace(healthyOutput, "     999 B/op", "    1400 B/op", 1)
+	if v := gate(testBaseline, parse(t, wobble)); len(v) != 0 {
+		t.Fatalf("B/op wobble flagged despite 1.5x tolerance: %v", v)
+	}
+	// Same alloc count but 60x the bytes: a real memory regression.
+	fat := strings.Replace(healthyOutput, "     999 B/op", "   60000 B/op", 1)
+	v := gate(testBaseline, parse(t, fat))
+	if len(v) != 1 || !strings.Contains(v[0], "B/op regressed") {
+		t.Fatalf("B/op blow-up not caught: %v", v)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	onlySmall := strings.Join(strings.Split(healthyOutput, "\n")[:5], "\n")
+	v := gate(testBaseline, parse(t, onlySmall))
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing benchmark not caught: %v", v)
+	}
+}
+
+func TestGateDefaultTolerance(t *testing.T) {
+	base := testBaseline
+	base.NsToleranceFactor = 0 // default 3 kicks in
+	slow := strings.Replace(healthyOutput, "  11000000 ns/op", "  40000000 ns/op", 1)
+	if v := gate(base, parse(t, slow)); len(v) != 1 {
+		t.Fatalf("default tolerance not applied: %v", v)
+	}
+}
+
+// TestRunAgainstCommittedBaseline runs the whole tool (load, parse, gate,
+// exit code) against the real committed BENCH_sched.json: a fabricated
+// allocs/op regression must produce exit code 1, and numbers matching the
+// committed baseline must pass — so a broken baseline file fails here, in
+// CI, not silently in the workflow.
+func TestRunAgainstCommittedBaseline(t *testing.T) {
+	baselinePath := filepath.Join("..", "..", "BENCH_sched.json")
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok, bad strings.Builder
+	for name, m := range base.Benchmarks {
+		ok.WriteString(name + "-4 \t20\t" +
+			formatLine(m.NsPerOp, m.BytesPerOp, m.AllocsPerOp) + "\n")
+		bad.WriteString(name + "-4 \t20\t" +
+			formatLine(m.NsPerOp, m.BytesPerOp, m.AllocsPerOp+1) + "\n")
+	}
+	okFile := filepath.Join(t.TempDir(), "ok.txt")
+	if err := os.WriteFile(okFile, []byte(ok.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badFile := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(badFile, []byte(bad.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run(baselinePath, okFile, &out, &errOut); code != 0 {
+		t.Fatalf("baseline-equal run failed with code %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(baselinePath, badFile, &out, &errOut); code != 1 {
+		t.Fatalf("allocs regression exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "allocs/op regressed") {
+		t.Fatalf("missing violation message: %s", errOut.String())
+	}
+}
+
+func formatLine(ns, bytes, allocs float64) string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	return f(ns) + " ns/op\t" + f(bytes) + " B/op\t" + f(allocs) + " allocs/op"
+}

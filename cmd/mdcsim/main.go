@@ -1,8 +1,8 @@
 // Command mdcsim runs the reproduction's experiments — one per table or
 // figure of the paper — and prints their tables and terminal charts. It
-// can also drive any named scenario preset under a managed scheduler,
-// which is how new what-if fleets (heterogeneous hosts, price spikes) are
-// explored without writing an experiment.
+// can also drive any named scenario preset under a managed scheduler, or
+// sweep the whole scenario × policy × seed matrix in parallel with
+// machine-readable output.
 //
 // Usage:
 //
@@ -11,12 +11,15 @@
 //	mdcsim all
 //	mdcsim -scenarios
 //	mdcsim -scenario hetero-fleet -ticks 720
+//	mdcsim sweep -scenarios all -policies bf,bf-ob,bf-ml -seeds 1,2,3 -ticks 240 -out sweep-out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -25,9 +28,18 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "mdcsim sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	seed := flag.Uint64("seed", 42, "root seed for all stochastic components")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	listScenarios := flag.Bool("scenarios", false, "list scenario presets and exit")
@@ -56,7 +68,7 @@ func main() {
 
 	names := flag.Args()
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mdcsim [-seed N] <experiment>... | all | -list | -scenarios | -scenario NAME")
+		fmt.Fprintln(os.Stderr, "usage: mdcsim [-seed N] <experiment>... | all | sweep [flags] | -list | -scenarios | -scenario NAME")
 		os.Exit(2)
 	}
 	if len(names) == 1 && names[0] == "all" {
@@ -72,6 +84,87 @@ func main() {
 		fmt.Print(res.Render())
 		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSweep drives the sweep subcommand: parse the matrix flags, run every
+// (scenario, policy, seed) cell in parallel, print the aggregate table and
+// optionally write the machine-readable JSON + CSV.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: mdcsim sweep [flags]")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "scenarios: %s\n", strings.Join(scenario.Names(), ", "))
+		fmt.Fprintf(fs.Output(), "policies:  %s\n", strings.Join(sweep.PolicyNames(), ", "))
+	}
+	scenarios := fs.String("scenarios", "all", "comma-separated scenario presets, or \"all\"")
+	policiesF := fs.String("policies", "bf,bf-ob,bf-ml", "comma-separated policy names")
+	seedsF := fs.String("seeds", "1,2,3", "comma-separated root seeds, one cell replica per seed")
+	ticks := fs.Int("ticks", 240, "simulated length of every cell in ticks (1 tick = 1 min)")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "directory for sweep.json + cells.csv (empty = print only)")
+	cellsToo := fs.Bool("cells", false, "also print the per-cell table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	seeds, err := parseSeeds(*seedsF)
+	if err != nil {
+		return err
+	}
+	m := sweep.Matrix{
+		Scenarios: splitList(*scenarios),
+		Policies:  splitList(*policiesF),
+		Seeds:     seeds,
+		Ticks:     *ticks,
+		Workers:   *workers,
+	}
+	start := time.Now()
+	res, err := sweep.Run(m)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if *cellsToo {
+		t := res.CellsTable()
+		fmt.Println(t.Render())
+	}
+	fmt.Print(res.Render())
+	fmt.Printf("(%d cells in %s)\n", len(res.Cells), elapsed.Round(time.Millisecond))
+	if *out != "" {
+		jsonPath, csvPath, err := res.WriteFiles(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s\n", jsonPath, csvPath)
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag into trimmed non-empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// parseSeeds parses the -seeds flag.
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, item := range splitList(s) {
+		v, err := strconv.ParseUint(item, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", item, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // runScenario drives one preset under the overbooked Best-Fit manager and

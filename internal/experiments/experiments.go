@@ -1,7 +1,9 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation (Section V). Each experiment is a pure function of a seed,
 // returning tables and series shaped like the paper's outputs; the bench
-// harness at the repository root regenerates them all.
+// harness at the repository root regenerates them all. Experiments run
+// through the shared sweep cell-runner (internal/sweep), so one experiment
+// run and one sweep cell are the same code path.
 //
 // Index (see DESIGN.md for the full mapping):
 //
@@ -17,16 +19,15 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/power"
 	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Result is the uniform output of one experiment.
@@ -41,121 +42,57 @@ type Result struct {
 
 // Render returns the whole result as printable text.
 func (r *Result) Render() string {
-	out := fmt.Sprintf("== %s ==\n", r.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Name)
 	for i := range r.Tables {
-		out += r.Tables[i].Render() + "\n"
+		b.WriteString(r.Tables[i].Render())
+		b.WriteByte('\n')
 	}
 	for i := range r.Charts {
-		out += r.Charts[i].Render() + "\n"
+		b.WriteString(r.Charts[i].Render())
+		b.WriteByte('\n')
 	}
 	for _, n := range r.Notes {
-		out += "note: " + n + "\n"
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
 	}
-	return out
+	return b.String()
 }
 
-// bundleCache memoises trained predictor bundles per seed: several
-// experiments share the same models, and training is the expensive step.
-var bundleCache sync.Map // uint64 -> *predict.Bundle
-
 // TrainedBundle returns the predictor bundle for a seed, training it on
-// first use.
+// first use (delegating to the sweep-level per-seed cache).
 func TrainedBundle(seed uint64) (*predict.Bundle, error) {
-	if v, ok := bundleCache.Load(seed); ok {
-		return v.(*predict.Bundle), nil
-	}
-	h, err := predict.Collect(predict.DefaultHarvestOpts(seed))
-	if err != nil {
-		return nil, err
-	}
-	b, err := predict.Train(h, predict.DefaultTrainConfig(seed))
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := bundleCache.LoadOrStore(seed, b)
-	return actual.(*predict.Bundle), nil
+	return sweep.TrainedBundle(seed)
 }
 
 // RoundTicks is the scheduling period used across experiments (10 min).
-const RoundTicks = 10
+const RoundTicks = sweep.DefaultRoundTicks
 
 // HorizonHours is the profit horizon of one scheduling round.
-const HorizonHours = float64(RoundTicks) / 60
+const HorizonHours = sweep.HorizonHours
 
-// PolicyRun summarises one (scenario, scheduler) execution.
-type PolicyRun struct {
-	Policy      string
-	Ticks       int
-	AvgSLA      float64
-	MinSLA      float64
-	AvgWatts    float64
-	AvgEuroH    float64 // profit per hour
-	RevenueEUR  float64
-	EnergyEUR   float64
-	PenaltyEUR  float64
-	Migrations  int
-	AvgActive   float64
-	SLASeries   []float64
-	WattsSeries []float64
-	ActiveSer   []float64
-	DCSeries    []float64 // hosting DC of VM 0 (for placement plots)
-	// sunlitFrac is used by the green-energy extension: the share of ticks
-	// vm0 spent on renewable-discounted power.
-	sunlitFrac float64
-}
+// PolicyRun summarises one (scenario, scheduler) execution; it is the
+// sweep cell result.
+type PolicyRun = sweep.PolicyRun
 
 // RunPolicy executes a scheduler-managed run on a fresh scenario built
-// from the spec.
+// from the spec, through the sweep cell-runner. A nil initial leaves the
+// VMs unplaced until the first scheduling round, matching each figure's
+// hand-picked starting state.
 func RunPolicy(spec scenario.Spec, mkSched func(*scenario.Scenario) (sched.Scheduler, error),
 	initial func(*scenario.Scenario) model.Placement, ticks int) (*PolicyRun, error) {
-	sc, err := scenario.Build(spec)
-	if err != nil {
-		return nil, err
+	pol := sweep.Policy{
+		Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
+			return mkSched(sc)
+		},
+		Initial: initial,
 	}
-	s, err := mkSched(sc)
-	if err != nil {
-		return nil, err
-	}
-	if initial != nil {
-		if err := sc.World.PlaceInitial(initial(sc)); err != nil {
-			return nil, err
-		}
-	}
-	run := &PolicyRun{Policy: s.Name(), Ticks: ticks, MinSLA: 1}
-	mgr, err := newManager(sc, s)
-	if err != nil {
-		return nil, err
-	}
-	var sumSLA, sumWatts, sumActive float64
-	err = mgr.Run(ticks, func(st sim.TickStats) {
-		sumSLA += st.AvgSLA
-		sumWatts += st.FacilityWatts
-		sumActive += float64(st.ActivePMs)
-		if st.AvgSLA < run.MinSLA {
-			run.MinSLA = st.AvgSLA
-		}
-		run.Migrations += st.Migrations
-		run.SLASeries = append(run.SLASeries, st.AvgSLA)
-		run.WattsSeries = append(run.WattsSeries, st.FacilityWatts)
-		run.ActiveSer = append(run.ActiveSer, float64(st.ActivePMs))
-		run.DCSeries = append(run.DCSeries, float64(sc.World.State().DCOfVM(0)))
-	})
-	if err != nil {
-		return nil, err
-	}
-	n := float64(ticks)
-	run.AvgSLA = sumSLA / n
-	run.AvgWatts = sumWatts / n
-	run.AvgActive = sumActive / n
-	ledger := sc.World.Ledger()
-	run.AvgEuroH = ledger.AvgProfitPerHour(sim.TickHours)
-	run.RevenueEUR = ledger.Revenue()
-	run.EnergyEUR = ledger.EnergyCost()
-	run.PenaltyEUR = ledger.Penalties()
-	return run, nil
+	return sweep.RunSpecOpts(spec, pol, nil, ticks, sweep.RunOpts{})
 }
 
-// newManager wires the standard management loop around a scheduler.
+// newManager wires the standard management loop around a scheduler (for
+// the experiments that drive the loop tick by tick themselves).
 func newManager(sc *scenario.Scenario, s sched.Scheduler) (*core.Manager, error) {
 	return core.NewManager(core.ManagerConfig{
 		World: sc.World, Scheduler: s, RoundTicks: RoundTicks,
@@ -164,7 +101,13 @@ func newManager(sc *scenario.Scenario, s sched.Scheduler) (*core.Manager, error)
 
 // CostModel builds the standard Figure 3 objective for a scenario.
 func CostModel(sc *scenario.Scenario) sched.CostModel {
-	return sched.NewCostModel(sc.Topology, power.Atom{}, HorizonHours)
+	return sweep.CostModel(sc)
+}
+
+// ParallelBestFit builds the ML Best-Fit with concurrent candidate
+// evaluation (see sweep.ParallelBestFit).
+func ParallelBestFit(cost sched.CostModel, est sched.Estimator) *sched.BestFit {
+	return sweep.ParallelBestFit(cost, est)
 }
 
 // summaryTable renders PolicyRuns side by side.

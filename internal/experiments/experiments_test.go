@@ -27,6 +27,9 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestTableIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := TableI(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +60,9 @@ func TestTableIShape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Figure4(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +94,9 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Figure5(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +112,9 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestDelocationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Delocation(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +129,9 @@ func TestDelocationShape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Figure6(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +150,9 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestFigure7TableIIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Figure7TableIII(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +173,9 @@ func TestFigure7TableIIIShape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Figure8(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +195,9 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestSchedulerScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := SchedulerScaling(testSeed)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,9 @@ import "testing"
 // Shape tests for the future-work extensions.
 
 func TestGreenEnergyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := GreenEnergy(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -26,6 +29,9 @@ func TestGreenEnergyShape(t *testing.T) {
 }
 
 func TestOnlineLearningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := OnlineLearning(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -49,6 +55,9 @@ func TestOnlineLearningShape(t *testing.T) {
 }
 
 func TestHeuristicsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Heuristics(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +78,9 @@ func TestHeuristicsShape(t *testing.T) {
 }
 
 func TestHierarchyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
+	}
 	res, err := Hierarchy(testSeed)
 	if err != nil {
 		t.Fatal(err)

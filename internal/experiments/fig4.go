@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 )
 
 // Figure4 reproduces the intra-DC comparison of Section V-B: plain
@@ -14,32 +16,31 @@ import (
 // 2x overbooking (BF-OB), and the ML-enhanced Best-Fit, all managing four
 // Atom PMs hosting five VMs for 24 hours with a scheduling round every 10
 // minutes. The paper's claim: the ML variant (de-)consolidates to track
-// the load, trading energy for SLA whenever revenue pays for it.
+// the load, trading energy for SLA whenever revenue pays for it. Each
+// policy is one sweep cell over the intra-dc preset.
 func Figure4(seed uint64) (*Result, error) {
 	spec := scenario.MustPreset(scenario.IntraDC, seed)
 	ticks := model.TicksPerDay
-	initial := func(sc *scenario.Scenario) model.Placement {
-		// Everything starts piled on the first host; the policies must dig
-		// themselves out.
-		return sc.PileOn(0)
-	}
+	// Everything starts piled on the first host; the policies must dig
+	// themselves out.
+	initial := func(sc *scenario.Scenario) model.Placement { return sc.PileOn(0) }
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
 		return nil, err
 	}
-	policies := []struct {
-		name string
-		mk   func(*scenario.Scenario) (sched.Scheduler, error)
-	}{
-		{"BF", func(sc *scenario.Scenario) (sched.Scheduler, error) {
-			return sched.NewBestFit(CostModel(sc), sched.NewObserved()), nil
-		}},
-		{"BF-OB", func(sc *scenario.Scenario) (sched.Scheduler, error) {
-			return sched.NewBestFit(CostModel(sc), sched.NewOverbooked()), nil
-		}},
-		{"BF+ML", func(sc *scenario.Scenario) (sched.Scheduler, error) {
-			return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
-		}},
+	policies := []sweep.Policy{
+		{Name: "BF", Initial: initial,
+			Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
+				return sched.NewBestFit(CostModel(sc), sched.NewObserved()), nil
+			}},
+		{Name: "BF-OB", Initial: initial,
+			Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
+				return sched.NewBestFit(CostModel(sc), sched.NewOverbooked()), nil
+			}},
+		{Name: "BF+ML", Initial: initial, NeedsBundle: true,
+			Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+				return sched.NewBestFit(CostModel(sc), sched.NewML(b)), nil
+			}},
 	}
 	res := &Result{Name: "Figure4", Metrics: map[string]float64{}}
 	var runs []*PolicyRun
@@ -47,18 +48,17 @@ func Figure4(seed uint64) (*Result, error) {
 	slaChart.Caption = "Figure 4 (SLA over 24 h, per policy)"
 	pmChart.Caption = "Figure 4 (active PMs over 24 h, per policy)"
 	for _, pol := range policies {
-		run, err := RunPolicy(spec, pol.mk, initial, ticks)
+		run, err := sweep.RunSpec(spec, pol, bundle, ticks)
 		if err != nil {
-			return nil, fmt.Errorf("figure4 %s: %w", pol.name, err)
+			return nil, fmt.Errorf("figure4 %s: %w", pol.Name, err)
 		}
-		run.Policy = pol.name
 		runs = append(runs, run)
-		slaChart.Series = append(slaChart.Series, report.Series{Name: pol.name, Values: run.SLASeries})
-		pmChart.Series = append(pmChart.Series, report.Series{Name: pol.name, Values: run.ActiveSer})
-		res.Metrics["sla:"+pol.name] = run.AvgSLA
-		res.Metrics["watts:"+pol.name] = run.AvgWatts
-		res.Metrics["profit:"+pol.name] = run.AvgEuroH
-		res.Metrics["pms:"+pol.name] = run.AvgActive
+		slaChart.Series = append(slaChart.Series, report.Series{Name: pol.Name, Values: run.SLASeries})
+		pmChart.Series = append(pmChart.Series, report.Series{Name: pol.Name, Values: run.ActiveSer})
+		res.Metrics["sla:"+pol.Name] = run.AvgSLA
+		res.Metrics["watts:"+pol.Name] = run.AvgWatts
+		res.Metrics["profit:"+pol.Name] = run.AvgEuroH
+		res.Metrics["pms:"+pol.Name] = run.AvgActive
 		res.Notes = append(res.Notes, ledgerNote(run))
 	}
 	res.Tables = append(res.Tables, summaryTable("Figure 4 — intra-DC scheduling results and factors", runs))

@@ -4,16 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 )
 
 // Figure6 reproduces the full inter-DC scheduling run of Section V-C: four
 // DCs with one available host each, five VMs, every factor active (SLA
 // revenue, energy prices, migration penalties, client latencies), the
 // workloads scaled differently per region and a flash crowd in minutes
-// 70-90 that "clearly exceeds the capacity of the system".
+// 70-90 that "clearly exceeds the capacity of the system". The run is one
+// sweep cell over the flash-crowd preset.
 func Figure6(seed uint64) (*Result, error) {
 	spec := scenario.MustPreset(scenario.FlashCrowd, seed)
 	ticks := model.TicksPerDay
@@ -21,13 +24,17 @@ func Figure6(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
-		return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
-	}, func(sc *scenario.Scenario) model.Placement { return sc.HomePlacement() }, ticks)
+	pol := sweep.Policy{
+		Name: "inter-DC BF+ML", NeedsBundle: true,
+		Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+			return sched.NewBestFit(CostModel(sc), sched.NewML(b)), nil
+		},
+		Initial: func(sc *scenario.Scenario) model.Placement { return sc.HomePlacement() },
+	}
+	run, err := sweep.RunSpec(spec, pol, bundle, ticks)
 	if err != nil {
 		return nil, fmt.Errorf("figure6: %w", err)
 	}
-	run.Policy = "inter-DC BF+ML"
 
 	res := &Result{Name: "Figure6", Metrics: map[string]float64{
 		"avgSLA":     run.AvgSLA,

@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 )
 
 // PaperTableIII holds the published Table III values (per 5 VMs).
@@ -24,7 +26,8 @@ var PaperTableIII = map[string]struct {
 // with VMs pinned to their customer-selected DCs (traffic redirected, no
 // migration) and once with full inter-DC scheduling. The paper's claim:
 // dynamic keeps SLA slightly better while cutting energy ~42% (175.9 W ->
-// 102.0 W) by consolidating across datacenters.
+// 102.0 W) by consolidating across datacenters. Both variants are sweep
+// cells over the multi-dc preset.
 func Figure7TableIII(seed uint64) (*Result, error) {
 	spec := scenario.MustPreset(scenario.MultiDC, seed)
 	ticks := model.TicksPerDay
@@ -34,21 +37,25 @@ func Figure7TableIII(seed uint64) (*Result, error) {
 	}
 	home := func(sc *scenario.Scenario) model.Placement { return sc.HomePlacement() }
 
-	static, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
-		return &sched.Fixed{P: sc.HomePlacement()}, nil
-	}, home, ticks)
+	static, err := sweep.RunSpec(spec, sweep.Policy{
+		Name: "Static-Global", Initial: home,
+		Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
+			return &sched.Fixed{P: sc.HomePlacement()}, nil
+		},
+	}, bundle, ticks)
 	if err != nil {
 		return nil, fmt.Errorf("figure7 static: %w", err)
 	}
-	static.Policy = "Static-Global"
 
-	dynamic, err := RunPolicy(spec, func(sc *scenario.Scenario) (sched.Scheduler, error) {
-		return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
-	}, home, ticks)
+	dynamic, err := sweep.RunSpec(spec, sweep.Policy{
+		Name: "Dynamic", Initial: home, NeedsBundle: true,
+		Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+			return sched.NewBestFit(CostModel(sc), sched.NewML(b)), nil
+		},
+	}, bundle, ticks)
 	if err != nil {
 		return nil, fmt.Errorf("figure7 dynamic: %w", err)
 	}
-	dynamic.Policy = "Dynamic"
 
 	res := &Result{Name: "Figure7TableIII", Metrics: map[string]float64{
 		"euroH:static":  avgRevenueEuroH(static),

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // GreenEnergy implements the paper's future-work item ("the green energy
@@ -16,7 +18,9 @@ import (
 // shines (on-site solar displacing grid power), and the scheduler is free
 // to chase the cheap watts. The expected behaviour is the 'follow the
 // sun/wind' policy of Section III-A, emerging purely from the energy term
-// of the profit function.
+// of the profit function. Both variants are sweep cells over the
+// green-solar preset; the sunlit counter rides the cell-runner's OnTick
+// hook.
 func GreenEnergy(seed uint64) (*Result, error) {
 	bundle, err := TrainedBundle(seed)
 	if err != nil {
@@ -25,70 +29,40 @@ func GreenEnergy(seed uint64) (*Result, error) {
 	ticks := 2 * model.TicksPerDay
 	spec := scenario.MustPreset(scenario.GreenSolar, seed)
 	base := spec.Pricing.Base
+	home := func(sc *scenario.Scenario) model.Placement { return sc.HomePlacement() }
 
-	run := func(dynamic bool) (*PolicyRun, error) {
-		sc, err := scenario.Build(spec)
-		if err != nil {
-			return nil, err
-		}
-		var s sched.Scheduler
+	run := func(dynamic bool) (*PolicyRun, float64, error) {
+		pol := sweep.Policy{Name: "static", Initial: home,
+			Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
+				return &sched.Fixed{P: sc.HomePlacement()}, nil
+			}}
 		if dynamic {
-			s = sched.NewBestFit(CostModel(sc), sched.NewML(bundle))
-		} else {
-			s = &sched.Fixed{P: sc.HomePlacement()}
+			pol = sweep.Policy{Name: "follow-the-sun", Initial: home, NeedsBundle: true,
+				Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+					return sched.NewBestFit(CostModel(sc), sched.NewML(b)), nil
+				}}
 		}
-		mgr, err := newManager(sc, s)
-		if err != nil {
-			return nil, err
-		}
-		if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
-			return nil, err
-		}
-		pr := &PolicyRun{Ticks: ticks, MinSLA: 1}
-		if dynamic {
-			pr.Policy = "follow-the-sun"
-		} else {
-			pr.Policy = "static"
-		}
-		var sumSLA, sumW float64
+		// Count ticks where vm0's host enjoys solar-discounted power.
 		sunlit := 0
-		err = mgr.Run(ticks, func(st sim.TickStats) {
-			sumSLA += st.AvgSLA
-			sumW += st.FacilityWatts
-			if st.AvgSLA < pr.MinSLA {
-				pr.MinSLA = st.AvgSLA
-			}
-			pr.Migrations += st.Migrations
-			pr.SLASeries = append(pr.SLASeries, st.AvgSLA)
-			pr.WattsSeries = append(pr.WattsSeries, st.FacilityWatts)
-			dc := sc.World.State().DCOfVM(0)
-			pr.DCSeries = append(pr.DCSeries, float64(dc))
-			// Count ticks where vm0's host enjoys solar-discounted power.
-			if dc >= 0 && sc.Topology.EnergyPriceAt(dc, st.Tick) < base[dc]*0.7 {
-				sunlit++
-			}
+		pr, err := sweep.RunSpecOpts(spec, pol, bundle, ticks, sweep.RunOpts{
+			OnTick: func(sc *scenario.Scenario, st sim.TickStats) {
+				if dc := sc.World.State().DCOfVM(0); dc >= 0 &&
+					sc.Topology.EnergyPriceAt(dc, st.Tick) < base[dc]*0.7 {
+					sunlit++
+				}
+			},
 		})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		ledger := sc.World.Ledger()
-		pr.AvgSLA = sumSLA / float64(ticks)
-		pr.AvgWatts = sumW / float64(ticks)
-		pr.AvgEuroH = ledger.AvgProfitPerHour(sim.TickHours)
-		pr.RevenueEUR = ledger.Revenue()
-		pr.EnergyEUR = ledger.EnergyCost()
-		pr.PenaltyEUR = ledger.Penalties()
-		// Stash the sunlit fraction in MinSLA-adjacent metric via notes; the
-		// caller reads it from the metrics map below.
-		pr.sunlitFrac = float64(sunlit) / float64(ticks)
-		return pr, nil
+		return pr, float64(sunlit) / float64(ticks), nil
 	}
 
-	static, err := run(false)
+	static, staticSunlit, err := run(false)
 	if err != nil {
 		return nil, fmt.Errorf("green static: %w", err)
 	}
-	dynamic, err := run(true)
+	dynamic, dynamicSunlit, err := run(true)
 	if err != nil {
 		return nil, fmt.Errorf("green dynamic: %w", err)
 	}
@@ -98,19 +72,22 @@ func GreenEnergy(seed uint64) (*Result, error) {
 		"energyEUR:dynamic":  dynamic.EnergyEUR,
 		"sla:static":         static.AvgSLA,
 		"sla:dynamic":        dynamic.AvgSLA,
-		"sunlitFrac:static":  static.sunlitFrac,
-		"sunlitFrac:dynamic": dynamic.sunlitFrac,
+		"sunlitFrac:static":  staticSunlit,
+		"sunlitFrac:dynamic": dynamicSunlit,
 	}}
 	t := report.Table{
 		Caption: "Green energy extension — follow-the-sun scheduling over 48 h",
 		Headers: []string{"policy", "avg SLA", "energy €", "€ saved", "vm0 on solar power"},
 	}
-	for _, r := range []*PolicyRun{static, dynamic} {
-		t.AddRow(r.Policy,
-			fmt.Sprintf("%.4f", r.AvgSLA),
-			fmt.Sprintf("%.4f", r.EnergyEUR),
-			fmt.Sprintf("%.4f", static.EnergyEUR-r.EnergyEUR),
-			fmt.Sprintf("%.0f%%", r.sunlitFrac*100),
+	for _, rs := range []struct {
+		r      *PolicyRun
+		sunlit float64
+	}{{static, staticSunlit}, {dynamic, dynamicSunlit}} {
+		t.AddRow(rs.r.Policy,
+			fmt.Sprintf("%.4f", rs.r.AvgSLA),
+			fmt.Sprintf("%.4f", rs.r.EnergyEUR),
+			fmt.Sprintf("%.4f", static.EnergyEUR-rs.r.EnergyEUR),
+			fmt.Sprintf("%.0f%%", rs.sunlit*100),
 		)
 	}
 	res.Tables = append(res.Tables, t)
@@ -128,6 +105,6 @@ func GreenEnergy(seed uint64) (*Result, error) {
 	res.Metrics["energyCut"] = cut
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"the profit objective alone produces a follow-the-sun tour: energy cost falls %.0f%% and vm0 runs on solar-discounted power %.0f%% of the time (static: %.0f%%)",
-		cut*100, dynamic.sunlitFrac*100, static.sunlitFrac*100))
+		cut*100, dynamicSunlit*100, staticSunlit*100))
 	return res, nil
 }

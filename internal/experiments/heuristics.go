@@ -4,28 +4,18 @@ import (
 	"fmt"
 
 	"repro/internal/model"
-	"repro/internal/par"
+	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 )
-
-// ParallelBestFit builds the ML Best-Fit with concurrent candidate
-// evaluation — the configuration large-fleet runs use so the decision
-// round rides all cores. Placements are bit-identical to the serial
-// scheduler (asserted by TestParallelMatchesSerialHeteroFleet and the
-// sched parity suite).
-func ParallelBestFit(cost sched.CostModel, est sched.Estimator) *sched.BestFit {
-	bf := sched.NewBestFit(cost, est)
-	bf.Parallel = true
-	bf.Workers = par.DefaultWorkers()
-	return bf
-}
 
 // Heuristics re-measures the claim inherited from the authors' prior work
 // ("Best-Fit performs better among greedy classical ad-hoc and
 // heuristics"): the profit-driven Ordered Best-Fit against First-Fit,
-// Worst-Fit and Round-Robin on the intra-DC consolidation scenario.
+// Worst-Fit and Round-Robin on the intra-DC consolidation scenario. Each
+// policy is one sweep cell over the intra-dc preset.
 func Heuristics(seed uint64) (*Result, error) {
 	spec := scenario.MustPreset(scenario.IntraDC, seed)
 	ticks := model.TicksPerDay
@@ -34,38 +24,39 @@ func Heuristics(seed uint64) (*Result, error) {
 		return nil, err
 	}
 	initial := func(sc *scenario.Scenario) model.Placement { return sc.PileOn(0) }
-	policies := []struct {
-		name string
-		mk   func(*scenario.Scenario) (sched.Scheduler, error)
-	}{
-		{"RoundRobin", func(*scenario.Scenario) (sched.Scheduler, error) {
-			return sched.RoundRobin{}, nil
-		}},
-		{"FirstFit", func(*scenario.Scenario) (sched.Scheduler, error) {
-			return &sched.FirstFit{Est: sched.NewML(bundle)}, nil
-		}},
-		{"WorstFit", func(*scenario.Scenario) (sched.Scheduler, error) {
-			return &sched.WorstFit{Est: sched.NewML(bundle)}, nil
-		}},
-		{"BestFit+ML", func(sc *scenario.Scenario) (sched.Scheduler, error) {
-			return sched.NewBestFit(CostModel(sc), sched.NewML(bundle)), nil
-		}},
-		{"BestFit+ML-par", func(sc *scenario.Scenario) (sched.Scheduler, error) {
-			return ParallelBestFit(CostModel(sc), sched.NewML(bundle)), nil
-		}},
+	policies := []sweep.Policy{
+		{Name: "RoundRobin", Initial: initial,
+			Make: func(*scenario.Scenario, *predict.Bundle) (sched.Scheduler, error) {
+				return sched.RoundRobin{}, nil
+			}},
+		{Name: "FirstFit", Initial: initial, NeedsBundle: true,
+			Make: func(_ *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+				return &sched.FirstFit{Est: sched.NewML(b)}, nil
+			}},
+		{Name: "WorstFit", Initial: initial, NeedsBundle: true,
+			Make: func(_ *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+				return &sched.WorstFit{Est: sched.NewML(b)}, nil
+			}},
+		{Name: "BestFit+ML", Initial: initial, NeedsBundle: true,
+			Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+				return sched.NewBestFit(CostModel(sc), sched.NewML(b)), nil
+			}},
+		{Name: "BestFit+ML-par", Initial: initial, NeedsBundle: true,
+			Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+				return ParallelBestFit(CostModel(sc), sched.NewML(b)), nil
+			}},
 	}
 	res := &Result{Name: "Heuristics", Metrics: map[string]float64{}}
 	var runs []*PolicyRun
 	for _, pol := range policies {
-		run, err := RunPolicy(spec, pol.mk, initial, ticks)
+		run, err := sweep.RunSpec(spec, pol, bundle, ticks)
 		if err != nil {
-			return nil, fmt.Errorf("heuristics %s: %w", pol.name, err)
+			return nil, fmt.Errorf("heuristics %s: %w", pol.Name, err)
 		}
-		run.Policy = pol.name
 		runs = append(runs, run)
-		res.Metrics["profit:"+pol.name] = run.AvgEuroH
-		res.Metrics["sla:"+pol.name] = run.AvgSLA
-		res.Metrics["watts:"+pol.name] = run.AvgWatts
+		res.Metrics["profit:"+pol.Name] = run.AvgEuroH
+		res.Metrics["sla:"+pol.Name] = run.AvgSLA
+		res.Metrics["watts:"+pol.Name] = run.AvgWatts
 	}
 	res.Tables = append(res.Tables, summaryTable(
 		"Classical heuristics vs profit-driven Best-Fit (intra-DC, 24 h)", runs))

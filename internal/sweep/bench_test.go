@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// BenchmarkSweep measures matrix throughput (cells/sec) at 1, N/2 and N
+// workers, where N is GOMAXPROCS — the scaling curve of the harness
+// itself. The matrix avoids ML policies so the benchmark measures the
+// fan-out, not one-time bundle training.
+func BenchmarkSweep(b *testing.B) {
+	n := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1}
+	if half := n / 2; half > 1 {
+		workerCounts = append(workerCounts, half)
+	}
+	if n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	m := Matrix{
+		Scenarios: []string{scenario.IntraDC, scenario.MultiDC, scenario.FlashCrowd, scenario.HeteroFleet},
+		Policies:  []string{"bf", "bf-ob"},
+		Seeds:     []uint64{1, 2},
+		Ticks:     60,
+	}
+	cellCount := len(m.Scenarios) * len(m.Policies) * len(m.Seeds)
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			m.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cellCount*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

@@ -1,0 +1,218 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// bundleCache memoises trained predictor bundles per seed: cells of the
+// same seed (and several experiments) share the same models, and training
+// is the expensive step.
+var bundleCache sync.Map // uint64 -> *predict.Bundle
+
+// TrainedBundle returns the predictor bundle for a seed, training it on
+// first use. The bundle is read-only after training and safe to share
+// across concurrently running cells.
+func TrainedBundle(seed uint64) (*predict.Bundle, error) {
+	if v, ok := bundleCache.Load(seed); ok {
+		return v.(*predict.Bundle), nil
+	}
+	h, err := predict.Collect(predict.DefaultHarvestOpts(seed))
+	if err != nil {
+		return nil, err
+	}
+	b, err := predict.Train(h, predict.DefaultTrainConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := bundleCache.LoadOrStore(seed, b)
+	return actual.(*predict.Bundle), nil
+}
+
+// PolicyRun summarises one (scenario, policy, seed) execution — a sweep
+// cell, or one run of a paper experiment.
+type PolicyRun struct {
+	Policy     string
+	Scenario   string
+	Seed       uint64
+	Ticks      int
+	AvgSLA     float64
+	MinSLA     float64
+	AvgWatts   float64
+	AvgEuroH   float64 // profit per hour
+	RevenueEUR float64
+	EnergyEUR  float64
+	PenaltyEUR float64
+	Migrations int
+	AvgActive  float64
+	// Rounds counts executed scheduling rounds; RoundMS is their mean
+	// wall-clock latency in milliseconds (not deterministic — excluded
+	// from machine-readable sweep output).
+	Rounds      int
+	RoundMS     float64
+	SLASeries   []float64
+	WattsSeries []float64
+	ActiveSer   []float64
+	DCSeries    []float64 // hosting DC of VM 0 (for placement plots)
+}
+
+// RunOpts tunes one cell execution beyond the (spec, policy, ticks) key.
+type RunOpts struct {
+	// RoundTicks overrides the scheduling period (0 = DefaultRoundTicks).
+	RoundTicks int
+	// DefaultInitial places HomePlacement when the policy has no Initial
+	// of its own (matrix sweeps set it; the experiment wrapper does not,
+	// so figures keep their hand-picked starting states).
+	DefaultInitial bool
+	// OnTick, when non-nil, observes every tick after the standard
+	// metrics are folded in — the hook experiment-specific series
+	// (e.g. the green-energy sunlit counter) ride on.
+	OnTick func(sc *scenario.Scenario, st sim.TickStats)
+}
+
+// timedScheduler wraps a scheduler and accumulates the wall-clock time
+// spent inside scheduling rounds. It forwards the allocation-free
+// ScheduleInto contract when the inner scheduler supports it and falls
+// back to Schedule (copying into the recycled map) when it does not, so
+// wrapping never changes decisions.
+type timedScheduler struct {
+	inner  sched.Scheduler
+	nanos  int64
+	rounds int
+}
+
+// intoScheduler mirrors core's optional allocation-free contract.
+type intoScheduler interface {
+	ScheduleInto(p *sched.Problem, placement model.Placement) error
+}
+
+func (t *timedScheduler) Name() string { return t.inner.Name() }
+
+func (t *timedScheduler) Schedule(p *sched.Problem) (model.Placement, error) {
+	start := time.Now()
+	placement, err := t.inner.Schedule(p)
+	t.nanos += time.Since(start).Nanoseconds()
+	t.rounds++
+	return placement, err
+}
+
+func (t *timedScheduler) ScheduleInto(p *sched.Problem, placement model.Placement) error {
+	start := time.Now()
+	defer func() {
+		t.nanos += time.Since(start).Nanoseconds()
+		t.rounds++
+	}()
+	if is, ok := t.inner.(intoScheduler); ok {
+		return is.ScheduleInto(p, placement)
+	}
+	out, err := t.inner.Schedule(p)
+	if err != nil {
+		return err
+	}
+	for vm, pm := range out {
+		placement[vm] = pm
+	}
+	return nil
+}
+
+// RunSpec executes one cell: build the scenario, make the scheduler, run
+// the managed loop, collect metrics. See RunSpecOpts for the knobs.
+func RunSpec(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks int) (*PolicyRun, error) {
+	return RunSpecOpts(spec, pol, bundle, ticks, RunOpts{DefaultInitial: true})
+}
+
+// RunSpecOpts is the sweep cell-runner every experiment and matrix cell
+// goes through: one scenario.Build and one core.Manager per call, nothing
+// shared with other cells except the read-only bundle. When the policy
+// needs a bundle and none is supplied, the per-seed cache provides one.
+func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks int, opts RunOpts) (*PolicyRun, error) {
+	if ticks <= 0 {
+		return nil, fmt.Errorf("sweep: ticks must be positive, got %d", ticks)
+	}
+	if pol.Make == nil {
+		return nil, fmt.Errorf("sweep: policy %q has no Make", pol.Name)
+	}
+	if pol.NeedsBundle && bundle == nil {
+		var err error
+		if bundle, err = TrainedBundle(spec.Seed); err != nil {
+			return nil, err
+		}
+	}
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := pol.Make(sc, bundle)
+	if err != nil {
+		return nil, err
+	}
+	initial := pol.Initial
+	if initial == nil && opts.DefaultInitial {
+		initial = (*scenario.Scenario).HomePlacement
+	}
+	if initial != nil {
+		if err := sc.World.PlaceInitial(initial(sc)); err != nil {
+			return nil, err
+		}
+	}
+	roundTicks := opts.RoundTicks
+	if roundTicks <= 0 {
+		roundTicks = DefaultRoundTicks
+	}
+	timed := &timedScheduler{inner: s}
+	mgr, err := core.NewManager(core.ManagerConfig{
+		World: sc.World, Scheduler: timed, RoundTicks: roundTicks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := &PolicyRun{
+		Policy: pol.Name, Scenario: spec.Name, Seed: spec.Seed,
+		Ticks: ticks, MinSLA: 1,
+	}
+	if run.Policy == "" {
+		run.Policy = s.Name()
+	}
+	var sumSLA, sumWatts, sumActive float64
+	err = mgr.Run(ticks, func(st sim.TickStats) {
+		sumSLA += st.AvgSLA
+		sumWatts += st.FacilityWatts
+		sumActive += float64(st.ActivePMs)
+		if st.AvgSLA < run.MinSLA {
+			run.MinSLA = st.AvgSLA
+		}
+		run.Migrations += st.Migrations
+		run.SLASeries = append(run.SLASeries, st.AvgSLA)
+		run.WattsSeries = append(run.WattsSeries, st.FacilityWatts)
+		run.ActiveSer = append(run.ActiveSer, float64(st.ActivePMs))
+		run.DCSeries = append(run.DCSeries, float64(sc.World.State().DCOfVM(0)))
+		if opts.OnTick != nil {
+			opts.OnTick(sc, st)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(ticks)
+	run.AvgSLA = sumSLA / n
+	run.AvgWatts = sumWatts / n
+	run.AvgActive = sumActive / n
+	ledger := sc.World.Ledger()
+	run.AvgEuroH = ledger.AvgProfitPerHour(sim.TickHours)
+	run.RevenueEUR = ledger.Revenue()
+	run.EnergyEUR = ledger.EnergyCost()
+	run.PenaltyEUR = ledger.Penalties()
+	run.Rounds = timed.rounds
+	if timed.rounds > 0 {
+		run.RoundMS = float64(timed.nanos) / float64(timed.rounds) / 1e6
+	}
+	return run, nil
+}

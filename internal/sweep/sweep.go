@@ -1,0 +1,312 @@
+// Package sweep is the evaluation harness: it runs the full scenario ×
+// scheduling-policy × seed matrix concurrently on replicated engines and
+// emits deterministic machine-readable results (JSON + CSV) next to the
+// rendered tables. One sweep cell is one (preset, policy, seed) triple:
+// it builds its own scenario (world, topology, workload stream) and its
+// own manager, so cells share nothing mutable — only the read-only
+// predictor bundle of their seed — and the matrix parallelises trivially
+// via par.ForEach. Every future scaling study (sharding, multi-backend,
+// online retraining) reports through this package.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/par"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// Matrix declares one sweep: which presets, which policies, which seeds,
+// and how long each cell runs.
+type Matrix struct {
+	// Scenarios are preset names (empty or ["all"] = every preset).
+	Scenarios []string
+	// Policies are registry names (see PolicyNames); at least one.
+	Policies []string
+	// Seeds are the per-cell root seeds; at least one. Aggregates are
+	// computed across seeds per (scenario, policy).
+	Seeds []uint64
+	// Ticks is the simulated length of every cell.
+	Ticks int
+	// RoundTicks overrides the scheduling period (0 = DefaultRoundTicks).
+	RoundTicks int
+	// Workers bounds cell-level parallelism (<= 0 = GOMAXPROCS).
+	Workers int
+}
+
+// Cell is the machine-readable result of one (scenario, policy, seed)
+// run. Wall-clock fields carry a json:"-" tag: sweep JSON and CSV must be
+// byte-identical across runs and worker counts, and time measurements are
+// the one non-deterministic output.
+type Cell struct {
+	Scenario     string  `json:"scenario"`
+	Policy       string  `json:"policy"`
+	Seed         uint64  `json:"seed"`
+	Ticks        int     `json:"ticks"`
+	Rounds       int     `json:"rounds"`
+	AvgSLA       float64 `json:"avg_sla"`
+	MinSLA       float64 `json:"min_sla"`
+	AvgWatts     float64 `json:"avg_watts"`
+	ProfitEURh   float64 `json:"profit_eur_h"`
+	RevenueEUR   float64 `json:"revenue_eur"`
+	EnergyEUR    float64 `json:"energy_eur"`
+	PenaltyEUR   float64 `json:"penalty_eur"`
+	Migrations   int     `json:"migrations"`
+	AvgActivePMs float64 `json:"avg_active_pms"`
+	RoundMS      float64 `json:"-"` // mean scheduling-round wall latency
+}
+
+// Stat summarises one metric across the seeds of a (scenario, policy).
+type Stat struct {
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+}
+
+func statOf(xs []float64) Stat {
+	var w stats.Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return Stat{Mean: w.Mean(), Min: w.Min(), Max: w.Max(), StdDev: w.StdDev()}
+}
+
+// Aggregate is the across-seeds summary of one (scenario, policy).
+type Aggregate struct {
+	Scenario     string  `json:"scenario"`
+	Policy       string  `json:"policy"`
+	Seeds        int     `json:"seeds"`
+	AvgSLA       Stat    `json:"avg_sla"`
+	MinSLA       Stat    `json:"min_sla"`
+	AvgWatts     Stat    `json:"avg_watts"`
+	ProfitEURh   Stat    `json:"profit_eur_h"`
+	Migrations   Stat    `json:"migrations"`
+	AvgActivePMs Stat    `json:"avg_active_pms"`
+	RoundMS      float64 `json:"-"` // mean wall latency, reporting only
+}
+
+// Result is one executed sweep: the matrix echo, every cell in
+// deterministic (scenario-major, then policy, then seed) order, and the
+// per-(scenario, policy) aggregates.
+type Result struct {
+	Scenarios  []string    `json:"scenarios"`
+	Policies   []string    `json:"policies"`
+	Seeds      []uint64    `json:"seeds"`
+	Ticks      int         `json:"ticks"`
+	RoundTicks int         `json:"round_ticks"`
+	Cells      []Cell      `json:"cells"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// Run executes the matrix. Bundles are trained once per seed up front
+// (cells of a seed share them read-only); the cells then fan out over the
+// worker pool, each writing only its own slot, so the assembled Result is
+// independent of scheduling order and worker count.
+func Run(m Matrix) (*Result, error) {
+	scns := m.Scenarios
+	if len(scns) == 0 || (len(scns) == 1 && scns[0] == "all") {
+		scns = scenario.Names()
+	}
+	for _, name := range scns {
+		if _, err := scenario.Preset(name, 0); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.Policies) == 0 {
+		return nil, fmt.Errorf("sweep: no policies given (have %v)", PolicyNames())
+	}
+	pols := make([]Policy, len(m.Policies))
+	needBundle := false
+	for i, name := range m.Policies {
+		p, err := PolicyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pols[i] = p
+		needBundle = needBundle || p.NeedsBundle
+	}
+	if len(m.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: no seeds given")
+	}
+	if m.Ticks <= 0 {
+		return nil, fmt.Errorf("sweep: ticks must be positive, got %d", m.Ticks)
+	}
+
+	bundles := make(map[uint64]*predict.Bundle, len(m.Seeds))
+	if needBundle {
+		for _, seed := range m.Seeds {
+			if _, ok := bundles[seed]; ok {
+				continue
+			}
+			b, err := TrainedBundle(seed)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: training bundle for seed %d: %w", seed, err)
+			}
+			bundles[seed] = b
+		}
+	}
+
+	nS, nP, nK := len(scns), len(pols), len(m.Seeds)
+	cells := make([]Cell, nS*nP*nK)
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), m.Workers, func(i int) {
+		si := i / (nP * nK)
+		pi := (i / nK) % nP
+		ki := i % nK
+		seed := m.Seeds[ki]
+		spec, err := scenario.Preset(scns[si], seed)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		run, err := RunSpecOpts(spec, pols[pi], bundles[seed], m.Ticks,
+			RunOpts{RoundTicks: m.RoundTicks, DefaultInitial: true})
+		if err != nil {
+			errs[i] = fmt.Errorf("sweep: cell %s/%s seed %d: %w", scns[si], pols[pi].Name, seed, err)
+			return
+		}
+		cells[i] = Cell{
+			Scenario: scns[si], Policy: pols[pi].Name, Seed: seed,
+			Ticks: run.Ticks, Rounds: run.Rounds,
+			AvgSLA: run.AvgSLA, MinSLA: run.MinSLA, AvgWatts: run.AvgWatts,
+			ProfitEURh: run.AvgEuroH, RevenueEUR: run.RevenueEUR,
+			EnergyEUR: run.EnergyEUR, PenaltyEUR: run.PenaltyEUR,
+			Migrations: run.Migrations, AvgActivePMs: run.AvgActive,
+			RoundMS: run.RoundMS,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Scenarios: scns, Policies: m.Policies, Seeds: m.Seeds,
+		Ticks: m.Ticks, RoundTicks: m.RoundTicks, Cells: cells,
+	}
+	if res.RoundTicks <= 0 {
+		res.RoundTicks = DefaultRoundTicks
+	}
+	buf := make([]float64, 0, nK)
+	metric := func(si, pi int, get func(*Cell) float64) Stat {
+		buf = buf[:0]
+		for ki := 0; ki < nK; ki++ {
+			buf = append(buf, get(&cells[(si*nP+pi)*nK+ki]))
+		}
+		return statOf(buf)
+	}
+	for si := 0; si < nS; si++ {
+		for pi := 0; pi < nP; pi++ {
+			agg := Aggregate{
+				Scenario: scns[si], Policy: pols[pi].Name, Seeds: nK,
+				AvgSLA:       metric(si, pi, func(c *Cell) float64 { return c.AvgSLA }),
+				MinSLA:       metric(si, pi, func(c *Cell) float64 { return c.MinSLA }),
+				AvgWatts:     metric(si, pi, func(c *Cell) float64 { return c.AvgWatts }),
+				ProfitEURh:   metric(si, pi, func(c *Cell) float64 { return c.ProfitEURh }),
+				Migrations:   metric(si, pi, func(c *Cell) float64 { return float64(c.Migrations) }),
+				AvgActivePMs: metric(si, pi, func(c *Cell) float64 { return c.AvgActivePMs }),
+			}
+			agg.RoundMS = metric(si, pi, func(c *Cell) float64 { return c.RoundMS }).Mean
+			res.Aggregates = append(res.Aggregates, agg)
+		}
+	}
+	return res, nil
+}
+
+// JSON returns the sweep as indented JSON. The encoding is deterministic:
+// structs marshal in field order, slices preserve cell order, and no
+// wall-clock measurement is included.
+func (r *Result) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// fmtF renders a float with full round-trip precision for CSV.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CellsTable renders every cell as one table row (the CSV backbone).
+func (r *Result) CellsTable() report.Table {
+	t := report.Table{
+		Caption: "sweep cells",
+		Headers: []string{"scenario", "policy", "seed", "ticks", "rounds",
+			"avg_sla", "min_sla", "avg_watts", "profit_eur_h", "revenue_eur",
+			"energy_eur", "penalty_eur", "migrations", "avg_active_pms"},
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		t.AddRow(c.Scenario, c.Policy,
+			strconv.FormatUint(c.Seed, 10), strconv.Itoa(c.Ticks), strconv.Itoa(c.Rounds),
+			fmtF(c.AvgSLA), fmtF(c.MinSLA), fmtF(c.AvgWatts), fmtF(c.ProfitEURh),
+			fmtF(c.RevenueEUR), fmtF(c.EnergyEUR), fmtF(c.PenaltyEUR),
+			strconv.Itoa(c.Migrations), fmtF(c.AvgActivePMs))
+	}
+	return t
+}
+
+// CSV returns the per-cell results as CSV (deterministic, like JSON).
+func (r *Result) CSV() string {
+	t := r.CellsTable()
+	t.Caption = ""
+	return t.CSV()
+}
+
+// AggregateTable renders the across-seeds summary, mean±stddev per
+// metric plus the (wall-clock) mean round latency.
+func (r *Result) AggregateTable() report.Table {
+	t := report.Table{
+		Caption: fmt.Sprintf("sweep — %d scenarios × %d policies × %d seeds, %d ticks",
+			len(r.Scenarios), len(r.Policies), len(r.Seeds), r.Ticks),
+		Headers: []string{"scenario", "policy", "avg SLA", "min SLA", "avg W",
+			"profit €/h", "migrations", "PMs on", "ms/round"},
+	}
+	ms := func(s Stat) string { return fmt.Sprintf("%.4f ±%.4f", s.Mean, s.StdDev) }
+	for _, a := range r.Aggregates {
+		t.AddRow(a.Scenario, a.Policy,
+			ms(a.AvgSLA), ms(a.MinSLA),
+			fmt.Sprintf("%.1f ±%.1f", a.AvgWatts.Mean, a.AvgWatts.StdDev),
+			ms(a.ProfitEURh),
+			fmt.Sprintf("%.1f ±%.1f", a.Migrations.Mean, a.Migrations.StdDev),
+			fmt.Sprintf("%.2f ±%.2f", a.AvgActivePMs.Mean, a.AvgActivePMs.StdDev),
+			fmt.Sprintf("%.2f", a.RoundMS))
+	}
+	return t
+}
+
+// Render returns the aggregate table as printable text.
+func (r *Result) Render() string {
+	t := r.AggregateTable()
+	return t.Render()
+}
+
+// WriteFiles writes sweep.json and cells.csv under dir (created if
+// missing) and returns their paths.
+func (r *Result) WriteFiles(dir string) (jsonPath, csvPath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	data, err := r.JSON()
+	if err != nil {
+		return "", "", err
+	}
+	jsonPath = filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return "", "", err
+	}
+	csvPath = filepath.Join(dir, "cells.csv")
+	if err := os.WriteFile(csvPath, []byte(r.CSV()), 0o644); err != nil {
+		return "", "", err
+	}
+	return jsonPath, csvPath, nil
+}

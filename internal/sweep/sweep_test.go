@@ -1,0 +1,241 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// fastMatrix is a cheap all-deterministic matrix: no ML training, two
+// presets, two policies, two seeds, one simulated hour per cell.
+func fastMatrix(workers int) Matrix {
+	return Matrix{
+		Scenarios: []string{scenario.IntraDC, scenario.MultiDC},
+		Policies:  []string{"bf", "bf-ob"},
+		Seeds:     []uint64{1, 2},
+		Ticks:     60,
+		Workers:   workers,
+	}
+}
+
+// TestSweepDeterminism is the harness's core contract: the same matrix
+// yields byte-identical JSON and CSV across repeated runs and across
+// worker counts — parallelism is a throughput knob, never an output
+// change.
+func TestSweepDeterminism(t *testing.T) {
+	type output struct {
+		json []byte
+		csv  string
+	}
+	get := func(workers int) output {
+		res, err := Run(fastMatrix(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return output{json: j, csv: res.CSV()}
+	}
+	base := get(1)
+	for name, o := range map[string]output{
+		"rerun workers=1": get(1),
+		"workers=4":       get(4),
+		"workers=4 again": get(4),
+	} {
+		if !bytes.Equal(base.json, o.json) {
+			t.Errorf("%s: JSON differs from workers=1 run", name)
+		}
+		if base.csv != o.csv {
+			t.Errorf("%s: CSV differs from workers=1 run", name)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	res, err := Run(fastMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2*2*2 {
+		t.Fatalf("cells = %d, want 8", len(res.Cells))
+	}
+	if len(res.Aggregates) != 2*2 {
+		t.Fatalf("aggregates = %d, want 4", len(res.Aggregates))
+	}
+	// Cell order is scenario-major, then policy, then seed.
+	want := []struct {
+		scn, pol string
+		seed     uint64
+	}{
+		{"intra-dc", "bf", 1}, {"intra-dc", "bf", 2},
+		{"intra-dc", "bf-ob", 1}, {"intra-dc", "bf-ob", 2},
+		{"multi-dc", "bf", 1}, {"multi-dc", "bf", 2},
+		{"multi-dc", "bf-ob", 1}, {"multi-dc", "bf-ob", 2},
+	}
+	for i, w := range want {
+		c := res.Cells[i]
+		if c.Scenario != w.scn || c.Policy != w.pol || c.Seed != w.seed {
+			t.Fatalf("cell %d = (%s,%s,%d), want (%s,%s,%d)",
+				i, c.Scenario, c.Policy, c.Seed, w.scn, w.pol, w.seed)
+		}
+		if c.Ticks != 60 || c.Rounds != 5 {
+			t.Fatalf("cell %d ran %d ticks / %d rounds", i, c.Ticks, c.Rounds)
+		}
+		if c.AvgSLA <= 0 || c.AvgSLA > 1 || c.AvgWatts <= 0 {
+			t.Fatalf("cell %d has implausible metrics: %+v", i, c)
+		}
+	}
+	// Aggregates must be the exact across-seeds statistics of their cells.
+	agg := res.Aggregates[0]
+	c1, c2 := res.Cells[0], res.Cells[1]
+	mean := (c1.AvgSLA + c2.AvgSLA) / 2
+	if math.Abs(agg.AvgSLA.Mean-mean) > 1e-12 {
+		t.Fatalf("aggregate mean %v != cell mean %v", agg.AvgSLA.Mean, mean)
+	}
+	if agg.AvgSLA.Min != math.Min(c1.AvgSLA, c2.AvgSLA) ||
+		agg.AvgSLA.Max != math.Max(c1.AvgSLA, c2.AvgSLA) {
+		t.Fatalf("aggregate min/max wrong: %+v vs cells %v %v", agg.AvgSLA, c1.AvgSLA, c2.AvgSLA)
+	}
+	sd := math.Abs(c1.AvgSLA-c2.AvgSLA) / 2 // population stddev of two points
+	if math.Abs(agg.AvgSLA.StdDev-sd) > 1e-12 {
+		t.Fatalf("aggregate stddev %v != %v", agg.AvgSLA.StdDev, sd)
+	}
+	if agg.Seeds != 2 {
+		t.Fatalf("aggregate seeds = %d", agg.Seeds)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	base := fastMatrix(1)
+	for name, mutate := range map[string]func(*Matrix){
+		"unknown scenario": func(m *Matrix) { m.Scenarios = []string{"no-such-preset"} },
+		"unknown policy":   func(m *Matrix) { m.Policies = []string{"no-such-policy"} },
+		"no policies":      func(m *Matrix) { m.Policies = nil },
+		"no seeds":         func(m *Matrix) { m.Seeds = nil },
+		"no ticks":         func(m *Matrix) { m.Ticks = 0 },
+	} {
+		m := base
+		mutate(&m)
+		if _, err := Run(m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSweepAllScenariosExpansion(t *testing.T) {
+	m := fastMatrix(4)
+	m.Scenarios = []string{"all"}
+	m.Seeds = []uint64{7}
+	m.Ticks = 30
+	res, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(scenario.Names()) * 2; len(res.Cells) != want {
+		t.Fatalf("all-presets sweep has %d cells, want %d", len(res.Cells), want)
+	}
+	if len(res.Scenarios) != len(scenario.Names()) {
+		t.Fatalf("result echoes %d scenarios, want all %d", len(res.Scenarios), len(scenario.Names()))
+	}
+}
+
+// TestSweepJSONExcludesWallClock guards the determinism contract at the
+// encoding level: no wall-clock field may leak into JSON or CSV.
+func TestSweepJSONExcludesWallClock(t *testing.T) {
+	res, err := Run(Matrix{
+		Scenarios: []string{scenario.IntraDC}, Policies: []string{"bf"},
+		Seeds: []uint64{1}, Ticks: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"RoundMS", "round_ms", "ms_per_round"} {
+		if bytes.Contains(j, []byte(banned)) {
+			t.Fatalf("JSON leaks wall-clock field %q", banned)
+		}
+	}
+	header := strings.SplitN(res.CSV(), "\n", 2)[0]
+	for _, col := range strings.Split(header, ",") {
+		if strings.Contains(col, "round_ms") || strings.Contains(col, "ms_per_round") {
+			t.Fatalf("CSV header leaks wall-clock column %q", col)
+		}
+	}
+	// The rendered (human) table does include it.
+	if !strings.Contains(res.Render(), "ms/round") {
+		t.Fatal("rendered table should report round latency")
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	names := PolicyNames()
+	if len(names) < 8 {
+		t.Fatalf("policy registry too small: %v", names)
+	}
+	for _, name := range names {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name || p.Make == nil {
+			t.Fatalf("policy %q malformed: %+v", name, p)
+		}
+	}
+	if _, err := PolicyByName("definitely-not-a-policy"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestSweepMLPolicies drives the bundle-sharing path (train once per
+// seed, share across cells) over ML and hierarchical policies.
+func TestSweepMLPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
+	}
+	m := Matrix{
+		Scenarios: []string{scenario.IntraDC, scenario.Hierarchy},
+		Policies:  []string{"bf-ml", "hier-ml", "firstfit"},
+		Seeds:     []uint64{42},
+		Ticks:     60,
+		Workers:   4,
+	}
+	res, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.AvgSLA <= 0 || c.Rounds == 0 {
+			t.Fatalf("ML cell did not run: %+v", c)
+		}
+	}
+}
+
+// TestRunSpecAutoTrainsBundle covers the single-cell convenience path:
+// an ML policy with a nil bundle pulls from the per-seed cache.
+func TestRunSpecAutoTrainsBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
+	}
+	pol, err := PolicyByName("bf-ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunSpec(scenario.MustPreset(scenario.IntraDC, 42), pol, nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Policy != "bf-ml" || run.Rounds == 0 {
+		t.Fatalf("auto-bundle run wrong: %+v", run)
+	}
+}
