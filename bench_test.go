@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ml"
 	"repro/internal/model"
@@ -113,7 +114,7 @@ func BenchmarkHeuristics(b *testing.B) {
 // BenchmarkHierarchy regenerates the two-layer vs flat scheduling ablation
 // (the paper's structural contribution measured directly).
 func BenchmarkHierarchy(b *testing.B) {
-	runExperiment(b, "hierarchy", "flatMs:48", "hierMs:48")
+	runExperiment(b, "hierarchy", "flatMs:192", "hierMs:192")
 }
 
 // ---------------------------------------------------------------------------
@@ -291,25 +292,34 @@ func BenchmarkBestFitRound(b *testing.B) {
 }
 
 // BenchmarkScheduleRound measures one full scheduling round (the paper's
-// 10-minute decision, Algorithm 1 with the ML estimator) at paper size and
-// at production-fleet size. This is the decision-maker hot path the
-// allocation-free Round refactor targets; AllocsPerRun coverage lives in
-// sched_alloc_test.go.
+// 10-minute decision, Algorithm 1 with the ML estimator) at paper size,
+// at production-fleet size, and at the next size class up (the xlarge
+// preset: 1000 VMs over 402 hosts in six DCs, scheduled as one flat
+// problem). This is the decision-maker hot path the allocation-free Round
+// refactor and the flat ML inference layouts target; AllocsPerRun
+// coverage lives in sched_alloc_test.go.
 func BenchmarkScheduleRound(b *testing.B) {
 	bundle, err := experiments.TrainedBundle(benchSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
+	paperCost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
 	for _, size := range []struct {
-		name       string
-		vms, hosts int
+		name  string
+		setup func(b *testing.B) (*sched.Problem, sched.CostModel)
 	}{
-		{"Small", 24, 16},
-		{"Large", 200, 80},
+		{"Small", func(b *testing.B) (*sched.Problem, sched.CostModel) {
+			return syntheticProblem(24, 16), paperCost
+		}},
+		{"Large", func(b *testing.B) (*sched.Problem, sched.CostModel) {
+			return syntheticProblem(200, 80), paperCost
+		}},
+		{"XLarge", func(b *testing.B) (*sched.Problem, sched.CostModel) {
+			return scenarioProblem(b, scenario.XLargeFleet)
+		}},
 	} {
 		b.Run(size.name, func(b *testing.B) {
-			problem := syntheticProblem(size.vms, size.hosts)
+			problem, cost := size.setup(b)
 			bf := sched.NewBestFit(cost, sched.NewML(bundle))
 			// One warmup round so the reusable Round session is grown
 			// before measurement: allocs/op is then the steady state the
@@ -327,6 +337,38 @@ func BenchmarkScheduleRound(b *testing.B) {
 			}
 		})
 	}
+}
+
+// scenarioProblem builds a realistic mid-run scheduling problem from a
+// scenario preset: home placement, a dozen ticks of monitored history,
+// then the manager's own problem assembly — the same recipe as the parity
+// suite's preset problems, reused here to drive the xlarge fleet.
+func scenarioProblem(b *testing.B, name string) (*sched.Problem, sched.CostModel) {
+	b.Helper()
+	sc, err := scenario.Build(scenario.MustPreset(name, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := core.NewManager(core.ManagerConfig{
+		World:     sc.World,
+		Scheduler: &sched.Fixed{P: sc.HomePlacement()},
+		// No scheduling rounds during warm-up: only monitoring history.
+		RoundTicks: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.Run(15, nil); err != nil {
+		b.Fatal(err)
+	}
+	p := mgr.BuildProblem()
+	if len(p.VMs) == 0 || len(p.Hosts) == 0 {
+		b.Fatalf("%s: empty problem", name)
+	}
+	return p, sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
 }
 
 // BenchmarkWorkloadGeneration measures trace synthesis for a full fleet

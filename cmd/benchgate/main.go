@@ -191,12 +191,23 @@ func run(baselinePath, inputPath string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 2
 	}
+	if len(got) == 0 {
+		// Zero parsed benchmarks means the bench step itself broke (crash,
+		// build failure, a -bench pattern matching nothing) — distinct
+		// from a specific baseline benchmark being renamed away, which
+		// gate reports per name. Either way nothing passes silently.
+		fmt.Fprintln(errOut, "benchgate: no benchmarks found in bench output — did the bench run fail or match nothing?")
+		return 2
+	}
 	violations := gate(base, got)
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintf(errOut, "benchgate: FAIL %s\n", v)
 		}
 		return 1
+	}
+	for _, name := range unbaselined(base, got) {
+		fmt.Fprintf(errOut, "benchgate: warn %s measured but absent from the baseline — add it to keep it gated\n", name)
 	}
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -210,6 +221,21 @@ func run(baselinePath, inputPath string, out, errOut io.Writer) int {
 			name, g.AllocsPerOp, want.AllocsPerOp, g.NsPerOp, want.NsPerOp)
 	}
 	return 0
+}
+
+// unbaselined returns the measured benchmark names that have no baseline
+// entry, sorted. They cannot regress the gate, which is exactly the
+// problem: a new sub-benchmark stays ungated until the baseline learns
+// it, so the run flags each one loudly.
+func unbaselined(base Baseline, got map[string]Metrics) []string {
+	var names []string
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func main() {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -116,6 +117,54 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	v := gate(testBaseline, parse(t, onlySmall))
 	if len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("missing benchmark not caught: %v", v)
+	}
+}
+
+// TestRunFailsOnEmptyBenchOutput is the broken-bench-step contract: output
+// with no benchmark lines at all (crashed run, -bench pattern matching
+// nothing) must exit non-zero with a clear message, never pass vacuously.
+func TestRunFailsOnEmptyBenchOutput(t *testing.T) {
+	baselinePath := filepath.Join("..", "..", "BENCH_sched.json")
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\nok  \trepro\t0.1s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run(baselinePath, empty, &out, &errOut); code != 2 {
+		t.Fatalf("empty bench output exited %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no benchmarks found") {
+		t.Fatalf("missing clear message: %q", errOut.String())
+	}
+}
+
+// TestRunWarnsOnUnbaselinedBenchmark: a measured benchmark the baseline
+// does not know cannot regress the gate, so the run must call it out.
+func TestRunWarnsOnUnbaselinedBenchmark(t *testing.T) {
+	extra := healthyOutput +
+		"BenchmarkScheduleRound/XXL-4 \t20\t900000000 ns/op\t50000 B/op\t9 allocs/op\n"
+	got := parse(t, extra)
+	if names := unbaselined(testBaseline, got); len(names) != 1 || names[0] != "BenchmarkScheduleRound/XXL" {
+		t.Fatalf("unbaselined = %v", names)
+	}
+	file := filepath.Join(t.TempDir(), "extra.txt")
+	if err := os.WriteFile(file, []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	raw, err := json.Marshal(testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run(base, file, &out, &errOut); code != 0 {
+		t.Fatalf("unbaselined benchmark must warn, not fail: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "warn") || !strings.Contains(errOut.String(), "XXL") {
+		t.Fatalf("missing warning: %q", errOut.String())
 	}
 }
 

@@ -57,6 +57,9 @@ func main() {
 		for _, name := range scenario.Names() {
 			fmt.Println(name)
 		}
+		for _, name := range scenario.HeavyNames() {
+			fmt.Printf("%s (heavy: excluded from \"all\")\n", name)
+		}
 		return
 	case *scenarioName != "":
 		if err := runScenario(*scenarioName, *seed, *ticks); err != nil {
@@ -95,6 +98,7 @@ func runSweep(args []string) error {
 		fmt.Fprintln(fs.Output(), "usage: mdcsim sweep [flags]")
 		fs.PrintDefaults()
 		fmt.Fprintf(fs.Output(), "scenarios: %s\n", strings.Join(scenario.Names(), ", "))
+		fmt.Fprintf(fs.Output(), "heavy (by explicit name only): %s\n", strings.Join(scenario.HeavyNames(), ", "))
 		fmt.Fprintf(fs.Output(), "policies:  %s\n", strings.Join(sweep.PolicyNames(), ", "))
 	}
 	scenarios := fs.String("scenarios", "all", "comma-separated scenario presets, or \"all\"")

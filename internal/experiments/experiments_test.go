@@ -27,9 +27,6 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestTableIShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := TableI(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -60,9 +57,6 @@ func TestTableIShape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Figure4(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -94,9 +88,6 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Figure5(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -112,9 +103,6 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestDelocationShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Delocation(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -129,9 +117,6 @@ func TestDelocationShape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Figure6(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -150,9 +135,6 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestFigure7TableIIIShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Figure7TableIII(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -173,9 +155,6 @@ func TestFigure7TableIIIShape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Figure8(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -195,9 +174,6 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestSchedulerScalingShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := SchedulerScaling(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -219,9 +195,6 @@ func TestSchedulerScalingShape(t *testing.T) {
 }
 
 func TestRunAllRegisteredExperiments(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full experiment sweep in -short mode")
-	}
 	for _, name := range Names() {
 		res, err := Run(name, testSeed)
 		if err != nil {

@@ -5,9 +5,6 @@ import "testing"
 // Shape tests for the future-work extensions.
 
 func TestGreenEnergyShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := GreenEnergy(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -29,9 +26,6 @@ func TestGreenEnergyShape(t *testing.T) {
 }
 
 func TestOnlineLearningShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := OnlineLearning(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -55,9 +49,6 @@ func TestOnlineLearningShape(t *testing.T) {
 }
 
 func TestHeuristicsShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Heuristics(testSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -78,21 +69,21 @@ func TestHeuristicsShape(t *testing.T) {
 }
 
 func TestHierarchyShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle / full-day run; skipped in -short (race CI)")
-	}
 	res, err := Hierarchy(testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// At the largest size the two-layer round must be meaningfully faster
-	// while matching the flat outcome.
-	if res.Metrics["hierMs:48"] >= res.Metrics["flatMs:48"]*0.8 {
+	// while matching the flat outcome. (The ladder was extended past the
+	// old 48-VM top: with the flat ML inference stack a 48-VM round is
+	// sub-millisecond, where fixed decomposition overheads drown the
+	// structural signal.)
+	if res.Metrics["hierMs:192"] >= res.Metrics["flatMs:192"]*0.8 {
 		t.Errorf("two-layer %.2fms not faster than flat %.2fms",
-			res.Metrics["hierMs:48"], res.Metrics["flatMs:48"])
+			res.Metrics["hierMs:192"], res.Metrics["flatMs:192"])
 	}
-	if res.Metrics["hierSLA:48"] < res.Metrics["flatSLA:48"]-0.02 {
+	if res.Metrics["hierSLA:192"] < res.Metrics["flatSLA:192"]-0.02 {
 		t.Errorf("two-layer SLA %.4f fell below flat %.4f",
-			res.Metrics["hierSLA:48"], res.Metrics["flatSLA:48"])
+			res.Metrics["hierSLA:192"], res.Metrics["flatSLA:192"])
 	}
 }

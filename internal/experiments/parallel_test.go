@@ -14,9 +14,6 @@ import (
 // throughput knob, never a decision change — even with asymmetric bins
 // where scoring ties are most likely.
 func TestParallelMatchesSerialHeteroFleet(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
-	}
 	bundle, err := TrainedBundle(testSeed)
 	if err != nil {
 		t.Fatal(err)

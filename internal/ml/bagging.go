@@ -15,6 +15,25 @@ import (
 // paper's predictors would reach for first.
 type Bagged struct {
 	Members []Regressor
+	// m5ps is the devirtualized view TrainBagged fills when every member
+	// is a flat model tree: PredictBuf then calls the concrete M5P
+	// directly instead of dispatching through two interfaces per member.
+	// Identical element order, so predictions are bit-identical.
+	m5ps []*M5P
+}
+
+// seal caches the typed member view when the ensemble is homogeneous.
+func (b *Bagged) seal() {
+	b.m5ps = nil
+	typed := make([]*M5P, len(b.Members))
+	for i, m := range b.Members {
+		t, ok := m.(*M5P)
+		if !ok {
+			return
+		}
+		typed[i] = t
+	}
+	b.m5ps = typed
 }
 
 // BaggingConfig controls ensemble construction.
@@ -56,6 +75,10 @@ func TrainBagged(d *Dataset, cfg BaggingConfig, train func(*Dataset) (Regressor,
 		reg Regressor
 		err error
 	}
+	// Members train in parallel; each draws its bootstrap from its own
+	// named RNG stream seeded by (Seed, member index), so the resample —
+	// and therefore the trained ensemble — is bit-identical at any worker
+	// count (gated by TestBaggedDeterministicAcrossWorkers).
 	results := par.MapIdx(make([]struct{}, cfg.Members), cfg.Workers, func(m int, _ struct{}) result {
 		stream := rng.NewNamed(cfg.Seed, fmt.Sprintf("ml/bag/%d", m))
 		idx := make([]int, sampleN)
@@ -75,6 +98,7 @@ func TrainBagged(d *Dataset, cfg BaggingConfig, train func(*Dataset) (Regressor,
 		}
 		out.Members = append(out.Members, r.reg)
 	}
+	out.seal()
 	return out, nil
 }
 
@@ -93,12 +117,19 @@ func (b *Bagged) Predict(x []float64) float64 {
 // PredictBuf is Predict over caller-provided scratch: each member that
 // supports buffered inference reuses buf, so ensemble inference is
 // allocation-free when the members' paths are. Summation order matches
-// Predict, so the two are bit-identical.
+// Predict, so the two are bit-identical. A homogeneous model-tree
+// ensemble takes the devirtualized path over the typed member view.
 func (b *Bagged) PredictBuf(x []float64, buf *Buf) float64 {
 	if len(b.Members) == 0 {
 		return 0
 	}
 	s := 0.0
+	if len(b.m5ps) == len(b.Members) {
+		for _, m := range b.m5ps {
+			s += m.Predict(x)
+		}
+		return s / float64(len(b.m5ps))
+	}
 	for _, m := range b.Members {
 		s += PredictBuffered(m, x, buf)
 	}

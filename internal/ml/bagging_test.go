@@ -49,6 +49,33 @@ func TestBaggedDeterministicInSeed(t *testing.T) {
 	}
 }
 
+// TestBaggedDeterministicAcrossWorkers pins the parallel-training
+// contract: members draw their bootstraps from per-member named RNG
+// streams, so the trained ensemble is bit-identical whether it trained
+// serially or across any worker fan-out.
+func TestBaggedDeterministicAcrossWorkers(t *testing.T) {
+	d := piecewiseData(300, 56, 0.5)
+	mk := func(workers int) *Bagged {
+		b, err := TrainBagged(d, BaggingConfig{Members: 8, Seed: 4, Workers: workers}, func(s *Dataset) (Regressor, error) {
+			return TrainM5P(s, DefaultM5PConfig(4))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := mk(1)
+	for _, workers := range []int{2, 5, 16} {
+		par := mk(workers)
+		for x0 := 0.25; x0 < 10; x0 += 0.25 {
+			x := []float64{x0, 5}
+			if got, want := par.Predict(x), serial.Predict(x); got != want {
+				t.Fatalf("workers=%d diverges from serial at %v: %v != %v", workers, x, got, want)
+			}
+		}
+	}
+}
+
 func TestBaggedSpread(t *testing.T) {
 	d := piecewiseData(400, 54, 1.0)
 	bag, err := TrainBagged(d, BaggingConfig{Members: 10, Seed: 2}, func(s *Dataset) (Regressor, error) {

@@ -1,0 +1,373 @@
+package ml
+
+// Flat-layout parity: the kd-tree became an implicit leaf-bucketed index
+// over one contiguous coordinate array, M5P inference became an iterative
+// walk over dense node columns, and Bagged grew a devirtualized member
+// view. None of that may change a single prediction. This file keeps the
+// pre-refactor implementations — the one-point-per-node pointer kd-tree
+// and the recursive pointer-walk M5P inference — as oracles and proves
+// the flat layouts reproduce them bit for bit on randomized datasets.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// --- oracle: the pre-refactor pointer kd-tree, verbatim ---
+
+type oracleKDTree struct {
+	points [][]float64
+	nodes  []oracleKDNode
+	root   int
+}
+
+type oracleKDNode struct {
+	point       int
+	axis        int
+	left, right int
+}
+
+func buildOracleKDTree(points [][]float64, n int) *oracleKDTree {
+	t := &oracleKDTree{points: points, nodes: make([]oracleKDNode, 0, n)}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx)
+	return t
+}
+
+func (t *oracleKDTree) build(idx []int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := t.widestAxis(idx)
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	for mid > 0 && t.points[idx[mid-1]][axis] == t.points[idx[mid]][axis] {
+		mid--
+	}
+	node := oracleKDNode{point: idx[mid], axis: axis, left: -1, right: -1}
+	t.nodes = append(t.nodes, node)
+	id := len(t.nodes) - 1
+	left := append([]int(nil), idx[:mid]...)
+	right := append([]int(nil), idx[mid+1:]...)
+	l := t.build(left)
+	r := t.build(right)
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
+}
+
+func (t *oracleKDTree) widestAxis(idx []int) int {
+	if len(idx) == 0 || len(t.points[idx[0]]) == 0 {
+		return 0
+	}
+	dims := len(t.points[idx[0]])
+	best, bestSpread := 0, -1.0
+	for d := 0; d < dims; d++ {
+		lo, hi := t.points[idx[0]][d], t.points[idx[0]][d]
+		for _, i := range idx[1:] {
+			v := t.points[i][d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			bestSpread = spread
+			best = d
+		}
+	}
+	return best
+}
+
+func (t *oracleKDTree) search(q []float64, k int, h *neighborHeap) {
+	t.searchNode(t.root, q, k, h)
+}
+
+func (t *oracleKDTree) searchNode(id int, q []float64, k int, h *neighborHeap) {
+	if id < 0 {
+		return
+	}
+	node := t.nodes[id]
+	p := t.points[node.point]
+	if h.Len() < k {
+		h.push(neighbor{node.point, sqDist(q, p)})
+	} else if d2, within := sqDistWithin(q, p, (*h)[0].d2); within {
+		(*h)[0] = neighbor{node.point, d2}
+		h.fixRoot()
+	}
+	diff := q[node.axis] - p[node.axis]
+	near, far := node.left, node.right
+	if diff > 0 {
+		near, far = node.right, node.left
+	}
+	t.searchNode(near, q, k, h)
+	if h.Len() < k || diff*diff < (*h)[0].d2 {
+		t.searchNode(far, q, k, h)
+	}
+}
+
+// --- oracle: the pre-refactor recursive M5P inference, verbatim ---
+
+// oracleM5PPredict routes the row down the pointer tree exactly as the
+// old M5P.Predict did: recursive descent, along-path smoothing on the way
+// back up, clamp to the training target range.
+func oracleM5PPredict(root *m5pNode, cfg M5PConfig, yLo, yHi float64, x []float64) float64 {
+	var v float64
+	if !cfg.Smoothing {
+		node := root
+		for !node.isLeaf() {
+			if x[node.feature] <= node.thresh {
+				node = node.left
+			} else {
+				node = node.right
+			}
+		}
+		v = node.lm.Predict(x)
+	} else {
+		v = oracleM5PSmoothed(root, cfg.SmoothK, x)
+	}
+	if cfg.ClampToRange {
+		if v < yLo {
+			v = yLo
+		}
+		if v > yHi {
+			v = yHi
+		}
+	}
+	return v
+}
+
+func oracleM5PSmoothed(node *m5pNode, smoothK float64, x []float64) float64 {
+	if node.isLeaf() {
+		return node.lm.Predict(x)
+	}
+	child := node.left
+	if x[node.feature] > node.thresh {
+		child = node.right
+	}
+	p := oracleM5PSmoothed(child, smoothK, x)
+	q := node.lm.Predict(x)
+	return (float64(node.n)*p + smoothK*q) / (float64(node.n) + smoothK)
+}
+
+// --- randomized parity datasets ---
+
+// sparseParityData mimics the SLA feature shape that used to degenerate
+// the old tree: continuous columns mixed with mostly-constant sparse
+// columns (zero-heavy queue/deficit analogues). One column is always
+// continuous so no two rows are identical and exact distance ties cannot
+// make neighbour selection ambiguous.
+func sparseParityData(rows int, seed uint64) *Dataset {
+	s := rng.New(seed, 0)
+	d := NewDataset([]string{"rps", "cpuMs", "grant", "deficit", "queue"})
+	for i := 0; i < rows; i++ {
+		deficit := 0.0
+		if s.Uniform(0, 1) < 0.1 {
+			deficit = s.Uniform(0, 1)
+		}
+		queue := 0.0
+		if s.Uniform(0, 1) < 0.2 {
+			queue = s.Uniform(0, 400)
+		}
+		row := []float64{
+			s.Uniform(0.01, 300), // continuous: rows never collide exactly
+			s.Uniform(2, 30),
+			s.Uniform(5, 400),
+			deficit,
+			queue,
+		}
+		y := row[0]*0.002 + row[1]*0.01 - deficit*0.4 - queue*0.001 + s.Norm(0, 0.05)
+		d.Add(row, y)
+	}
+	return d
+}
+
+// TestFlatKDTreeMatchesPointerOracle proves the leaf-bucketed flat tree
+// selects the same neighbours and yields bit-identical predictions as the
+// old one-point-per-node pointer tree, across dataset shapes, sizes and K.
+func TestFlatKDTreeMatchesPointerOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data *Dataset
+	}{
+		{"dense-2d", knnData(700, 11)},
+		{"sparse-5d", sparseParityData(900, 12)},
+		{"tiny", knnData(7, 13)}, // smaller than one leaf bucket
+	} {
+		for _, k := range []int{1, 4, 9} {
+			knn, err := TrainKNN(tc.data, KNNConfig{K: k, UseKDTree: true, DistanceWeight: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := buildOracleKDTree(knn.x, len(knn.x))
+			s := rng.New(14, uint64(k))
+			var buf Buf
+			for i := 0; i < 300; i++ {
+				raw := make([]float64, tc.data.Width())
+				for j := range raw {
+					raw[j] = s.Uniform(-2, 310)
+				}
+				got := knn.PredictBuf(raw, &buf)
+
+				// Oracle prediction through the old tree and the same blend.
+				q := knn.std.Apply(raw)
+				var h neighborHeap
+				oracle.search(q, knn.cfg.K, &h)
+				want := knn.blend(h.sortedInto(nil))
+
+				if got != want {
+					t.Fatalf("%s K=%d query %d: flat %v != oracle %v", tc.name, k, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatM5PMatchesPointerOracle proves the dense-column iterative
+// inference is bit-identical to the recursive pointer walk on the same
+// grown-and-pruned tree, across smoothing/pruning/clamping configs.
+func TestFlatM5PMatchesPointerOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data *Dataset
+	}{
+		{"piecewise", piecewiseData(900, 21, 0.4)},
+		{"sparse", sparseParityData(700, 22)},
+	} {
+		for _, cfg := range []M5PConfig{
+			DefaultM5PConfig(4),
+			{MinLeaf: 2, Smoothing: true, SmoothK: 15, Pruning: false, ClampToRange: false, Ridge: 1e-6, SDRThreshold: 0.01},
+			{MinLeaf: 8, Smoothing: false, Pruning: true, PruneFactor: 1, ClampToRange: true, Ridge: 1e-6, SDRThreshold: 0.05},
+		} {
+			m, err := TrainM5P(tc.data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Re-grow the pointer tree with the identical deterministic
+			// recipe; the compile step is exactly what is under test.
+			norm := m.cfg // TrainM5P normalises zero-valued knobs
+			oracleTree := &M5P{cfg: norm}
+			idx := make([]int, tc.data.Len())
+			for i := range idx {
+				idx[i] = i
+			}
+			root := oracleTree.grow(tc.data, idx, stddevAt(tc.data, idx))
+			if norm.Pruning {
+				oracleTree.prune(tc.data, root, idx)
+			}
+
+			s := rng.New(23, 1)
+			for i := 0; i < 400; i++ {
+				x := make([]float64, tc.data.Width())
+				for j := range x {
+					x[j] = s.Uniform(-5, 320)
+				}
+				got := m.Predict(x)
+				want := oracleM5PPredict(root, norm, m.yLo, m.yHi, x)
+				if got != want {
+					t.Fatalf("%s cfg %+v query %d: flat %v != oracle %v", tc.name, norm, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBaggedDevirtualizedPathMatchesGeneric proves the typed fast path of
+// a homogeneous model-tree ensemble returns exactly the generic
+// interface-dispatch average, and that heterogeneous ensembles keep using
+// the generic path with identical results.
+func TestBaggedDevirtualizedPathMatchesGeneric(t *testing.T) {
+	d := sparseParityData(500, 31)
+	bag, err := TrainBagged(d, BaggingConfig{Members: 7, Seed: 5}, func(sub *Dataset) (Regressor, error) {
+		return TrainM5P(sub, DefaultM5PConfig(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bag.m5ps) != len(bag.Members) {
+		t.Fatal("homogeneous M5P ensemble not devirtualized")
+	}
+	mixed, err := TrainBagged(d, BaggingConfig{Members: 4, Seed: 6}, func(sub *Dataset) (Regressor, error) {
+		if sub.Len()%2 == 0 {
+			return TrainLinear(sub, 0)
+		}
+		return TrainM5P(sub, DefaultM5PConfig(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := rng.New(32, 0)
+	var buf Buf
+	for i := 0; i < 200; i++ {
+		x := make([]float64, d.Width())
+		for j := range x {
+			x[j] = s.Uniform(-2, 310)
+		}
+		for _, b := range []*Bagged{bag, mixed} {
+			// The generic reference: interface dispatch in member order.
+			sum := 0.0
+			for _, m := range b.Members {
+				sum += PredictBuffered(m, x, &buf)
+			}
+			want := sum / float64(len(b.Members))
+			if got := b.PredictBuf(x, &buf); got != want {
+				t.Fatalf("query %d: PredictBuf %v != member-loop %v", i, got, want)
+			}
+			if got := b.Predict(x); got != want {
+				t.Fatalf("query %d: Predict %v != member-loop %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestFlatLayoutsZeroAllocOnSparseShapes extends the allocation gate to
+// the dataset shape that exercises the new layouts hardest: sparse
+// mostly-constant columns (deep, unbalanced trees; long parent walks;
+// leaf-bucket scans past duplicate-valued axes).
+func TestFlatLayoutsZeroAllocOnSparseShapes(t *testing.T) {
+	d := sparseParityData(1200, 41)
+	knn, err := TrainKNN(d, DefaultKNNConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m5p, err := TrainM5P(d, M5PConfig{MinLeaf: 2, Smoothing: true, SmoothK: 15, SDRThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag, err := TrainBagged(d, BaggingConfig{Members: 5, Seed: 9}, func(sub *Dataset) (Regressor, error) {
+		return TrainM5P(sub, DefaultM5PConfig(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]float64{
+		{10, 5, 50, 0, 0}, {250, 25, 380, 0.8, 350}, {100, 10, 5, 0, 120},
+	}
+	var buf Buf
+	for _, q := range queries { // warm the scratch
+		if math.IsNaN(knn.PredictBuf(q, &buf) + m5p.Predict(q) + bag.PredictBuf(q, &buf)) {
+			t.Fatal("NaN prediction")
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, q := range queries {
+			knn.PredictBuf(q, &buf)
+			m5p.Predict(q)
+			bag.PredictBuf(q, &buf)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("flat-layout inference allocates %.1f objects per round, want 0", allocs)
+	}
+}

@@ -4,69 +4,142 @@ import (
 	"sort"
 )
 
-// kdTree is a static k-d tree over standardized feature rows, used to
-// accelerate k-NN queries. Points are referenced by index into the owning
-// KNN's row storage so the tree adds only O(n) memory.
+// kdTree is a static k-d index over standardized feature rows, used to
+// accelerate k-NN queries. The layout is flat and leaf-bucketed: node
+// metadata lives in dense parallel slices (no per-node heap objects), the
+// two children of an interior node are adjacent records (left = first,
+// right = first+1), and the points themselves are copied into one
+// contiguous backing array in tree order, so a leaf scan is a tight loop
+// over adjacent memory. Interior nodes hold no points — they only split —
+// which is what lets the scan stay branch-light.
+//
+// The k-nearest set it returns is identical to the classic
+// one-point-per-node tree's (and to brute force) up to exact distance
+// ties: pruning uses the strict d2 < bound test matching the heap's
+// strict acceptance, so a skipped subtree can only hold points that would
+// have been rejected anyway.
 type kdTree struct {
-	points [][]float64
-	nodes  []kdNode
-	root   int
+	// Per-node columns, index-parallel. count[id] > 0 marks a leaf.
+	axis   []int32   // interior: split axis
+	thresh []float64 // interior: split value (left side strictly below)
+	first  []int32   // interior: left child id; leaf: first point slot
+	count  []int32   // leaf: points in the bucket; 0 for interior
+
+	// Point storage in tree order.
+	coords []float64 // slot-major rows: coords[slot*dims : (slot+1)*dims]
+	ptIdx  []int32   // slot -> index into the owner's row storage
+	dims   int
 }
 
-type kdNode struct {
-	point       int // index into points
-	axis        int
-	left, right int // node indices, -1 for none
-}
+// kdLeafSize is the bucket capacity: big enough that the contiguous scan
+// amortises the descent, small enough that pruning still skips most data.
+const kdLeafSize = 16
 
-// buildKDTree constructs the tree by recursive median split on the axis of
-// greatest spread.
+// buildKDTree constructs the tree by recursive median split on the axis
+// of greatest spread, bucketing points into leaves of up to kdLeafSize.
 func buildKDTree(points [][]float64, n int) *kdTree {
-	t := &kdTree{points: points, nodes: make([]kdNode, 0, n)}
+	t := &kdTree{}
+	if n == 0 {
+		return t
+	}
+	t.dims = len(points[0])
+	t.coords = make([]float64, 0, n*t.dims)
+	t.ptIdx = make([]int32, 0, n)
+	b := kdBuilder{t: t, points: points}
+	b.sorter.points = points
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = t.build(idx)
+	b.alloc(1)
+	b.fill(0, idx)
 	return t
 }
 
-func (t *kdTree) build(idx []int) int {
-	if len(idx) == 0 {
-		return -1
+// kdBuilder carries the construction state; the sorter is reused across
+// splits so sorting never allocates a fresh closure per node.
+type kdBuilder struct {
+	t      *kdTree
+	points [][]float64
+	sorter kdAxisSorter
+}
+
+// alloc appends n zeroed node records and returns the id of the first.
+func (b *kdBuilder) alloc(n int) int32 {
+	t := b.t
+	id := int32(len(t.first))
+	for i := 0; i < n; i++ {
+		t.axis = append(t.axis, 0)
+		t.thresh = append(t.thresh, 0)
+		t.first = append(t.first, 0)
+		t.count = append(t.count, 0)
 	}
-	axis := t.widestAxis(idx)
-	sort.Slice(idx, func(a, b int) bool {
-		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
-	})
-	mid := len(idx) / 2
-	// Move mid left past duplicates so the invariant "left subtree <= node"
-	// holds strictly for the chosen pivot value.
-	for mid > 0 && t.points[idx[mid-1]][axis] == t.points[idx[mid]][axis] {
-		mid--
-	}
-	node := kdNode{point: idx[mid], axis: axis, left: -1, right: -1}
-	t.nodes = append(t.nodes, node)
-	id := len(t.nodes) - 1
-	left := append([]int(nil), idx[:mid]...)
-	right := append([]int(nil), idx[mid+1:]...)
-	l := t.build(left)
-	r := t.build(right)
-	t.nodes[id].left = l
-	t.nodes[id].right = r
 	return id
 }
 
-func (t *kdTree) widestAxis(idx []int) int {
-	if len(idx) == 0 || len(t.points[idx[0]]) == 0 {
+// fill turns the already-allocated record id into a leaf or a split over
+// the given points.
+func (b *kdBuilder) fill(id int32, idx []int) {
+	if len(idx) <= kdLeafSize {
+		b.leaf(id, idx)
+		return
+	}
+	axis := b.widestAxis(idx)
+	b.sorter.idx, b.sorter.axis = idx, axis
+	sort.Stable(&b.sorter)
+	mid := len(idx) / 2
+	// Move mid left past duplicates so the split value strictly bounds the
+	// left side: every left point is < thresh, every right point >= thresh,
+	// which is what the pruning bound relies on.
+	for mid > 0 && b.points[idx[mid-1]][axis] == b.points[idx[mid]][axis] {
+		mid--
+	}
+	if mid == 0 {
+		// The whole lower half repeats one value (common for sparse
+		// features like a mostly-zero queue column): split above the run
+		// instead, at the first strictly larger value.
+		mid = len(idx) / 2
+		for mid < len(idx) && b.points[idx[mid]][axis] == b.points[idx[mid-1]][axis] {
+			mid++
+		}
+		if mid == len(idx) {
+			// Constant on the widest axis — all axes constant, so the
+			// points are identical. Bucket the lot.
+			b.leaf(id, idx)
+			return
+		}
+	}
+	left := b.alloc(2) // children adjacent: right child is left+1
+	t := b.t
+	t.axis[id] = int32(axis)
+	t.thresh[id] = b.points[idx[mid]][axis]
+	t.first[id] = left
+	t.count[id] = 0
+	b.fill(left, idx[:mid])
+	b.fill(left+1, idx[mid:])
+}
+
+// leaf copies the bucket's points into the contiguous backing array.
+func (b *kdBuilder) leaf(id int32, idx []int) {
+	t := b.t
+	t.first[id] = int32(len(t.ptIdx))
+	t.count[id] = int32(len(idx))
+	for _, p := range idx {
+		t.ptIdx = append(t.ptIdx, int32(p))
+		t.coords = append(t.coords, b.points[p]...)
+	}
+}
+
+func (b *kdBuilder) widestAxis(idx []int) int {
+	if len(idx) == 0 || len(b.points[idx[0]]) == 0 {
 		return 0
 	}
-	dims := len(t.points[idx[0]])
+	dims := len(b.points[idx[0]])
 	best, bestSpread := 0, -1.0
 	for d := 0; d < dims; d++ {
-		lo, hi := t.points[idx[0]][d], t.points[idx[0]][d]
+		lo, hi := b.points[idx[0]][d], b.points[idx[0]][d]
 		for _, i := range idx[1:] {
-			v := t.points[i][d]
+			v := b.points[i][d]
 			if v < lo {
 				lo = v
 			}
@@ -82,10 +155,27 @@ func (t *kdTree) widestAxis(idx []int) int {
 	return best
 }
 
+// kdAxisSorter stable-sorts point indices by one coordinate without the
+// per-split closure allocation of sort.Slice.
+type kdAxisSorter struct {
+	idx    []int
+	points [][]float64
+	axis   int
+}
+
+func (s *kdAxisSorter) Len() int { return len(s.idx) }
+func (s *kdAxisSorter) Less(a, b int) bool {
+	return s.points[s.idx[a]][s.axis] < s.points[s.idx[b]][s.axis]
+}
+func (s *kdAxisSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
 // search collects the k nearest stored points to q into the caller's heap
 // (callers drain it with sortedInto for ascending-distance order).
 func (t *kdTree) search(q []float64, k int, h *neighborHeap) {
-	t.searchNode(t.root, q, k, h)
+	if len(t.first) == 0 {
+		return
+	}
+	t.searchNode(0, q, k, h)
 }
 
 // sqDistWithin is sqDist with an early exit once the partial sum reaches
@@ -105,22 +195,28 @@ func sqDistWithin(a, b []float64, bound float64) (float64, bool) {
 	return s, true
 }
 
-func (t *kdTree) searchNode(id int, q []float64, k int, h *neighborHeap) {
-	if id < 0 {
+func (t *kdTree) searchNode(id int32, q []float64, k int, h *neighborHeap) {
+	if c := t.count[id]; c > 0 {
+		// Leaf: scan the contiguous bucket.
+		slot := t.first[id]
+		off := int(slot) * t.dims
+		for s := int32(0); s < c; s++ {
+			p := t.coords[off : off+t.dims]
+			off += t.dims
+			if h.Len() < k {
+				h.push(neighbor{int(t.ptIdx[slot+s]), sqDist(q, p)})
+			} else if d2, within := sqDistWithin(q, p, (*h)[0].d2); within {
+				(*h)[0] = neighbor{int(t.ptIdx[slot+s]), d2}
+				h.fixRoot()
+			}
+		}
 		return
 	}
-	node := t.nodes[id]
-	p := t.points[node.point]
-	if h.Len() < k {
-		h.push(neighbor{node.point, sqDist(q, p)})
-	} else if d2, within := sqDistWithin(q, p, (*h)[0].d2); within {
-		(*h)[0] = neighbor{node.point, d2}
-		h.fixRoot()
-	}
-	diff := q[node.axis] - p[node.axis]
-	near, far := node.left, node.right
+	diff := q[t.axis[id]] - t.thresh[id]
+	near := t.first[id]
+	far := near + 1
 	if diff > 0 {
-		near, far = node.right, node.left
+		near, far = far, near
 	}
 	t.searchNode(near, q, k, h)
 	// Visit the far side only if the splitting plane could hide a closer

@@ -47,13 +47,37 @@ func DefaultM5PConfig(minLeaf int) M5PConfig {
 	}
 }
 
-// M5P is a fitted model tree.
+// M5P is a fitted model tree. Inference runs over a flat structure of
+// arrays: per-node columns (split feature/threshold, child and parent
+// links, instance counts) plus all linear-model coefficients packed into
+// one contiguous backing slice. Predict descends iteratively and, with
+// smoothing on, blends ancestor models walking the parent links back up —
+// no recursion, no per-node heap objects, no pointer chasing.
+//
+// Training still grows a conventional pointer-linked tree (grow/prune
+// need mutable structure); TrainM5P compiles it into the flat layout and
+// drops the pointers. Predictions are bit-identical to the pointer-walk:
+// same models, same blend order, same arithmetic.
 type M5P struct {
-	root     *m5pNode
 	cfg      M5PConfig
 	yLo, yHi float64 // training target range, for ClampToRange
+
+	// Per-node columns. Children of an interior node are adjacent records
+	// (left = left[id], right = left[id]+1). feature < 0 marks a leaf.
+	feature []int32
+	thresh  []float64
+	left    []int32
+	parent  []int32   // -1 at the root
+	n       []float64 // training instances that reached the node
+
+	// Node linear models: yhat = intercept[id] + coefs[coefOff[id]+j]*x[j].
+	intercept []float64
+	coefOff   []int32
+	coefLen   []int32
+	coefs     []float64 // all nodes' coefficients, one backing array
 }
 
+// m5pNode is the mutable training-time representation.
 type m5pNode struct {
 	// Split (interior nodes only).
 	feature int
@@ -68,7 +92,8 @@ type m5pNode struct {
 
 func (n *m5pNode) isLeaf() bool { return n.left == nil }
 
-// TrainM5P grows, prunes and (optionally) smooths an M5P model tree.
+// TrainM5P grows, prunes and (optionally) smooths an M5P model tree, then
+// compiles it into the flat inference layout.
 func TrainM5P(d *Dataset, cfg M5PConfig) (*M5P, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -95,11 +120,78 @@ func TrainM5P(d *Dataset, cfg M5PConfig) (*M5P, error) {
 	rootSD := stddevAt(d, idx)
 	t := &M5P{cfg: cfg}
 	t.yLo, t.yHi = d.YRange()
-	t.root = t.grow(d, idx, rootSD)
+	root := t.grow(d, idx, rootSD)
 	if cfg.Pruning {
-		t.prune(d, t.root, idx)
+		t.prune(d, root, idx)
 	}
+	t.compile(root)
 	return t, nil
+}
+
+// compile flattens the pointer tree into the dense inference columns.
+func (m *M5P) compile(root *m5pNode) {
+	m.feature = m.feature[:0]
+	m.thresh = m.thresh[:0]
+	m.left = m.left[:0]
+	m.parent = m.parent[:0]
+	m.n = m.n[:0]
+	m.intercept = m.intercept[:0]
+	m.coefOff = m.coefOff[:0]
+	m.coefLen = m.coefLen[:0]
+	m.coefs = m.coefs[:0]
+	if root == nil {
+		return
+	}
+	m.allocNodes(1, -1)
+	m.fillNode(0, root)
+}
+
+// allocNodes appends count zeroed node records with the given parent and
+// returns the id of the first.
+func (m *M5P) allocNodes(count int, parent int32) int32 {
+	id := int32(len(m.feature))
+	for i := 0; i < count; i++ {
+		m.feature = append(m.feature, -1)
+		m.thresh = append(m.thresh, 0)
+		m.left = append(m.left, -1)
+		m.parent = append(m.parent, parent)
+		m.n = append(m.n, 0)
+		m.intercept = append(m.intercept, 0)
+		m.coefOff = append(m.coefOff, 0)
+		m.coefLen = append(m.coefLen, 0)
+	}
+	return id
+}
+
+func (m *M5P) fillNode(id int32, node *m5pNode) {
+	m.n[id] = float64(node.n)
+	m.intercept[id] = node.lm.Intercept
+	m.coefOff[id] = int32(len(m.coefs))
+	m.coefLen[id] = int32(len(node.lm.Coef))
+	m.coefs = append(m.coefs, node.lm.Coef...)
+	if node.isLeaf() {
+		m.feature[id] = -1
+		return
+	}
+	m.feature[id] = int32(node.feature)
+	m.thresh[id] = node.thresh
+	left := m.allocNodes(2, id) // children adjacent: right is left+1
+	m.left[id] = left
+	m.fillNode(left, node.left)
+	m.fillNode(left+1, node.right)
+}
+
+// lmPredict evaluates node id's linear model on x with the exact loop
+// shape of Linear.Predict (zero-padding rows shorter than the model).
+func (m *M5P) lmPredict(id int32, x []float64) float64 {
+	y := m.intercept[id]
+	off := int(m.coefOff[id])
+	for j := 0; j < int(m.coefLen[id]); j++ {
+		if j < len(x) {
+			y += m.coefs[off+j] * x[j]
+		}
+	}
+	return y
 }
 
 // grow recursively builds the unpruned tree and fits a linear model at
@@ -254,83 +346,81 @@ func (m *M5P) Predict(x []float64) float64 {
 	return v
 }
 
+// predictRaw descends the flat node columns to the leaf; with smoothing it
+// then walks the parent links back to the root blending each ancestor
+// model in — p := (n*p + k*q) / (n + k) — deepest ancestor first, exactly
+// the order of the recursive formulation.
 func (m *M5P) predictRaw(x []float64) float64 {
-	if !m.cfg.Smoothing {
-		node := m.root
-		for !node.isLeaf() {
-			if x[node.feature] <= node.thresh {
-				node = node.left
-			} else {
-				node = node.right
-			}
+	id := int32(0)
+	for m.feature[id] >= 0 {
+		if x[m.feature[id]] <= m.thresh[id] {
+			id = m.left[id]
+		} else {
+			id = m.left[id] + 1
 		}
-		return node.lm.Predict(x)
 	}
-	return m.predictSmoothed(m.root, x)
+	p := m.lmPredict(id, x)
+	if !m.cfg.Smoothing {
+		return p
+	}
+	for a := m.parent[id]; a >= 0; a = m.parent[a] {
+		q := m.lmPredict(a, x)
+		p = (m.n[a]*p + m.cfg.SmoothK*q) / (m.n[a] + m.cfg.SmoothK)
+	}
+	return p
 }
 
-// predictSmoothed routes x to its leaf and blends the prediction with every
-// ancestor model on the way back up — p := (n*p + k*q) / (n + k) — using the
-// call stack as the path, so inference never allocates. The blend order is
-// exactly the old explicit-path loop's (deepest ancestor first).
-func (m *M5P) predictSmoothed(node *m5pNode, x []float64) float64 {
-	if node.isLeaf() {
-		return node.lm.Predict(x)
-	}
-	child := node.left
-	if x[node.feature] > node.thresh {
-		child = node.right
-	}
-	p := m.predictSmoothed(child, x)
-	q := node.lm.Predict(x)
-	return (float64(node.n)*p + m.cfg.SmoothK*q) / (float64(node.n) + m.cfg.SmoothK)
-}
+// NumNodes returns the total node count of the flat layout.
+func (m *M5P) NumNodes() int { return len(m.feature) }
 
 // NumLeaves returns the number of leaf linear models.
-func (m *M5P) NumLeaves() int { return countLeaves(m.root) }
-
-// Depth returns the maximum depth of the tree (a single leaf has depth 1).
-func (m *M5P) Depth() int { return depth(m.root) }
-
-func countLeaves(n *m5pNode) int {
-	if n == nil {
-		return 0
+func (m *M5P) NumLeaves() int {
+	leaves := 0
+	for _, f := range m.feature {
+		if f < 0 {
+			leaves++
+		}
 	}
-	if n.isLeaf() {
-		return 1
-	}
-	return countLeaves(n.left) + countLeaves(n.right)
+	return leaves
 }
 
-func depth(n *m5pNode) int {
-	if n == nil {
+// Depth returns the maximum depth of the tree (a single leaf has depth 1).
+func (m *M5P) Depth() int {
+	if len(m.feature) == 0 {
 		return 0
 	}
-	if n.isLeaf() {
-		return 1
+	// depth[id] is one more than its parent's; records are appended so a
+	// parent always precedes its children and one forward pass suffices.
+	best := 0
+	depth := make([]int, len(m.feature))
+	for id := range m.feature {
+		if p := m.parent[id]; p >= 0 {
+			depth[id] = depth[p] + 1
+		}
+		if depth[id] > best {
+			best = depth[id]
+		}
 	}
-	l, r := depth(n.left), depth(n.right)
-	if l > r {
-		return l + 1
-	}
-	return r + 1
+	return best + 1
 }
 
 // String renders the tree structure for debugging.
 func (m *M5P) String() string {
 	var b strings.Builder
-	var walk func(n *m5pNode, depth int)
-	walk = func(n *m5pNode, depth int) {
+	var walk func(id int32, depth int)
+	walk = func(id int32, depth int) {
 		pad := strings.Repeat("  ", depth)
-		if n.isLeaf() {
-			fmt.Fprintf(&b, "%sLM (n=%d)\n", pad, n.n)
+		if m.feature[id] < 0 {
+			fmt.Fprintf(&b, "%sLM (n=%d)\n", pad, int(m.n[id]))
 			return
 		}
-		fmt.Fprintf(&b, "%sx[%d] <= %.4g (n=%d)\n", pad, n.feature, n.thresh, n.n)
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		fmt.Fprintf(&b, "%sx[%d] <= %.4g (n=%d)\n", pad, m.feature[id], m.thresh[id], int(m.n[id]))
+		walk(m.left[id], depth+1)
+		walk(m.left[id]+1, depth+1)
 	}
-	walk(m.root, 0)
+	if len(m.feature) > 0 {
+		walk(0, 0)
+	}
 	return b.String()
 }
 

@@ -49,32 +49,40 @@ type m5pDTO struct {
 	Nodes  []m5pNodeDTO `json:"nodes"` // pre-order, root first
 }
 
-// MarshalJSON implements json.Marshaler for model trees.
+// MarshalJSON implements json.Marshaler for model trees. The wire form is
+// preorder with explicit child indices, unchanged from the pointer-tree
+// era, so serialized models round-trip across layouts.
 func (m *M5P) MarshalJSON() ([]byte, error) {
 	dto := m5pDTO{Config: m.cfg, YLo: m.yLo, YHi: m.yHi}
-	var flatten func(n *m5pNode) int
-	flatten = func(n *m5pNode) int {
+	var flatten func(id int32) int
+	flatten = func(id int32) int {
 		idx := len(dto.Nodes)
+		var coef []float64
+		if m.coefLen[id] > 0 {
+			coef = append(coef, m.coefs[m.coefOff[id]:m.coefOff[id]+m.coefLen[id]]...)
+		}
 		dto.Nodes = append(dto.Nodes, m5pNodeDTO{
-			Feature: n.feature, Thresh: n.thresh, Left: -1, Right: -1,
-			LM: &linearDTO{Intercept: n.lm.Intercept, Coef: n.lm.Coef},
-			N:  n.n,
+			Feature: int(m.feature[id]), Thresh: m.thresh[id], Left: -1, Right: -1,
+			LM: &linearDTO{Intercept: m.intercept[id], Coef: coef},
+			N:  int(m.n[id]),
 		})
-		if !n.isLeaf() {
-			l := flatten(n.left)
-			r := flatten(n.right)
+		if m.feature[id] >= 0 {
+			l := flatten(m.left[id])
+			r := flatten(m.left[id] + 1)
 			dto.Nodes[idx].Left = l
 			dto.Nodes[idx].Right = r
 		}
 		return idx
 	}
-	if m.root != nil {
-		flatten(m.root)
+	if len(m.feature) > 0 {
+		flatten(0)
 	}
 	return json.Marshal(dto)
 }
 
-// UnmarshalJSON implements json.Unmarshaler for model trees.
+// UnmarshalJSON implements json.Unmarshaler for model trees: it rebuilds
+// the pointer tree from the wire form, then compiles it into the flat
+// inference layout exactly as TrainM5P does.
 func (m *M5P) UnmarshalJSON(b []byte) error {
 	var dto m5pDTO
 	if err := json.Unmarshal(b, &dto); err != nil {
@@ -100,11 +108,13 @@ func (m *M5P) UnmarshalJSON(b []byte) error {
 			}
 			nodes[i].left = nodes[nd.Left]
 			nodes[i].right = nodes[nd.Right]
+		} else {
+			nodes[i].feature = -1
 		}
 	}
 	m.cfg = dto.Config
 	m.yLo, m.yHi = dto.YLo, dto.YHi
-	m.root = nodes[0]
+	m.compile(nodes[0])
 	return nil
 }
 

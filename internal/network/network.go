@@ -93,6 +93,32 @@ func PaperTopology() *Topology {
 	return t
 }
 
+// GlobalTopology returns the production-scale six-DC system: the four
+// Table II sites plus Frankfurt and Singapore, with electricity prices in
+// the same EUR/kWh band and one-way latencies (milliseconds) consistent
+// with published intercontinental round-trip figures. The first four DCs
+// are bit-identical to PaperTopology, so sub-fleets drawn from the prefix
+// behave exactly like the paper's system.
+func GlobalTopology() *Topology {
+	ms := func(v float64) float64 { return v / 1000 }
+	t, err := New(
+		[]string{"Brisbane", "Bangaluru", "Barcelona", "Boston", "Frankfurt", "Singapore"},
+		[]float64{0.1314, 0.1218, 0.1513, 0.1120, 0.1482, 0.1169},
+		[][]float64{
+			{0, ms(265), ms(390), ms(255), ms(300), ms(95)},
+			{ms(265), 0, ms(250), ms(380), ms(220), ms(70)},
+			{ms(390), ms(250), 0, ms(90), ms(30), ms(230)},
+			{ms(255), ms(380), ms(90), 0, ms(100), ms(250)},
+			{ms(300), ms(220), ms(30), ms(100), 0, ms(200)},
+			{ms(95), ms(70), ms(230), ms(250), ms(200), 0},
+		},
+	)
+	if err != nil {
+		panic("network: global topology invalid: " + err.Error())
+	}
+	return t
+}
+
 // NumDCs returns the number of datacenters.
 func (t *Topology) NumDCs() int { return len(t.names) }
 

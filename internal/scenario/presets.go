@@ -45,6 +45,13 @@ const (
 	// GridSpike is a grid-event scenario no paper experiment covers: the
 	// multi-DC fleet under a 6-hour 4x electricity-price spike at DC 0.
 	GridSpike = "price-spike"
+	// XLargeFleet is the production-scale stress preset: ~1000 VMs over
+	// 402 hosts in six DCs (the GlobalTopology). It is a *heavy* preset:
+	// addressable by name through Preset/MustPreset (and therefore
+	// `mdcsim -scenario xlarge` and explicit sweep lists) but excluded
+	// from Names(), so "all"-preset sweeps and parity suites stay at
+	// interactive cost.
+	XLargeFleet = "xlarge"
 )
 
 // presets maps names to spec literals. Seeds are zero: callers set them.
@@ -122,7 +129,19 @@ var presets = map[string]Spec{
 	},
 }
 
-// Names lists the preset names in stable order.
+// heavyPresets holds the presets too expensive for "run everything"
+// loops: resolvable by name, never enumerated by Names().
+var heavyPresets = map[string]Spec{
+	XLargeFleet: {
+		Name: XLargeFleet,
+		DCs:  6, PMsPerDC: 67, VMs: 1000,
+		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.6,
+	},
+}
+
+// Names lists the standard preset names in stable order. Heavy presets
+// (see HeavyNames) are excluded: every caller of Names treats the list as
+// "run all of these", which must stay interactive.
 func Names() []string {
 	out := make([]string, 0, len(presets))
 	for name := range presets {
@@ -132,13 +151,27 @@ func Names() []string {
 	return out
 }
 
+// HeavyNames lists the heavy preset names in stable order.
+func HeavyNames() []string {
+	out := make([]string, 0, len(heavyPresets))
+	for name := range heavyPresets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Preset returns a deep copy of the named spec with the given seed, so
 // callers may override any field — including slice elements — without
-// corrupting the shared preset table.
+// corrupting the shared preset table. Both standard and heavy presets
+// resolve here.
 func Preset(name string, seed uint64) (Spec, error) {
 	spec, ok := presets[name]
 	if !ok {
-		return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, Names())
+		spec, ok = heavyPresets[name]
+	}
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %v, heavy %v)", name, Names(), HeavyNames())
 	}
 	spec.Seed = seed
 	spec.PMClasses = append([]PMClass(nil), spec.PMClasses...)

@@ -125,12 +125,14 @@ func DefaultVMSpecs(n, dcs int) []model.VMSpec {
 	return specs
 }
 
-// Build assembles inventory, topology, workload and world for a spec: up
-// to four DCs (Brisbane, Bangaluru, Barcelona, Boston) with the requested
-// host fleet.
+// Build assembles inventory, topology, workload and world for a spec.
+// Specs with up to four DCs run on the paper topology (Brisbane,
+// Bangaluru, Barcelona, Boston) exactly as before; five or six DCs switch
+// to the production-scale GlobalTopology, whose first four sites are
+// bit-identical to the paper's.
 func Build(spec Spec) (*Scenario, error) {
-	if spec.DCs <= 0 || spec.DCs > 4 {
-		return nil, fmt.Errorf("scenario: DCs must be 1..4, got %d", spec.DCs)
+	if spec.DCs <= 0 || spec.DCs > 6 {
+		return nil, fmt.Errorf("scenario: DCs must be 1..6, got %d", spec.DCs)
 	}
 	if spec.VMs <= 0 {
 		return nil, fmt.Errorf("scenario: need at least one VM")
@@ -164,7 +166,16 @@ func Build(spec Spec) (*Scenario, error) {
 	}
 
 	top := network.PaperTopology()
-	if err := applyPricing(top, spec.Pricing); err != nil {
+	tzOffsets := trace.PaperTZOffsets()
+	if spec.DCs > 4 {
+		top = network.GlobalTopology()
+		tzOffsets = trace.GlobalTZOffsets()
+	}
+	// One client location per topology DC; every downstream size (load
+	// vectors, latency tables) follows the topology, so the 4-DC presets
+	// are byte-identical to the paper-topology era.
+	sources := top.NumDCs()
+	if err := applyPricing(top, spec.Pricing, tzOffsets); err != nil {
 		return nil, err
 	}
 
@@ -194,13 +205,13 @@ func Build(spec Spec) (*Scenario, error) {
 
 	var cfg trace.Config
 	if spec.Rotating {
-		cfg = trace.RotatingConfig(spec.Seed, vms[0], 4, trace.PaperTZOffsets())
+		cfg = trace.RotatingConfig(spec.Seed, vms[0], sources, tzOffsets)
 	} else {
 		scale := spec.VMScale
 		if scale == nil {
 			scale = make(map[model.VMID][]float64, len(vms))
 			for _, vm := range vms {
-				row := make([]float64, 4)
+				row := make([]float64, sources)
 				for i := range row {
 					row[i] = spec.LoadScale
 				}
@@ -209,9 +220,9 @@ func Build(spec Spec) (*Scenario, error) {
 		}
 		cfg = trace.Config{
 			Seed:      spec.Seed,
-			Sources:   4,
+			Sources:   sources,
 			VMs:       vms,
-			TZOffsetH: trace.PaperTZOffsets(),
+			TZOffsetH: tzOffsets,
 			Scale:     scale,
 			NoiseSD:   spec.NoiseSD,
 			HomeBias:  spec.HomeBias,
@@ -254,7 +265,7 @@ func Build(spec Spec) (*Scenario, error) {
 }
 
 // applyPricing installs the requested price schedule on the topology.
-func applyPricing(top *network.Topology, p Pricing) error {
+func applyPricing(top *network.Topology, p Pricing, tzOffsets []float64) error {
 	base := p.Base
 	if base == nil {
 		base = make([]float64, top.NumDCs())
@@ -275,7 +286,7 @@ func applyPricing(top *network.Topology, p Pricing) error {
 		if dip <= 0 {
 			dip = 0.95
 		}
-		top.SetPriceSchedule(network.SolarPricing(base, trace.PaperTZOffsets(), dip))
+		top.SetPriceSchedule(network.SolarPricing(base, tzOffsets, dip))
 	case "spike":
 		spikes := p.Spikes
 		top.SetPriceSchedule(func(dc model.DCID, tick int) float64 {

@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/network"
 )
 
 func TestSpecValidation(t *testing.T) {
 	bad := []Spec{
 		{DCs: 0, PMsPerDC: 1, VMs: 1},
-		{DCs: 5, PMsPerDC: 1, VMs: 1},
+		{DCs: 7, PMsPerDC: 1, VMs: 1},
 		{DCs: 2, PMsPerDC: 1, VMs: 0},
 		{DCs: 2, PMsPerDC: 0, VMs: 1},
 		{DCs: 2, PMsPerDC: 1, VMs: 2, Rotating: true},
@@ -48,6 +49,76 @@ func TestEveryPresetBuildsAndSteps(t *testing.T) {
 func TestPresetUnknown(t *testing.T) {
 	if _, err := Preset("no-such-scenario", 1); err == nil {
 		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestHeavyPresetsResolvableButNotEnumerated pins the heavy-preset
+// contract: xlarge resolves by name (so mdcsim/sweep can address it
+// explicitly) while Names() — the "run everything" list — excludes it.
+func TestHeavyPresetsResolvableButNotEnumerated(t *testing.T) {
+	if _, err := Preset(XLargeFleet, 1); err != nil {
+		t.Fatalf("heavy preset not resolvable: %v", err)
+	}
+	for _, name := range Names() {
+		if name == XLargeFleet {
+			t.Fatal("heavy preset leaked into Names()")
+		}
+	}
+	if hn := HeavyNames(); len(hn) != 1 || hn[0] != XLargeFleet {
+		t.Fatalf("HeavyNames = %v", hn)
+	}
+}
+
+// TestXLargeBuildsOnGlobalTopology proves the six-DC production fleet
+// assembles: 402 hosts across six DCs, 1000 VMs, six client locations,
+// and a steppable world.
+func TestXLargeBuildsOnGlobalTopology(t *testing.T) {
+	sc, err := Build(MustPreset(XLargeFleet, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Topology.NumDCs(); got != 6 {
+		t.Fatalf("topology has %d DCs, want 6", got)
+	}
+	if got := len(sc.Inventory.PMs()); got != 402 {
+		t.Fatalf("fleet has %d PMs, want 402", got)
+	}
+	if got := len(sc.VMs); got != 1000 {
+		t.Fatalf("fleet has %d VMs, want 1000", got)
+	}
+	if got := sc.Generator.Sources(); got != 6 {
+		t.Fatalf("generator has %d sources, want 6", got)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.World.Step()
+	if st.AvgSLA < 0 || st.AvgSLA > 1 {
+		t.Fatalf("AvgSLA = %v", st.AvgSLA)
+	}
+}
+
+// TestGlobalTopologyExtendsPaperTopology pins the prefix property the
+// 4-DC presets rely on: the first four DCs of the global topology are
+// bit-identical to the paper's Table II system.
+func TestGlobalTopologyExtendsPaperTopology(t *testing.T) {
+	paper := network.PaperTopology()
+	global := network.GlobalTopology()
+	if global.NumDCs() != 6 {
+		t.Fatalf("global topology has %d DCs", global.NumDCs())
+	}
+	for a := 0; a < paper.NumDCs(); a++ {
+		if paper.Name(model.DCID(a)) != global.Name(model.DCID(a)) {
+			t.Fatalf("DC %d name differs", a)
+		}
+		if paper.EnergyPrice(model.DCID(a)) != global.EnergyPrice(model.DCID(a)) {
+			t.Fatalf("DC %d price differs", a)
+		}
+		for b := 0; b < paper.NumDCs(); b++ {
+			if paper.LatencyDCDC(model.DCID(a), model.DCID(b)) != global.LatencyDCDC(model.DCID(a), model.DCID(b)) {
+				t.Fatalf("latency [%d][%d] differs", a, b)
+			}
+		}
 	}
 }
 

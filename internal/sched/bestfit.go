@@ -81,8 +81,29 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 	if len(p.Hosts) == 0 {
 		return fmt.Errorf("sched: no candidate hosts")
 	}
+	// Parallelism is decided up front so the read-only scoring phase —
+	// both the Reset-time per-VM tables and the per-candidate profits —
+	// fans out over the same per-worker scratches.
+	workers := 0
+	if b.Parallel && (len(p.Hosts) > 1 || len(p.VMs) > 1) {
+		workers = b.Workers
+		if workers <= 0 {
+			workers = par.DefaultWorkers()
+		}
+		if cap(b.scratches) < workers {
+			b.scratches = make([]Scratch, workers)
+		}
+		b.scratches = b.scratches[:workers]
+		if b.evalFn == nil {
+			// One closure for the lifetime of the scheduler: the current VM
+			// travels through b.curVM so the hot loop creates nothing.
+			b.evalFn = func(worker, j int) {
+				b.scores[j] = b.round.ProfitScratch(b.curVM, j, &b.scratches[worker])
+			}
+		}
+	}
 	r := &b.round
-	if err := r.Reset(p, b.Cost, b.Est); err != nil {
+	if err := r.ResetParallel(p, b.Cost, b.Est, workers, b.scratches); err != nil {
 		return err
 	}
 	// order_by_demand(vms, desc): dominant share of the requirement against
@@ -100,26 +121,8 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 
 	nh := len(p.Hosts)
 	b.scores = grown(b.scores, nh)
-	workers := 0
-	if b.Parallel && nh > 1 {
-		workers = b.Workers
-		if workers <= 0 {
-			workers = par.DefaultWorkers()
-		}
-		if workers > nh {
-			workers = nh
-		}
-		if cap(b.scratches) < workers {
-			b.scratches = make([]Scratch, workers)
-		}
-		b.scratches = b.scratches[:workers]
-		if b.evalFn == nil {
-			// One closure for the lifetime of the scheduler: the current VM
-			// travels through b.curVM so the hot loop creates nothing.
-			b.evalFn = func(worker, j int) {
-				b.scores[j] = b.round.ProfitScratch(b.curVM, j, &b.scratches[worker])
-			}
-		}
+	if workers > nh {
+		workers = nh
 	}
 	for _, i := range b.order {
 		if workers > 1 {

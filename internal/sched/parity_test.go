@@ -325,9 +325,6 @@ func parityCost(t *testing.T, name string, seed uint64) sched.CostModel {
 // reference profit bit-for-bit for every (VM, host) pair on every preset,
 // on fresh state and again after assignments.
 func TestProfitParityAllPresets(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
-	}
 	bundle, err := experiments.TrainedBundle(paritySeed)
 	if err != nil {
 		t.Fatal(err)
@@ -378,9 +375,6 @@ func TestProfitParityAllPresets(t *testing.T) {
 // reused scheduler instances keep emitting the same answer, and that
 // parallel candidate evaluation matches serial.
 func TestPlacementParityAllPresets(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
-	}
 	bundle, err := experiments.TrainedBundle(paritySeed)
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/network"
+	"repro/internal/par"
 	"repro/internal/power"
 )
 
@@ -155,10 +156,53 @@ type Round struct {
 	migPen    []float64 // [i*nDC+dc] migration penalty EUR
 
 	idx       map[model.PMID]int
-	curve     []float64 // power fast path (nil: interface dispatch)
+	maxCap    model.Resources // largest host capacity, caps requirements
+	curve     []float64       // power fast path (nil: interface dispatch)
 	needWatts bool
 	gen       uint64 // Reset counter, invalidates scratch-level memos
 	scratch   Scratch
+}
+
+// fillVMTables computes VM i's row of every per-VM table: the capped
+// requirement, the full-grant CPU usage, and the per-candidate-DC mean
+// latency, full-grant SLA estimate and migration penalty. It reads only
+// immutable round inputs plus the given scratch, so distinct VMs may fill
+// concurrently with distinct scratches.
+func (r *Round) fillVMTables(i int, s *Scratch) {
+	vm := &r.vms[i]
+	// A VM's requirement is capped at the largest host: constraint (2) of
+	// Figure 3 makes asking for more than a whole machine meaningless, and
+	// the cap defuses estimator extrapolation on unseen load levels.
+	req := r.est.Required(vm, s).Max(model.Resources{})
+	if len(r.hID) > 0 {
+		req = req.Min(r.maxCap)
+	}
+	r.req[i] = req
+	r.vmCPUFull[i] = r.est.VMCPUUsage(vm, req.CPUPct, s)
+	base := i * r.nDC
+	for _, dc := range r.dcs {
+		lat := r.cost.Top.MeanLatencyFrom(model.DCID(dc), vm.Load)
+		r.latVMDC[base+dc] = lat
+		var sla float64
+		switch {
+		case r.cost.LatencyOnly:
+			sla = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + lat)
+		default:
+			if v, ok := r.est.SLA(vm, req.CPUPct, 0, lat, s); ok {
+				sla = v
+			} else {
+				sla = HeuristicSLA(vm, req, req, lat)
+			}
+		}
+		r.slaFull[base+dc] = sla
+		pen := 0.0
+		if r.cost.MigrationAware && vm.Current != model.NoPM {
+			down := r.cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, model.DCID(dc))
+			// Explicit penalty fee plus the revenue lost while blacked out.
+			pen = 2 * vm.Spec.PriceEURh * down / 3600
+		}
+		r.migPen[base+dc] = pen
+	}
 }
 
 // NewRound builds a Round and primes it for the problem; Reset reuses it.
@@ -174,6 +218,18 @@ func NewRound(p *Problem, cost CostModel, est Estimator) (*Round, error) {
 // internal storage — the steady-state path allocates nothing. The round
 // aliases p.VMs until the next Reset.
 func (r *Round) Reset(p *Problem, cost CostModel, est Estimator) error {
+	return r.ResetParallel(p, cost, est, 1, nil)
+}
+
+// ResetParallel is Reset with the per-VM table fill (requirements,
+// full-grant CPU, latencies, SLA estimates, migration penalties — the
+// read-only scoring precomputation) fanned out over up to workers
+// goroutines, worker w using scratches[w]. Rows are independent and every
+// estimator is required to be a pure function of its arguments, so the
+// tables are bit-identical to the serial fill at any worker count.
+// workers <= 1 (or a short scratch slice) runs serially on the round's
+// own scratch.
+func (r *Round) ResetParallel(p *Problem, cost CostModel, est Estimator, workers int, scratches []Scratch) error {
 	if err := cost.Validate(); err != nil {
 		return err
 	}
@@ -233,55 +289,31 @@ func (r *Round) Reset(p *Problem, cost CostModel, est Estimator) error {
 		}
 	}
 
-	// A VM's requirement is capped at the largest host: constraint (2) of
-	// Figure 3 makes asking for more than a whole machine meaningless, and
-	// the cap defuses estimator extrapolation on unseen load levels.
-	r.req = grown(r.req, nV)
-	r.vmCPUFull = grown(r.vmCPUFull, nV)
-	r.prevAvail = grown(r.prevAvail, nV)
-	for i := range p.VMs {
-		req := est.Required(&p.VMs[i], &r.scratch).Max(model.Resources{})
-		if nH > 0 {
-			req = req.Min(maxCap)
-		}
-		r.req[i] = req
-		r.vmCPUFull[i] = est.VMCPUUsage(&p.VMs[i], req.CPUPct, &r.scratch)
-	}
+	r.maxCap = maxCap
 
 	// Per-DC energy prices at this round's tick.
 	r.priceDC = cost.Top.EnergyPricesAt(p.Tick, r.priceDC)
 
-	// Per-(VM, DC) tables: mean latency, full-grant SLA, migration penalty.
+	// Per-VM tables: requirement, full-grant CPU usage, and the per-DC
+	// latency / full-grant SLA / migration-penalty columns. Rows are
+	// independent, so the fill fans out when the caller provides worker
+	// scratches; each worker writes only its own rows.
+	r.req = grown(r.req, nV)
+	r.vmCPUFull = grown(r.vmCPUFull, nV)
+	r.prevAvail = grown(r.prevAvail, nV)
 	r.latVMDC = grown(r.latVMDC, nV*r.nDC)
 	r.slaFull = grown(r.slaFull, nV*r.nDC)
 	r.migPen = grown(r.migPen, nV*r.nDC)
-	for i := range p.VMs {
-		vm := &p.VMs[i]
-		req := r.req[i]
-		base := i * r.nDC
-		for _, dc := range r.dcs {
-			lat := cost.Top.MeanLatencyFrom(model.DCID(dc), vm.Load)
-			r.latVMDC[base+dc] = lat
-			var sla float64
-			switch {
-			case cost.LatencyOnly:
-				sla = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + lat)
-			default:
-				if v, ok := est.SLA(vm, req.CPUPct, 0, lat, &r.scratch); ok {
-					sla = v
-				} else {
-					sla = HeuristicSLA(vm, req, req, lat)
-				}
-			}
-			r.slaFull[base+dc] = sla
-			pen := 0.0
-			if cost.MigrationAware && vm.Current != model.NoPM {
-				down := cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, model.DCID(dc))
-				// Explicit penalty fee plus the revenue lost while
-				// blacked out.
-				pen = 2 * vm.Spec.PriceEURh * down / 3600
-			}
-			r.migPen[base+dc] = pen
+	if workers > len(scratches) {
+		workers = len(scratches)
+	}
+	if workers > 1 && nV > 1 {
+		par.ForEachWorker(nV, workers, func(w, i int) {
+			r.fillVMTables(i, &scratches[w])
+		})
+	} else {
+		for i := 0; i < nV; i++ {
+			r.fillVMTables(i, &r.scratch)
 		}
 	}
 

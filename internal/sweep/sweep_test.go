@@ -197,9 +197,6 @@ func TestPolicyRegistry(t *testing.T) {
 // TestSweepMLPolicies drives the bundle-sharing path (train once per
 // seed, share across cells) over ML and hierarchical policies.
 func TestSweepMLPolicies(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
-	}
 	m := Matrix{
 		Scenarios: []string{scenario.IntraDC, scenario.Hierarchy},
 		Policies:  []string{"bf-ml", "hier-ml", "firstfit"},
@@ -224,9 +221,6 @@ func TestSweepMLPolicies(t *testing.T) {
 // TestRunSpecAutoTrainsBundle covers the single-cell convenience path:
 // an ML policy with a nil bundle pulls from the per-seed cache.
 func TestRunSpecAutoTrainsBundle(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
-	}
 	pol, err := PolicyByName("bf-ml")
 	if err != nil {
 		t.Fatal(err)

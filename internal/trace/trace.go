@@ -347,3 +347,8 @@ func RotatingConfig(seed uint64, vm model.VMSpec, sources int, tzOffsets []float
 // of the paper's four locations: Brisbane +10, Bangaluru +5.5, Barcelona +1,
 // Boston -5.
 func PaperTZOffsets() []float64 { return []float64{10, 5.5, 1, -5} }
+
+// GlobalTZOffsets extends PaperTZOffsets with the two extra sites of the
+// production-scale topology: Frankfurt +1 and Singapore +8. The first four
+// entries match PaperTZOffsets exactly.
+func GlobalTZOffsets() []float64 { return []float64{10, 5.5, 1, -5, 1, 8} }

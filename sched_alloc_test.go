@@ -15,9 +15,6 @@ import (
 // allocates nothing — the only allocation Schedule itself performs is the
 // returned placement map.
 func TestScheduleSteadyStateAllocs(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains the predictor bundle; skipped in -short (race CI)")
-	}
 	bundle, err := experiments.TrainedBundle(benchSeed)
 	if err != nil {
 		t.Fatal(err)
