@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/lifecycle"
 	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/network"
@@ -369,6 +370,70 @@ func scenarioProblem(b *testing.B, name string) (*sched.Problem, sched.CostModel
 		b.Fatalf("%s: empty problem", name)
 	}
 	return p, sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+}
+
+// BenchmarkChurn measures the dynamic-workload hot paths on a fleet that
+// has lived through an arrival storm: Step is the churn-enabled engine
+// tick (slot gaps, compacted fill list), Round is one scheduling decision
+// over the churned VM set through the allocation-free ScheduleInto. Both
+// are steady-state (churn events land between ticks) and therefore
+// zero-alloc — the properties benchgate pins via BENCH_sched.json.
+func BenchmarkChurn(b *testing.B) {
+	bundle, err := experiments.TrainedBundle(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := scenario.Build(scenario.MustPreset(scenario.ChurnStorm, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		b.Fatal(err)
+	}
+	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	mgr, err := core.NewManager(core.ManagerConfig{
+		World:      sc.World,
+		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
+		RoundTicks: 10,
+		Lifecycle:  lifecycle.NewRunner(sc.Script),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Live through the first storm so the population carries churn scars:
+	// admitted arrivals, retired slots, a free-list in use.
+	if err := mgr.Run(130, nil); err != nil {
+		b.Fatal(err)
+	}
+	eng := sc.World.Engine
+	b.Run("Step", func(b *testing.B) {
+		b.ReportMetric(float64(eng.NumActiveVMs()), "liveVMs")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Step()
+		}
+	})
+	b.Run("Round", func(b *testing.B) {
+		problem := mgr.BuildProblem()
+		bf := sched.NewBestFit(cost, sched.NewML(bundle))
+		placement := make(model.Placement, len(problem.VMs))
+		for i := 0; i < 2; i++ { // warm the reusable round storage
+			clear(placement)
+			if err := bf.ScheduleInto(problem, placement); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(problem.VMs)), "vms")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(placement)
+			if err := bf.ScheduleInto(problem, placement); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkWorkloadGeneration measures trace synthesis for a full fleet

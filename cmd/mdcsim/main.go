@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/lifecycle"
 	"repro/internal/power"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -45,6 +46,7 @@ func main() {
 	listScenarios := flag.Bool("scenarios", false, "list scenario presets and exit")
 	scenarioName := flag.String("scenario", "", "run a scenario preset under a managed Best-Fit instead of an experiment")
 	ticks := flag.Int("ticks", 24*60, "managed run length in ticks (with -scenario)")
+	admitAll := flag.Bool("admit-all", false, "disable the admission controller on churn scenarios (with -scenario)")
 	flag.Parse()
 
 	switch {
@@ -62,7 +64,7 @@ func main() {
 		}
 		return
 	case *scenarioName != "":
-		if err := runScenario(*scenarioName, *seed, *ticks); err != nil {
+		if err := runScenario(*scenarioName, *seed, *ticks, *admitAll); err != nil {
 			fmt.Fprintf(os.Stderr, "mdcsim: %s: %v\n", *scenarioName, err)
 			os.Exit(1)
 		}
@@ -118,9 +120,17 @@ func runSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	scenarioList := splitList(*scenarios)
+	policyList := splitList(*policiesF)
+	// Validate every name up front, reporting all unknowns at once with
+	// the full known-name lists — not one bad name at a time, and never
+	// after cells have already burned CPU.
+	if err := validateNames(scenarioList, policyList); err != nil {
+		return err
+	}
 	m := sweep.Matrix{
-		Scenarios: splitList(*scenarios),
-		Policies:  splitList(*policiesF),
+		Scenarios: scenarioList,
+		Policies:  policyList,
 		Seeds:     seeds,
 		Ticks:     *ticks,
 		Workers:   *workers,
@@ -145,6 +155,42 @@ func runSweep(args []string) error {
 		fmt.Printf("wrote %s and %s\n", jsonPath, csvPath)
 	}
 	return nil
+}
+
+// validateNames checks every -scenarios and -policies entry against the
+// registries and reports all unknown names in one error, with the full
+// known-name lists (mirroring the scenario.Preset / sweep.PolicyByName
+// errors, but before any cell runs).
+func validateNames(scenarios, policies []string) error {
+	var unknownS, unknownP []string
+	for _, name := range scenarios {
+		if name == "all" && len(scenarios) == 1 {
+			continue // sweep.Run expands "all" only as the sole entry
+		}
+		if _, err := scenario.Preset(name, 0); err != nil {
+			unknownS = append(unknownS, name)
+		}
+	}
+	for _, name := range policies {
+		if _, err := sweep.PolicyByName(name); err != nil {
+			unknownP = append(unknownP, name)
+		}
+	}
+	if len(unknownS) == 0 && len(unknownP) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	if len(unknownS) > 0 {
+		fmt.Fprintf(&b, "unknown scenarios %v (have %v, heavy %v)",
+			unknownS, scenario.Names(), scenario.HeavyNames())
+	}
+	if len(unknownP) > 0 {
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "unknown policies %v (have %v)", unknownP, sweep.PolicyNames())
+	}
+	return fmt.Errorf("%s", b.String())
 }
 
 // splitList parses a comma-separated flag into trimmed non-empty items.
@@ -172,8 +218,10 @@ func parseSeeds(s string) ([]uint64, error) {
 }
 
 // runScenario drives one preset under the overbooked Best-Fit manager and
-// prints an hourly summary plus the closing ledger.
-func runScenario(name string, seed uint64, ticks int) error {
+// prints an hourly summary plus the closing ledger. Churn presets run
+// with the lifecycle event queue and the default admission controller
+// (-admit-all disables the gate) and report the churn outcome.
+func runScenario(name string, seed uint64, ticks int, admitAll bool) error {
 	if ticks <= 0 {
 		return fmt.Errorf("-ticks must be positive, got %d", ticks)
 	}
@@ -186,11 +234,18 @@ func runScenario(name string, seed uint64, ticks int) error {
 		return err
 	}
 	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
-	mgr, err := core.NewManager(core.ManagerConfig{
+	mgrCfg := core.ManagerConfig{
 		World:      sc.World,
 		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
 		RoundTicks: 10,
-	})
+		Admission:  core.AdmissionPolicy{Disabled: admitAll},
+	}
+	var runner *lifecycle.Runner
+	if sc.Script != nil {
+		runner = lifecycle.NewRunner(sc.Script)
+		mgrCfg.Lifecycle = runner
+	}
+	mgr, err := core.NewManager(mgrCfg)
 	if err != nil {
 		return err
 	}
@@ -199,15 +254,19 @@ func runScenario(name string, seed uint64, ticks int) error {
 	}
 	fmt.Printf("scenario %q: %d DCs, %d PMs, %d VMs, %d ticks\n",
 		name, sc.Inventory.NumDCs(), sc.Inventory.NumPMs(), len(sc.VMs), ticks)
-	fmt.Println("tick  SLA    min    watts    PMs  migs  profit€")
+	if runner != nil {
+		fmt.Printf("churn: %d scripted arrivals, admission %s\n",
+			len(sc.Script.Arrivals), map[bool]string{true: "disabled", false: "capacity gate"}[admitAll])
+	}
+	fmt.Println("tick  SLA    min    watts    PMs  VMs  migs  profit€")
 	var sumSLA, sumW float64
 	err = mgr.Run(ticks, func(st sim.TickStats) {
 		sumSLA += st.AvgSLA
 		sumW += st.FacilityWatts
 		if st.Tick%60 == 0 {
-			fmt.Printf("%4d  %.3f  %.3f  %7.1f  %3d  %4d  %7.3f\n",
+			fmt.Printf("%4d  %.3f  %.3f  %7.1f  %3d  %3d  %4d  %7.3f\n",
 				st.Tick, st.AvgSLA, st.MinSLA, st.FacilityWatts, st.ActivePMs,
-				sc.World.TotalMigrations(), st.ProfitEUR)
+				sc.World.NumActiveVMs(), sc.World.TotalMigrations(), st.ProfitEUR)
 		}
 	})
 	if err != nil {
@@ -217,5 +276,11 @@ func runScenario(name string, seed uint64, ticks int) error {
 	fmt.Printf("\nsummary: avg SLA %.4f | avg %.1f W | revenue %.3f€ energy %.3f€ penalties %.3f€ profit %.3f€ | %d migrations\n",
 		sumSLA/float64(ticks), sumW/float64(ticks),
 		l.Revenue(), l.EnergyCost(), l.Penalties(), l.Profit(), sc.World.TotalMigrations())
+	if runner != nil {
+		st := runner.Stats()
+		fmt.Printf("churn: offered %d admitted %d rejected %d deferred %d departed %d | admit rate %.2f | mean time-to-place %.1f ticks\n",
+			st.Offered, st.Admitted, st.Rejected, st.Deferrals, st.Departed,
+			st.AdmissionRate(), st.MeanPlacementTicks())
+	}
 	return nil
 }

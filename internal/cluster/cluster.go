@@ -122,11 +122,16 @@ func (inv *Inventory) DCOf(pm model.PMID) model.DCID {
 
 // State is the mutable placement state of the fleet. It tracks which VMs
 // sit on which PMs and offers the occupancy arithmetic every scheduler
-// needs. State is not safe for concurrent mutation.
+// needs. Besides the immutable Inventory population, a State accepts
+// dynamically admitted VMs (AddVM/RemoveVM) — the workload-lifecycle
+// subsystem churns the VM set while the PM fleet stays fixed. State is
+// not safe for concurrent mutation.
 type State struct {
 	inv       *Inventory
 	placement model.Placement
 	guests    map[model.PMID][]model.VMID
+	// extra holds dynamically admitted VMs (never part of the Inventory).
+	extra map[model.VMID]model.VMSpec
 }
 
 // NewState builds a state with every VM unplaced.
@@ -170,12 +175,60 @@ func (s *State) GuestsOf(pm model.PMID) []model.VMID {
 	return out
 }
 
+// AddVM registers a dynamically admitted VM (one that is not part of the
+// immutable Inventory) so placement operations accept it. The VM starts
+// unplaced. IDs must be unique across the inventory and every VM ever
+// added but not yet removed.
+func (s *State) AddVM(spec model.VMSpec) error {
+	if _, ok := s.inv.vmByID[spec.ID]; ok {
+		return fmt.Errorf("cluster: VM %v already in inventory", spec.ID)
+	}
+	if _, ok := s.extra[spec.ID]; ok {
+		return fmt.Errorf("cluster: VM %v already admitted", spec.ID)
+	}
+	if s.extra == nil {
+		s.extra = make(map[model.VMID]model.VMSpec)
+	}
+	s.extra[spec.ID] = spec
+	s.placement[spec.ID] = model.NoPM
+	return nil
+}
+
+// RemoveVM evicts and forgets a dynamically added VM. Inventory VMs are
+// permanent and cannot be removed.
+func (s *State) RemoveVM(id model.VMID) error {
+	if _, ok := s.extra[id]; !ok {
+		return fmt.Errorf("cluster: VM %v is not a dynamic VM", id)
+	}
+	if pm := s.placement[id]; pm != model.NoPM {
+		s.guests[pm] = removeVM(s.guests[pm], id)
+	}
+	delete(s.placement, id)
+	delete(s.extra, id)
+	return nil
+}
+
+// DynamicVM returns the spec of a dynamically added VM.
+func (s *State) DynamicVM(id model.VMID) (model.VMSpec, bool) {
+	spec, ok := s.extra[id]
+	return spec, ok
+}
+
+// knownVM reports whether a VM is in the inventory or dynamically added.
+func (s *State) knownVM(vm model.VMID) bool {
+	if _, ok := s.inv.vmByID[vm]; ok {
+		return true
+	}
+	_, ok := s.extra[vm]
+	return ok
+}
+
 // Place moves a VM onto a PM (or NoPM to evict it). It returns an error
 // for unknown VMs or hosts; capacity is not enforced here because
 // oversubscription is a legal (if painful) state the occupation function
 // resolves.
 func (s *State) Place(vm model.VMID, pm model.PMID) error {
-	if _, ok := s.inv.vmByID[vm]; !ok {
+	if !s.knownVM(vm) {
 		return fmt.Errorf("cluster: unknown VM %v", vm)
 	}
 	if pm != model.NoPM {

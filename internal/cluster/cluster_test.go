@@ -264,3 +264,57 @@ func TestGuestsOfSorted(t *testing.T) {
 		t.Fatalf("GuestsOf not sorted: %v", got)
 	}
 }
+
+// TestDynamicVMs covers the workload-lifecycle extension of State:
+// dynamically added VMs place like inventory VMs and vanish without
+// trace on removal; inventory VMs are permanent.
+func TestDynamicVMs(t *testing.T) {
+	inv := testInventory(t)
+	s := NewState(inv)
+	dyn := model.VMSpec{ID: 900, Name: "dyn"}
+	if err := s.AddVM(dyn); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVM(dyn); err == nil {
+		t.Fatal("duplicate dynamic VM accepted")
+	}
+	if err := s.AddVM(inv.VMs()[0]); err == nil {
+		t.Fatal("inventory VM re-added dynamically")
+	}
+	if got := s.HostOf(900); got != model.NoPM {
+		t.Fatalf("dynamic VM born placed on %v", got)
+	}
+	pm := inv.PMs()[0].ID
+	if err := s.Place(900, pm); err != nil {
+		t.Fatal(err)
+	}
+	if spec, ok := s.DynamicVM(900); !ok || spec.Name != "dyn" {
+		t.Fatalf("DynamicVM lookup failed: %+v %v", spec, ok)
+	}
+	found := false
+	for _, g := range s.GuestsOf(pm) {
+		if g == 900 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dynamic VM missing from guest list")
+	}
+	if err := s.RemoveVM(900); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range s.GuestsOf(pm) {
+		if g == 900 {
+			t.Fatal("removed VM still a guest")
+		}
+	}
+	if _, ok := s.Placement()[900]; ok {
+		t.Fatal("removed VM still in the placement map")
+	}
+	if err := s.Place(900, pm); err == nil {
+		t.Fatal("removed VM still placeable")
+	}
+	if err := s.RemoveVM(inv.VMs()[0].ID); err == nil {
+		t.Fatal("inventory VM removed")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lifecycle"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+)
+
+// churnManager wires a churn preset under a managed Best-Fit with the
+// given admission policy, returning the scenario, runner and manager.
+func churnManager(t *testing.T, preset string, seed uint64, adm AdmissionPolicy) (*scenario.Scenario, *lifecycle.Runner, *Manager) {
+	t.Helper()
+	sc, err := scenario.Build(scenario.MustPreset(preset, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Script == nil {
+		t.Fatalf("preset %q generated no churn script", preset)
+	}
+	runner := lifecycle.NewRunner(sc.Script)
+	mgr, err := NewManager(ManagerConfig{
+		World:      sc.World,
+		Scheduler:  sched.NewBestFit(costFor(sc), sched.NewOverbooked()),
+		RoundTicks: 10,
+		Lifecycle:  runner,
+		Admission:  adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		t.Fatal(err)
+	}
+	return sc, runner, mgr
+}
+
+// TestManagedChurnRun drives a storm scenario end to end and checks the
+// lifecycle bookkeeping stays consistent with the engine's population.
+func TestManagedChurnRun(t *testing.T) {
+	sc, runner, mgr := churnManager(t, scenario.ChurnStorm, 11, AdmissionPolicy{})
+	staticN := len(sc.VMs)
+	if err := mgr.Run(300, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := runner.Stats()
+	if st.Offered == 0 || st.Admitted == 0 {
+		t.Fatalf("no churn happened: %+v", st)
+	}
+	if st.Offered != st.Admitted+st.Rejected+runner.PendingDeferred() {
+		t.Fatalf("offer accounting leaks: %+v with %d deferred", st, runner.PendingDeferred())
+	}
+	wantLive := staticN + st.Admitted - st.Departed
+	if got := sc.World.NumActiveVMs(); got != wantLive {
+		t.Fatalf("live VMs %d, want static %d + admitted %d - departed %d = %d",
+			got, staticN, st.Admitted, st.Departed, wantLive)
+	}
+	if st.Placed == 0 {
+		t.Fatal("no admitted VM ever reached a host")
+	}
+	// Departed VMs must be fully gone: placement state carries no trace.
+	if n := len(sc.World.State().Placement()); n != wantLive {
+		t.Fatalf("placement holds %d VMs, want %d", n, wantLive)
+	}
+}
+
+// TestManagedChurnDeterminism runs the identical churn setup twice and
+// demands bit-identical money and churn outcomes — the seeded event queue
+// makes dynamic workloads replayable.
+func TestManagedChurnDeterminism(t *testing.T) {
+	run := func() (interface{}, lifecycle.Stats) {
+		sc, runner, mgr := churnManager(t, scenario.ChurnPoisson, 23, AdmissionPolicy{})
+		if err := mgr.Run(240, nil); err != nil {
+			t.Fatal(err)
+		}
+		return sc.World.Ledger(), runner.Stats()
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if l1 != l2 {
+		t.Fatalf("ledgers diverged across identical runs:\n%+v\n%+v", l1, l2)
+	}
+	if s1 != s2 {
+		t.Fatalf("churn stats diverged across identical runs:\n%+v\n%+v", s1, s2)
+	}
+}
+
+// TestAdmissionCapacityGate pins the defer-then-reject arm: a ceiling no
+// arrival can fit under defers every offer until the deadline passes,
+// then rejects it, and the fleet population never grows.
+func TestAdmissionCapacityGate(t *testing.T) {
+	sc, runner, mgr := churnManager(t, scenario.ChurnStorm, 11, AdmissionPolicy{
+		TargetUtil:    0.0001,
+		MaxDeferTicks: 5,
+	})
+	staticN := len(sc.VMs)
+	if err := mgr.Run(300, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := runner.Stats()
+	if st.Admitted != 0 {
+		t.Fatalf("impossible ceiling admitted %d VMs", st.Admitted)
+	}
+	if st.Rejected == 0 || st.Deferrals == 0 {
+		t.Fatalf("gate never deferred/rejected: %+v", st)
+	}
+	if got := sc.World.NumActiveVMs(); got != staticN {
+		t.Fatalf("population grew to %d under a closed gate", got)
+	}
+}
+
+// TestAdmissionDisabled admits everything regardless of pressure.
+func TestAdmissionDisabled(t *testing.T) {
+	_, runner, mgr := churnManager(t, scenario.ChurnStorm, 11, AdmissionPolicy{Disabled: true})
+	if err := mgr.Run(300, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := runner.Stats()
+	if st.Offered == 0 || st.Admitted != st.Offered {
+		t.Fatalf("admit-all gated something: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/lifecycle"
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -22,6 +23,12 @@ type ManagerConfig struct {
 	RoundTicks int
 	// Movable filters which VMs participate in rounds (nil = all).
 	Movable func(model.VMID) bool
+	// Lifecycle drives dynamic VM arrivals and departures through the
+	// admission controller (nil = the classic fixed population).
+	Lifecycle *lifecycle.Runner
+	// Admission gates Lifecycle arrivals. The zero value is the default
+	// capacity gate; set Disabled to admit everything.
+	Admission AdmissionPolicy
 }
 
 // Manager runs the MAPE loop: observe the world, build the scheduling
@@ -35,6 +42,22 @@ type Manager struct {
 	problem   sched.Problem
 	loadBufs  []model.LoadVector
 	placement model.Placement
+	// hostedFn is the reusable placement probe handed to the lifecycle
+	// runner after each round (built once, no per-round closure).
+	hostedFn func(model.VMID) bool
+	// pendingCommits ledgers the estimated requirements of admitted VMs
+	// that have not reached a host yet: their needs are invisible to the
+	// fleet's committed-requirement sum (an unplaced VM requires nothing
+	// in truth), but the admission gate must count them or a storm of
+	// simultaneous offers would all pass on the same fleet reading. The
+	// slice is append-ordered so the sum is bit-deterministic.
+	pendingCommits []pendingCommit
+}
+
+// pendingCommit is one admitted-but-unplaced VM's reserved requirement.
+type pendingCommit struct {
+	id  model.VMID
+	req model.Resources
 }
 
 // intoScheduler is the optional allocation-free scheduling contract: the
@@ -78,6 +101,9 @@ func (m *Manager) BuildProblem() *sched.Problem {
 	p.Hosts = p.Hosts[:0]
 	nVM, nPM := w.NumVMs(), w.NumPMs()
 	for i := 0; i < nVM; i++ {
+		if !w.ActiveVM(i) {
+			continue // retired slot under workload churn
+		}
 		spec := w.VMSpecAt(i)
 		if m.cfg.Movable != nil && !m.cfg.Movable(spec.ID) {
 			continue
@@ -142,12 +168,19 @@ func (m *Manager) BuildProblem() *sched.Problem {
 	return p
 }
 
-// Step advances the world one tick, running a scheduling round first
+// Step advances the world one tick: lifecycle events (departures, then
+// admission-gated arrivals) land first, then a scheduling round runs
 // whenever the tick index is a round boundary (and at least one tick of
-// observations exists).
+// observations exists), then the world ticks.
 func (m *Manager) Step() (sim.TickStats, error) {
 	w := m.cfg.World
-	if t := w.Tick(); t > 0 && t%m.cfg.RoundTicks == 0 {
+	t := w.Tick()
+	if m.cfg.Lifecycle != nil {
+		if err := m.stepLifecycle(t); err != nil {
+			return sim.TickStats{}, err
+		}
+	}
+	if t > 0 && t%m.cfg.RoundTicks == 0 {
 		problem := m.BuildProblem()
 		var placement model.Placement
 		if is, ok := m.cfg.Scheduler.(intoScheduler); ok {
@@ -171,8 +204,78 @@ func (m *Manager) Step() (sim.TickStats, error) {
 			return sim.TickStats{}, fmt.Errorf("core: applying schedule: %w", err)
 		}
 		m.rounds++
+		if m.cfg.Lifecycle != nil {
+			if m.hostedFn == nil {
+				m.hostedFn = func(id model.VMID) bool {
+					return m.cfg.World.State().HostOf(id) != model.NoPM
+				}
+			}
+			m.cfg.Lifecycle.ObservePlacements(t, m.hostedFn)
+		}
 	}
 	return w.Step(), nil
+}
+
+// stepLifecycle executes the tick's dynamic-workload events: VMs at end
+// of lifetime retire, then the admission controller rules on every due
+// offer (new arrivals plus the deferral queue). Both queues pop in
+// deterministic order, so churn is bit-identical across runs.
+func (m *Manager) stepLifecycle(tick int) error {
+	lc := m.cfg.Lifecycle
+	w := m.cfg.World
+	for _, d := range lc.DeparturesDue(tick) {
+		if err := w.RetireVM(d.Handle); err != nil {
+			return fmt.Errorf("core: retiring %v at tick %d: %w", d.ID, tick, err)
+		}
+	}
+	offers := lc.Due(tick)
+	if len(offers) == 0 {
+		return nil
+	}
+	pending := m.prunePendingCommits()
+	var fleet fleetCommitment
+	if !m.cfg.Admission.Disabled {
+		fleet = fleetCommitmentOf(w) // once per tick: truth is frozen between Steps
+	}
+	for _, o := range offers {
+		dec, req := m.cfg.Admission.decide(w, tick, o, fleet, pending)
+		var h sim.VMHandle
+		if dec == lifecycle.Admit {
+			var err error
+			if h, err = w.AdmitVM(o.Arrival.Spec); err != nil {
+				// Slot pressure the padded bound did not absorb: treat it
+				// as a capacity shortage (defer, reject past deadline).
+				dec = m.cfg.Admission.deferOrReject(tick, o)
+			} else {
+				m.pendingCommits = append(m.pendingCommits, pendingCommit{id: o.Arrival.Spec.ID, req: req})
+				pending = pending.Add(req)
+			}
+		}
+		lc.Resolve(tick, o, dec, h)
+	}
+	return nil
+}
+
+// prunePendingCommits drops ledger entries whose VM has reached a host
+// (its requirement now shows up in the fleet's committed sum) or has
+// already departed, and returns the remaining reserved total.
+func (m *Manager) prunePendingCommits() model.Resources {
+	w := m.cfg.World
+	st := w.State()
+	kept := m.pendingCommits[:0]
+	var sum model.Resources
+	for _, pc := range m.pendingCommits {
+		if _, live := w.LookupVM(pc.id); !live {
+			continue
+		}
+		if st.HostOf(pc.id) != model.NoPM {
+			continue
+		}
+		kept = append(kept, pc)
+		sum = sum.Add(pc.req)
+	}
+	m.pendingCommits = kept
+	return sum
 }
 
 // Run advances n ticks, invoking cb after each.

@@ -15,6 +15,7 @@
 //	Figure7TableIII   — static vs dynamic multi-DC comparison
 //	Figure8           — SLA vs energy vs load trade-off surface
 //	SchedulerScaling  — Best-Fit vs exhaustive solver blow-up (§IV-C)
+//	Churn             — admission control under workload churn (beyond the paper)
 package experiments
 
 import (

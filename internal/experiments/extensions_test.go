@@ -87,3 +87,36 @@ func TestHierarchyShape(t *testing.T) {
 			res.Metrics["hierSLA:192"], res.Metrics["flatSLA:192"])
 	}
 }
+
+func TestChurnShape(t *testing.T) {
+	res, err := Churn(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Charts) == 0 {
+		t.Fatal("churn experiment rendered nothing")
+	}
+	// Every setup faces the identical scripted storm.
+	offered := res.Metrics["offered:BF-OB/admit-all"]
+	if offered == 0 {
+		t.Fatal("no VMs were offered")
+	}
+	for _, su := range []string{"BF-OB/capacity", "BF-OB/tight-cap", "BF+ML/capacity", "BF+ML/cap+SLA"} {
+		if res.Metrics["offered:"+su] != offered {
+			t.Errorf("%s saw %v offers, admit-all saw %v — the script is not shared",
+				su, res.Metrics["offered:"+su], offered)
+		}
+	}
+	// admit-all admits everything; the SLA gate must actually shed load
+	// and buy fleet SLA with the shed revenue.
+	if res.Metrics["admitRate:BF-OB/admit-all"] != 1 {
+		t.Errorf("admit-all rate %v, want 1", res.Metrics["admitRate:BF-OB/admit-all"])
+	}
+	if res.Metrics["rejected:BF+ML/cap+SLA"] == 0 {
+		t.Error("the SLA gate rejected nothing under the storm")
+	}
+	if res.Metrics["sla:BF+ML/cap+SLA"] <= res.Metrics["sla:BF-OB/admit-all"] {
+		t.Errorf("gated SLA %.4f not above admit-all %.4f",
+			res.Metrics["sla:BF+ML/cap+SLA"], res.Metrics["sla:BF-OB/admit-all"])
+	}
+}

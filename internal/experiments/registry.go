@@ -23,6 +23,7 @@ var registry = map[string]Runner{
 	"heuristics": Heuristics,
 	"online":     OnlineLearning,
 	"hierarchy":  Hierarchy,
+	"churn":      Churn,
 }
 
 // Names lists the registered experiments in stable order.

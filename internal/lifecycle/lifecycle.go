@@ -1,0 +1,268 @@
+// Package lifecycle is the dynamic-workload subsystem: it turns a
+// declarative arrival process into a deterministic script of VM arrivals
+// and departures, and provides the runtime event queue (Runner) that feeds
+// the script into a managed simulation — offers awaiting an admission
+// decision, a deferral queue, scheduled departures and churn statistics.
+//
+// The paper evaluates its scheduler on a frozen VM population; this
+// package supplies the missing axis — a fleet that churns while the
+// simulation runs — so placement policies and the admission controller in
+// internal/core can be measured under arrival storms, diurnal sign-up
+// ramps and batch-job waves (the submitter/event-queue shape of cluster
+// simulators like k8s-cluster-simulator).
+//
+// Determinism contract: a Script is a pure function of (seed, ProcessSpec)
+// — generated entirely at build time from named PCG streams, independent
+// of anything that happens during the run. The Runner's queues are plain
+// ordered slices popped in (tick, admission order); no map iteration, no
+// wall clock. Two runs of the same scenario are therefore bit-identical,
+// and sweep parallelism cannot reorder churn.
+package lifecycle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Process kinds.
+const (
+	// Poisson is a homogeneous Poisson arrival stream: independent VM
+	// sign-ups at a constant mean rate.
+	Poisson = "poisson"
+	// Diurnal modulates the Poisson rate with a day curve (peak at 15:00
+	// UTC), the sign-up ramp of a consumer-facing platform.
+	Diurnal = "diurnal"
+	// Waves submits bursts of WaveSize VMs every WaveEvery ticks — batch
+	// job waves with finite lifetimes, the arrival-storm stressor.
+	Waves = "waves"
+)
+
+// DefaultMaxDeferTicks is how long an arrival may sit in the admission
+// deferral queue before the controller gives up and rejects it — and the
+// padding SlotBound assumes when sizing engine slot capacity.
+const DefaultMaxDeferTicks = 30
+
+// ProcessSpec declaratively describes an arrival process. The zero value
+// of most knobs means "sensible default"; Generate validates the rest.
+type ProcessSpec struct {
+	// Kind selects the process: Poisson, Diurnal or Waves.
+	Kind string
+	// RatePerHour is the mean arrival rate (Poisson) or the diurnal peak
+	// rate (Diurnal). Ignored by Waves.
+	RatePerHour float64
+	// WaveEvery/WaveSize shape the Waves process: WaveSize VMs arrive
+	// together every WaveEvery ticks (first wave at WaveEvery).
+	WaveEvery int
+	WaveSize  int
+	// MeanLifetimeTicks is the exponential mean of a VM's lifetime,
+	// counted from admission; 0 means arrivals stay forever.
+	MeanLifetimeTicks float64
+	// MinLifetimeTicks floors every drawn lifetime.
+	MinLifetimeTicks int
+	// HorizonTicks bounds arrival generation (0 = one simulated day).
+	HorizonTicks int
+	// MaxArrivals caps the script length (0 = 4096).
+	MaxArrivals int
+	// LoadScale multiplies arriving VMs' request rates (0 = 1).
+	LoadScale float64
+	// PriceEURh prices arriving VMs (0 = the paper's 0.17 €/VMh).
+	PriceEURh float64
+}
+
+// Arrival is one scripted VM: its spec, service class, arrival tick and
+// lifetime. IDs are assigned sequentially above the static population so
+// they never collide — not even across slot reuse.
+type Arrival struct {
+	Spec  model.VMSpec
+	Class trace.ServiceClass
+	// ArriveTick is when the VM is first offered for admission.
+	ArriveTick int
+	// LifetimeTicks is the VM's service lifetime counted from admission
+	// (0 = never departs).
+	LifetimeTicks int
+	// Offered is the expected peak gateway load — what the admission
+	// controller sizes against before any observation of the VM exists.
+	Offered model.Load
+}
+
+// Script is a generated arrival schedule, sorted by (ArriveTick, ID).
+type Script struct {
+	Arrivals []Arrival
+	// LoadScale echoes the process's request-rate multiplier for the
+	// workload generator.
+	LoadScale float64
+}
+
+// Generate expands a process into its deterministic script. firstID is
+// the first free VM ID (the static population size); dcs is how many
+// datacenters arrivals may be homed in.
+func Generate(seed uint64, p ProcessSpec, firstID model.VMID, dcs int) (*Script, error) {
+	switch p.Kind {
+	case Poisson, Diurnal:
+		if p.RatePerHour <= 0 {
+			return nil, fmt.Errorf("lifecycle: %s process needs RatePerHour > 0", p.Kind)
+		}
+	case Waves:
+		if p.WaveEvery <= 0 || p.WaveSize <= 0 {
+			return nil, fmt.Errorf("lifecycle: waves process needs WaveEvery and WaveSize > 0")
+		}
+	default:
+		return nil, fmt.Errorf("lifecycle: unknown process kind %q (have %q, %q, %q)",
+			p.Kind, Poisson, Diurnal, Waves)
+	}
+	if dcs <= 0 {
+		return nil, fmt.Errorf("lifecycle: need at least one DC, got %d", dcs)
+	}
+	horizon := p.HorizonTicks
+	if horizon <= 0 {
+		horizon = model.TicksPerDay
+	}
+	maxN := p.MaxArrivals
+	if maxN <= 0 {
+		maxN = 4096
+	}
+	scale := p.LoadScale
+	if scale <= 0 {
+		scale = 1
+	}
+	price := p.PriceEURh
+	if price <= 0 {
+		price = 0.17
+	}
+
+	s := &Script{LoadScale: scale}
+	stream := rng.NewNamed(seed, "lifecycle/arrivals")
+	id := firstID
+	for tick := 0; tick < horizon && len(s.Arrivals) < maxN; tick++ {
+		var n int
+		switch p.Kind {
+		case Poisson:
+			n = poissonDraw(stream, p.RatePerHour/float64(model.TicksPerHour))
+		case Diurnal:
+			lambda := p.RatePerHour / float64(model.TicksPerHour) * diurnalEnvelope(tick)
+			n = poissonDraw(stream, lambda)
+		case Waves:
+			if tick > 0 && tick%p.WaveEvery == 0 {
+				n = p.WaveSize
+			}
+		}
+		for k := 0; k < n && len(s.Arrivals) < maxN; k++ {
+			class := trace.ClassByIndex(stream.IntN(len(trace.Classes())))
+			life := 0
+			if p.MeanLifetimeTicks > 0 {
+				life = p.MinLifetimeTicks + int(stream.Exp(p.MeanLifetimeTicks))
+				if life < 1 {
+					life = 1
+				}
+			}
+			s.Arrivals = append(s.Arrivals, Arrival{
+				Spec: model.VMSpec{
+					ID:          id,
+					Name:        fmt.Sprintf("churn%d", int(id)),
+					ImageSizeGB: 4,
+					BaseMemMB:   256,
+					MaxMemMB:    1024,
+					Terms:       model.DefaultSLATerms,
+					PriceEURh:   price,
+					HomeDC:      model.DCID(stream.IntN(dcs)),
+				},
+				Class:         class,
+				ArriveTick:    tick,
+				LifetimeTicks: life,
+				Offered: model.Load{
+					RPS:        class.BaseRPS * scale,
+					BytesInReq: class.BytesInReq,
+					BytesOutRq: class.BytesOutReq,
+					CPUTimeReq: class.CPUTimeReq,
+				},
+			})
+			id++
+		}
+	}
+	return s, nil
+}
+
+// VMSpecs returns the spec of every scripted arrival, in schedule order —
+// the roster the workload generator is built with so it can serve load
+// for any VM the moment it is admitted.
+func (s *Script) VMSpecs() []model.VMSpec {
+	out := make([]model.VMSpec, len(s.Arrivals))
+	for i := range s.Arrivals {
+		out[i] = s.Arrivals[i].Spec
+	}
+	return out
+}
+
+// SlotBound returns the engine slot capacity the script needs so that
+// admission can never run out of slots: the maximum concurrency of the
+// arrival intervals, each padded by padTicks of potential admission
+// deferral (a VM admitted late departs late, since lifetimes count from
+// admission). Arrivals with infinite lifetimes stay concurrent forever.
+func (s *Script) SlotBound(padTicks int) int {
+	if padTicks < 0 {
+		padTicks = 0
+	}
+	type ev struct {
+		t int
+		d int // +1 arrival, -1 departure
+	}
+	evs := make([]ev, 0, 2*len(s.Arrivals))
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		evs = append(evs, ev{a.ArriveTick, +1})
+		if a.LifetimeTicks > 0 {
+			evs = append(evs, ev{a.ArriveTick + padTicks + a.LifetimeTicks, -1})
+		}
+	}
+	// Arrivals before departures at equal ticks: a deliberate overcount,
+	// since a slot freed at tick t may not be reusable at t.
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].d > evs[b].d
+	})
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.d
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// diurnalEnvelope is the day curve modulating Diurnal arrivals: peak 1 at
+// 15:00 UTC, floor 0.1 at night — the same shape as the workload's
+// request-rate curve, so sign-ups ride the traffic wave.
+func diurnalEnvelope(tick int) float64 {
+	hour := math.Mod(float64(tick)/float64(model.TicksPerHour), 24)
+	phase := (hour - 15) / 24 * 2 * math.Pi
+	base := (math.Cos(phase) + 1) / 2
+	return 0.1 + 0.9*base
+}
+
+// poissonDraw samples a Poisson count with mean lambda (Knuth's method —
+// lambdas here are well below one arrival per tick).
+func poissonDraw(s *rng.Stream, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	limit := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= s.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package lifecycle
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Decision is the admission controller's verdict on one offered VM.
+type Decision int
+
+const (
+	// Admit brings the VM into the world now.
+	Admit Decision = iota
+	// Defer keeps the VM in the deferral queue for a later retry
+	// (capacity may free up as other VMs depart or load falls).
+	Defer
+	// Reject turns the VM away for good.
+	Reject
+)
+
+// Offer is one VM awaiting an admission decision.
+type Offer struct {
+	Arrival *Arrival
+	// Deferrals counts how many times this offer has been deferred.
+	Deferrals int
+}
+
+// Departure is one scheduled VM retirement, due now.
+type Departure struct {
+	ID     model.VMID
+	Handle sim.VMHandle
+}
+
+// Stats summarises a run's churn. All counters are cumulative.
+type Stats struct {
+	// Offered counts distinct VMs presented for admission.
+	Offered int
+	// Admitted/Rejected partition the resolved offers; Deferrals counts
+	// defer decisions (one VM may defer many times before resolving).
+	Admitted  int
+	Rejected  int
+	Deferrals int
+	// Departed counts VMs retired at end of lifetime.
+	Departed int
+	// Placed counts admitted VMs that reached a host; PlacementTicks sums
+	// their admission-to-first-host waits.
+	Placed         int
+	PlacementTicks int
+}
+
+// AdmissionRate is the fraction of offered VMs admitted (vacuously 1
+// while nothing has been offered).
+func (s Stats) AdmissionRate() float64 {
+	if s.Offered == 0 {
+		return 1
+	}
+	return float64(s.Admitted) / float64(s.Offered)
+}
+
+// MeanPlacementTicks is the mean admission-to-first-host wait of placed
+// VMs (0 while none placed).
+func (s Stats) MeanPlacementTicks() float64 {
+	if s.Placed == 0 {
+		return 0
+	}
+	return float64(s.PlacementTicks) / float64(s.Placed)
+}
+
+// Runner is the runtime event queue of one managed run: it walks the
+// script's arrivals, keeps the deferral queue, schedules departures at
+// admission time (lifetimes count from admission, which the script cannot
+// know), and tracks time-to-placement. All queues are ordered slices; a
+// Runner is single-goroutine, like the manager that owns it.
+type Runner struct {
+	script   *Script
+	next     int
+	deferred []*Offer
+	offers   []*Offer // reusable Due result
+	deps     []departure
+	depsDue  []Departure // reusable DeparturesDue result
+	seq      int
+	waiting  []placeWait
+	stats    Stats
+}
+
+type departure struct {
+	tick   int
+	seq    int // admission order, the tie-break at equal ticks
+	id     model.VMID
+	handle sim.VMHandle
+}
+
+type placeWait struct {
+	id        model.VMID
+	admitTick int
+}
+
+// NewRunner builds a runner over a script. The script is read-only and
+// may be shared; every Runner keeps its own cursors and queues.
+func NewRunner(script *Script) *Runner {
+	return &Runner{script: script}
+}
+
+// Script returns the script the runner walks.
+func (r *Runner) Script() *Script { return r.script }
+
+// Stats returns the churn counters so far.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// PendingDeferred returns how many VMs currently sit in the deferral
+// queue.
+func (r *Runner) PendingDeferred() int { return len(r.deferred) }
+
+// Due returns the offers awaiting an admission decision at tick:
+// previously deferred VMs first (oldest arrivals retry before fresh
+// ones), then new arrivals whose tick has come. Every returned offer must
+// be resolved via Resolve before the next Due call; the slice is reused.
+func (r *Runner) Due(tick int) []*Offer {
+	r.offers = r.offers[:0]
+	r.offers = append(r.offers, r.deferred...)
+	r.deferred = r.deferred[:0]
+	for r.next < len(r.script.Arrivals) && r.script.Arrivals[r.next].ArriveTick <= tick {
+		a := &r.script.Arrivals[r.next]
+		r.next++
+		r.stats.Offered++
+		r.offers = append(r.offers, &Offer{Arrival: a})
+	}
+	return r.offers
+}
+
+// Resolve records the admission decision for an offer returned by Due.
+// On Admit, h must be the engine handle of the admitted VM: the runner
+// schedules the departure (admission tick + lifetime) and starts the
+// time-to-placement clock.
+func (r *Runner) Resolve(tick int, o *Offer, d Decision, h sim.VMHandle) {
+	switch d {
+	case Admit:
+		r.stats.Admitted++
+		a := o.Arrival
+		if a.LifetimeTicks > 0 {
+			r.deps = append(r.deps, departure{
+				tick: tick + a.LifetimeTicks, seq: r.seq, id: a.Spec.ID, handle: h,
+			})
+			r.seq++
+		}
+		r.waiting = append(r.waiting, placeWait{id: a.Spec.ID, admitTick: tick})
+	case Defer:
+		o.Deferrals++
+		r.stats.Deferrals++
+		r.deferred = append(r.deferred, o)
+	case Reject:
+		r.stats.Rejected++
+	}
+}
+
+// DeparturesDue pops the departures scheduled at or before tick, in
+// deterministic (departure tick, admission order) order. The returned
+// slice is reused across calls. The caller retires each VM through the
+// engine; a VM that was never placed still departs (it was live, serving
+// nothing).
+func (r *Runner) DeparturesDue(tick int) []Departure {
+	// deps is append-ordered by admission; collect the due entries and
+	// order them by (departure tick, admission order) so retires happen
+	// in a stable, meaningful order.
+	var due []departure
+	kept := r.deps[:0]
+	for _, d := range r.deps {
+		if d.tick <= tick {
+			due = append(due, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	r.deps = kept
+	sort.Slice(due, func(a, b int) bool {
+		if due[a].tick != due[b].tick {
+			return due[a].tick < due[b].tick
+		}
+		return due[a].seq < due[b].seq
+	})
+	r.depsDue = r.depsDue[:0]
+	for _, d := range due {
+		r.depsDue = append(r.depsDue, Departure{ID: d.id, Handle: d.handle})
+		r.stats.Departed++
+		r.dropWaiting(d.id)
+	}
+	return r.depsDue
+}
+
+// dropWaiting forgets a placement wait (the VM departed unplaced).
+func (r *Runner) dropWaiting(id model.VMID) {
+	for i := range r.waiting {
+		if r.waiting[i].id == id {
+			r.waiting = append(r.waiting[:i], r.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+// ObservePlacements folds the outcome of a scheduling round into the
+// time-to-placement statistics: hosted reports whether a VM currently has
+// a host. Call it after a round's placement has been applied.
+func (r *Runner) ObservePlacements(tick int, hosted func(model.VMID) bool) {
+	kept := r.waiting[:0]
+	for _, w := range r.waiting {
+		if hosted(w.id) {
+			r.stats.Placed++
+			r.stats.PlacementTicks += tick - w.admitTick
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	r.waiting = kept
+}

@@ -99,6 +99,23 @@ func NewObserver(noise NoiseConfig, window int, stream *rng.Stream) *Observer {
 // Window returns the observation window length in ticks.
 func (o *Observer) Window() int { return o.window }
 
+// EnsureVM pre-creates a VM's observation ring so the first ObserveVM of
+// a freshly admitted VM performs no allocation — churn happens between
+// ticks, keeping the tick hot path allocation-free even right after an
+// admission.
+func (o *Observer) EnsureVM(vm model.VMID) {
+	if o.history[vm] == nil {
+		o.history[vm] = &ring[Sample]{buf: make([]Sample, 0, o.window)}
+	}
+}
+
+// ForgetVM drops a VM's observation window. Retired VMs would otherwise
+// accumulate history forever under workload churn; VM IDs are never
+// reused, so forgetting is safe.
+func (o *Observer) ForgetVM(vm model.VMID) {
+	delete(o.history, vm)
+}
+
 // ObserveVM distorts one VM's true state into a monitored sample and logs
 // it into the rolling window.
 func (o *Observer) ObserveVM(tick int, vm model.VMID, trueUsage model.Resources, load model.Load, rt, slaLvl, queueLen float64) Sample {

@@ -3,6 +3,7 @@ package predict
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/ml"
 	"repro/internal/sim"
@@ -29,7 +30,9 @@ type Online struct {
 	// Train configures the refits.
 	Train TrainConfig
 
-	retrains int
+	retrains        int
+	lastRetrainTick int
+	lastRetrainWall time.Duration
 }
 
 // NewOnline wraps a bundle with continuous retraining. The bundle is
@@ -47,16 +50,53 @@ func NewOnline(b *Bundle, cfg TrainConfig, maxRows, retrainEvery int) (*Online, 
 		retrainEvery = 60
 	}
 	return &Online{
-		Bundle:       clone,
-		Window:       NewHarvest(),
-		MaxRows:      maxRows,
-		RetrainEvery: retrainEvery,
-		Train:        cfg,
+		Bundle:          clone,
+		Window:          NewHarvest(),
+		MaxRows:         maxRows,
+		RetrainEvery:    retrainEvery,
+		Train:           cfg,
+		lastRetrainTick: -1,
 	}, nil
 }
 
 // Retrains returns how many refits have happened.
 func (o *Online) Retrains() int { return o.retrains }
+
+// DatasetRows is one dataset's current sliding-window occupancy.
+type DatasetRows struct {
+	Name string
+	Rows int
+}
+
+// OnlineStats is a point-in-time snapshot of the online learner's
+// freshness — what a churn run reports so operators can tell whether the
+// models have kept up with the fleet they are predicting for.
+type OnlineStats struct {
+	// Retrains counts completed refits.
+	Retrains int
+	// LastRetrainTick is the tick of the most recent refit (-1 if none).
+	LastRetrainTick int
+	// LastRetrainWall is the wall-clock duration of the most recent refit.
+	LastRetrainWall time.Duration
+	// WindowRows lists each dataset's rows currently in the sliding
+	// window, in the harvest's canonical dataset order.
+	WindowRows []DatasetRows
+}
+
+// Stats snapshots the learner's freshness counters.
+func (o *Online) Stats() OnlineStats {
+	names := [...]string{"VM CPU", "VM MEM", "VM IN", "VM OUT", "PM CPU", "VM RT", "VM SLA"}
+	s := OnlineStats{
+		Retrains:        o.retrains,
+		LastRetrainTick: o.lastRetrainTick,
+		LastRetrainWall: o.lastRetrainWall,
+		WindowRows:      make([]DatasetRows, 0, len(names)),
+	}
+	for i, d := range o.Window.datasets() {
+		s.WindowRows = append(s.WindowRows, DatasetRows{Name: names[i], Rows: d.Len()})
+	}
+	return s
+}
 
 // Observe folds the current monitored tick into the sliding window.
 func (o *Online) Observe(world *sim.World) {
@@ -77,10 +117,13 @@ func (o *Online) MaybeRetrain(tick int) (bool, error) {
 			return false, nil // not enough fresh evidence yet
 		}
 	}
+	start := time.Now()
 	fresh, err := Train(o.Window, o.Train)
 	if err != nil {
 		return false, fmt.Errorf("predict: online retrain at tick %d: %w", tick, err)
 	}
+	o.lastRetrainWall = time.Since(start)
+	o.lastRetrainTick = tick
 	// Swap models in place so existing estimators see the refit.
 	o.Bundle.VMCPU = fresh.VMCPU
 	o.Bundle.VMMem = fresh.VMMem

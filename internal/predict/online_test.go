@@ -114,3 +114,64 @@ func TestOnlineSkipsWhenDataThin(t *testing.T) {
 		t.Fatal("retrained off-period")
 	}
 }
+
+// TestOnlineStats pins the freshness snapshot: before any refit it
+// reports zero retrains (tick -1), after a refit the tick, a non-zero
+// wall time and every dataset's window occupancy.
+func TestOnlineStats(t *testing.T) {
+	base := trainedBundle(t)
+	o, err := NewOnline(base, DefaultTrainConfig(5), 500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Retrains != 0 || st.LastRetrainTick != -1 || st.LastRetrainWall != 0 {
+		t.Fatalf("fresh learner reports stale stats: %+v", st)
+	}
+	if len(st.WindowRows) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(st.WindowRows))
+	}
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "online-stats", Seed: 5,
+		DCs: 2, PMsPerDC: 2, VMs: 4, LoadScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Placement{}
+	for _, vm := range sc.VMs {
+		p[vm.ID] = 0
+	}
+	if err := sc.World.PlaceInitial(p); err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 110; tick++ {
+		sc.World.Step()
+		o.Observe(sc.World)
+		if _, err := o.MaybeRetrain(sc.World.Tick()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = o.Stats()
+	if st.Retrains != o.Retrains() || st.Retrains < 1 {
+		t.Fatalf("retrain count mismatch: %+v vs %d", st, o.Retrains())
+	}
+	if st.LastRetrainTick != 100 {
+		t.Fatalf("last retrain tick %d, want 100", st.LastRetrainTick)
+	}
+	if st.LastRetrainWall <= 0 {
+		t.Fatal("retrain wall time not recorded")
+	}
+	names := map[string]bool{}
+	for _, d := range st.WindowRows {
+		names[d.Name] = true
+		if d.Rows == 0 {
+			t.Fatalf("dataset %s reports an empty window after 110 observed ticks", d.Name)
+		}
+	}
+	for _, want := range []string{"VM CPU", "VM MEM", "VM IN", "VM OUT", "PM CPU", "VM RT", "VM SLA"} {
+		if !names[want] {
+			t.Fatalf("dataset %q missing from stats: %+v", want, st.WindowRows)
+		}
+	}
+}

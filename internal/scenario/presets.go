@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/lifecycle"
 	"repro/internal/model"
 )
 
@@ -52,6 +53,19 @@ const (
 	// from Names(), so "all"-preset sweeps and parity suites stay at
 	// interactive cost.
 	XLargeFleet = "xlarge"
+	// ChurnPoisson is the steady-churn scenario: a multi-DC fleet whose
+	// VM population turns over continuously — independent Poisson
+	// sign-ups with ~3-hour exponential lifetimes riding on a small
+	// static base. No paper experiment covers a changing VM set.
+	ChurnPoisson = "churn-poisson"
+	// ChurnDiurnal is the sign-up-ramp scenario: arrivals follow the day
+	// curve (peak at 15:00 UTC), so admission pressure and workload peak
+	// together.
+	ChurnDiurnal = "churn-diurnal"
+	// ChurnStorm is the arrival-storm scenario: waves of short-lived
+	// batch VMs slam the fleet every two hours, the stress test for the
+	// admission controller's deferral queue.
+	ChurnStorm = "churn-storm"
 )
 
 // presets maps names to spec literals. Seeds are zero: callers set them.
@@ -127,6 +141,45 @@ var presets = map[string]Spec{
 			},
 		},
 	},
+	ChurnPoisson: {
+		Name: ChurnPoisson,
+		DCs:  4, PMsPerDC: 2, VMs: 6,
+		LoadScale: 1.2, NoiseSD: 0.2, HomeBias: 0.6,
+		Churn: &lifecycle.ProcessSpec{
+			Kind:              lifecycle.Poisson,
+			RatePerHour:       8,
+			MeanLifetimeTicks: 180, // ~3 h exponential lifetimes
+			MinLifetimeTicks:  20,
+			LoadScale:         0.8,
+		},
+	},
+	ChurnDiurnal: {
+		Name: ChurnDiurnal,
+		DCs:  4, PMsPerDC: 2, VMs: 6,
+		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.6,
+		Churn: &lifecycle.ProcessSpec{
+			Kind:              lifecycle.Diurnal,
+			RatePerHour:       12, // peak rate at 15:00 UTC
+			MeanLifetimeTicks: 150,
+			MinLifetimeTicks:  20,
+			LoadScale:         0.8,
+		},
+	},
+	ChurnStorm: {
+		Name: ChurnStorm,
+		DCs:  4, PMsPerDC: 2, VMs: 6,
+		LoadScale: 1.3, NoiseSD: 0.2, HomeBias: 0.6,
+		Churn: &lifecycle.ProcessSpec{
+			// Just under two hours, deliberately off the 10-tick round
+			// grid so storm VMs wait measurably for their first round.
+			Kind:              lifecycle.Waves,
+			WaveEvery:         115,
+			WaveSize:          16,
+			MeanLifetimeTicks: 100, // short-lived batch jobs
+			MinLifetimeTicks:  30,
+			LoadScale:         1.0,
+		},
+	},
 }
 
 // heavyPresets holds the presets too expensive for "run everything"
@@ -191,6 +244,10 @@ func Preset(name string, seed uint64) (Spec, error) {
 	if spec.UniformClass != nil {
 		c := *spec.UniformClass
 		spec.UniformClass = &c
+	}
+	if spec.Churn != nil {
+		churn := *spec.Churn
+		spec.Churn = &churn
 	}
 	return spec, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/lifecycle"
 	"repro/internal/model"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -92,6 +93,13 @@ type Spec struct {
 	// Pricing selects the electricity-price profile.
 	Pricing Pricing
 
+	// Churn enables the dynamic workload lifecycle: the process expands
+	// at Build time into a deterministic script of VM arrivals and
+	// departures (see internal/lifecycle), the workload generator learns
+	// the whole roster up front, and the engine reserves slots for the
+	// script's peak concurrency. nil keeps the classic fixed population.
+	Churn *lifecycle.ProcessSpec
+
 	// Params overrides the world's ground-truth constants when non-nil.
 	Params *sim.Params
 }
@@ -103,7 +111,13 @@ type Scenario struct {
 	Inventory *cluster.Inventory
 	Topology  *network.Topology
 	Generator *trace.Generator
-	VMs       []model.VMSpec
+	// VMs is the static population (the Inventory's VM set); scripted
+	// churn arrivals are not included.
+	VMs []model.VMSpec
+	// Script is the generated arrival schedule of a churn scenario (nil
+	// for fixed populations). Runners feed it through lifecycle.NewRunner
+	// into core.ManagerConfig.Lifecycle.
+	Script *lifecycle.Script
 }
 
 // DefaultVMSpecs builds n VM specs in the paper's style: 4 GB images,
@@ -148,6 +162,9 @@ func Build(spec Spec) (*Scenario, error) {
 			(spec.LoadScale != 0 && spec.LoadScale != 1) {
 			return nil, fmt.Errorf("scenario: Rotating is incompatible with workload-shape overrides (LoadScale/NoiseSD/HomeBias/FlashCrowd/UniformClass/VMScale)")
 		}
+	}
+	if spec.Churn != nil && (spec.Rotating || spec.VMScale != nil) {
+		return nil, fmt.Errorf("scenario: Churn is incompatible with Rotating and VMScale")
 	}
 	classes := spec.PMClasses
 	if len(classes) == 0 {
@@ -203,13 +220,27 @@ func Build(spec Spec) (*Scenario, error) {
 		return nil, err
 	}
 
+	// Churn: expand the arrival process into its deterministic script.
+	// The generator learns the full roster (static + every scripted
+	// arrival) up front so any VM produces load the moment it is
+	// admitted; only the engine's active set decides who is asked.
+	var script *lifecycle.Script
+	genVMs := vms
+	if spec.Churn != nil {
+		script, err = lifecycle.Generate(spec.Seed, *spec.Churn, model.VMID(spec.VMs), spec.DCs)
+		if err != nil {
+			return nil, err
+		}
+		genVMs = append(append([]model.VMSpec(nil), vms...), script.VMSpecs()...)
+	}
+
 	var cfg trace.Config
 	if spec.Rotating {
 		cfg = trace.RotatingConfig(spec.Seed, vms[0], sources, tzOffsets)
 	} else {
 		scale := spec.VMScale
 		if scale == nil {
-			scale = make(map[model.VMID][]float64, len(vms))
+			scale = make(map[model.VMID][]float64, len(genVMs))
 			for _, vm := range vms {
 				row := make([]float64, sources)
 				for i := range row {
@@ -217,11 +248,20 @@ func Build(spec Spec) (*Scenario, error) {
 				}
 				scale[vm.ID] = row
 			}
+			if script != nil {
+				for i := range script.Arrivals {
+					row := make([]float64, sources)
+					for k := range row {
+						row[k] = script.LoadScale
+					}
+					scale[script.Arrivals[i].Spec.ID] = row
+				}
+			}
 		}
 		cfg = trace.Config{
 			Seed:      spec.Seed,
 			Sources:   sources,
-			VMs:       vms,
+			VMs:       genVMs,
 			TZOffsetH: tzOffsets,
 			Scale:     scale,
 			NoiseSD:   spec.NoiseSD,
@@ -231,6 +271,15 @@ func Build(spec Spec) (*Scenario, error) {
 			cfg.ClassOf = make(map[model.VMID]trace.ServiceClass, len(vms))
 			for _, vm := range vms {
 				cfg.ClassOf[vm.ID] = *spec.UniformClass
+			}
+		}
+		if script != nil {
+			// Arrivals always carry their scripted service class.
+			if cfg.ClassOf == nil {
+				cfg.ClassOf = make(map[model.VMID]trace.ServiceClass, len(script.Arrivals))
+			}
+			for i := range script.Arrivals {
+				cfg.ClassOf[script.Arrivals[i].Spec.ID] = script.Arrivals[i].Class
 			}
 		}
 		if spec.FlashCrowd {
@@ -254,6 +303,13 @@ func Build(spec Spec) (*Scenario, error) {
 		Generator: gen,
 		Seed:      spec.Seed,
 	}
+	if script != nil {
+		// Reserve slots for the script's peak concurrency, padded by the
+		// admission deferral window: AdmitVM can then only fail under
+		// pathological deferral pile-ups, which the controller absorbs as
+		// capacity rejections.
+		simCfg.ExtraVMSlots = script.SlotBound(lifecycle.DefaultMaxDeferTicks)
+	}
 	if spec.Params != nil {
 		simCfg.Params = *spec.Params
 	}
@@ -261,7 +317,7 @@ func Build(spec Spec) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scenario{Spec: spec, World: world, Inventory: inv, Topology: top, Generator: gen, VMs: vms}, nil
+	return &Scenario{Spec: spec, World: world, Inventory: inv, Topology: top, Generator: gen, VMs: vms, Script: script}, nil
 }
 
 // applyPricing installs the requested price schedule on the topology.

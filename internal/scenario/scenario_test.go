@@ -3,6 +3,7 @@ package scenario
 import (
 	"testing"
 
+	"repro/internal/lifecycle"
 	"repro/internal/model"
 	"repro/internal/network"
 )
@@ -227,5 +228,59 @@ func TestVMScaleOverride(t *testing.T) {
 	light := sc.Generator.LoadsFor(1, 12*60).Total().RPS / sc.Generator.Class(1).BaseRPS
 	if heavy <= light*10 {
 		t.Fatalf("VMScale ineffective: heavy %v vs light %v", heavy, light)
+	}
+}
+
+// TestChurnPresetsBuild checks every churn preset produces a script, a
+// roster the generator can serve, and engine slot headroom.
+func TestChurnPresetsBuild(t *testing.T) {
+	for _, name := range []string{ChurnPoisson, ChurnDiurnal, ChurnStorm} {
+		sc, err := Build(MustPreset(name, 42))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Script == nil || len(sc.Script.Arrivals) == 0 {
+			t.Fatalf("%s: no churn script", name)
+		}
+		if sc.World.VMSlotCap() <= sc.World.NumVMs() {
+			t.Fatalf("%s: no slot headroom (%d of %d)", name, sc.World.NumVMs(), sc.World.VMSlotCap())
+		}
+		// Arrival IDs continue above the static population, and the
+		// generator serves load for them.
+		first := sc.Script.Arrivals[0]
+		if int(first.Spec.ID) < len(sc.VMs) {
+			t.Fatalf("%s: arrival ID %v collides with the static range", name, first.Spec.ID)
+		}
+		lv := sc.Generator.LoadsFor(first.Spec.ID, first.ArriveTick+1)
+		if lv.Total().RPS <= 0 {
+			t.Fatalf("%s: generator serves no load for arrival %v", name, first.Spec.ID)
+		}
+	}
+}
+
+// TestChurnSpecValidation rejects churn combined with incompatible knobs.
+func TestChurnSpecValidation(t *testing.T) {
+	churn := MustPreset(ChurnPoisson, 1).Churn
+	bad := []Spec{
+		{DCs: 4, PMsPerDC: 1, VMs: 1, Rotating: true, Churn: churn},
+		{DCs: 2, PMsPerDC: 1, VMs: 1, Churn: churn,
+			VMScale: map[model.VMID][]float64{0: {1, 1}}},
+		{DCs: 2, PMsPerDC: 1, VMs: 1, Churn: &lifecycle.ProcessSpec{Kind: "bogus"}},
+	}
+	for i, spec := range bad {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("churn spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+// TestPresetDeepCopiesChurn pins the preset-isolation contract for the
+// churn pointer: mutating a returned spec must not corrupt the table.
+func TestPresetDeepCopiesChurn(t *testing.T) {
+	a := MustPreset(ChurnStorm, 1)
+	a.Churn.WaveSize = 9999
+	b := MustPreset(ChurnStorm, 1)
+	if b.Churn.WaveSize == 9999 {
+		t.Fatal("preset table shares the Churn spec with callers")
 	}
 }

@@ -170,6 +170,12 @@ func (s *demandSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.o
 // selected DC and only traffic is redirected.
 type Fixed struct {
 	P model.Placement
+	// AllowUnknown tolerates VMs absent from P — workload-churn arrivals
+	// a static placement cannot know about. Unknown VMs keep their
+	// current host (never move; unplaced ones stay unplaced), which is
+	// exactly the static baseline's weakness the churn experiment
+	// measures. Without it an unknown VM is a configuration error.
+	AllowUnknown bool
 }
 
 // Name implements Scheduler.
@@ -182,6 +188,12 @@ func (f *Fixed) Schedule(p *Problem) (model.Placement, error) {
 		id := p.VMs[i].Spec.ID
 		pm, ok := f.P[id]
 		if !ok {
+			if f.AllowUnknown {
+				if cur := p.VMs[i].Current; cur != model.NoPM {
+					out[id] = cur
+				}
+				continue
+			}
 			return nil, fmt.Errorf("sched: static placement missing VM %v", id)
 		}
 		out[id] = pm

@@ -44,10 +44,29 @@ type Engine struct {
 	// ApplySchedule ran between the two steps.
 	migratedAtLastStep int
 
-	nVM, nPM, nLoc int
-	vmIDs          []model.VMID // dense index -> ID
-	vmSpecs        []model.VMSpec
-	pmSpecs        []model.PMSpec
+	// nVM is the slot high-water mark: slots [0, nVM) have ever held a VM.
+	// capVM is the fixed slot capacity (static population + ExtraVMSlots);
+	// every per-VM buffer below is sized to capVM at construction, so the
+	// workload lifecycle (AdmitVM/RetireVM in handle.go) never reallocates.
+	nVM, capVM, nPM, nLoc int
+	nActive               int
+	vmIDs                 []model.VMID // dense index -> ID
+	vmSpecs               []model.VMSpec
+	pmSpecs               []model.PMSpec
+
+	// Lifecycle slot state (handle.go): activeVM marks live slots, gens
+	// counts (re-)admissions per slot — a VMHandle is (slot, gen) — and
+	// freeSlots is the reusable-slot stack. vmByID covers static and
+	// dynamic VMs alike.
+	activeVM  []bool
+	gens      []uint32
+	freeSlots []int32
+	vmByID    map[model.VMID]int
+
+	// fillIDs/fillRows are the compacted active-slot view handed to the
+	// workload generator each tick; rebuilt on admit/retire only.
+	fillIDs  []model.VMID
+	fillRows []model.LoadVector
 
 	// Placement state, dense mirrors of cluster.State.
 	hostOf []int32   // VM index -> PM index, -1 when unplaced
@@ -118,36 +137,48 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("sim: inventory spans %d DCs but topology has %d",
 			cfg.Inventory.NumDCs(), cfg.Topology.NumDCs())
 	}
+	if cfg.ExtraVMSlots < 0 {
+		return nil, fmt.Errorf("sim: negative ExtraVMSlots %d", cfg.ExtraVMSlots)
+	}
 	inv := cfg.Inventory
 	nVM, nPM, nLoc := inv.NumVMs(), inv.NumPMs(), cfg.Topology.NumDCs()
+	capVM := nVM + cfg.ExtraVMSlots
 	e := &Engine{
 		cfg:   cfg,
 		state: cluster.NewState(inv),
 		obs:   monitor.NewObserver(cfg.Noise, 10, rng.NewNamed(cfg.Seed, "sim/monitor")),
 		rt:    rng.NewNamed(cfg.Seed, "sim/rt"),
 
-		nVM: nVM, nPM: nPM, nLoc: nLoc,
-		vmIDs:   make([]model.VMID, nVM),
-		vmSpecs: inv.VMs(),
+		nVM: nVM, capVM: capVM, nPM: nPM, nLoc: nLoc,
+		nActive: nVM,
+		vmIDs:   make([]model.VMID, capVM),
+		vmSpecs: make([]model.VMSpec, capVM),
 		pmSpecs: inv.PMs(),
 
-		hostOf: make([]int32, nVM),
+		activeVM:  make([]bool, capVM),
+		gens:      make([]uint32, capVM),
+		freeSlots: make([]int32, 0, capVM),
+		vmByID:    make(map[model.VMID]int, capVM),
+		fillIDs:   make([]model.VMID, 0, capVM),
+		fillRows:  make([]model.LoadVector, 0, capVM),
+
+		hostOf: make([]int32, capVM),
 		guests: make([][]int32, nPM),
 		failed: make([]bool, nPM),
 
-		backlog:  make([]float64, nVM),
-		downtime: make([]float64, nVM),
+		backlog:  make([]float64, capVM),
+		downtime: make([]float64, capVM),
 
-		loadRows:  make([]model.LoadVector, nVM),
-		totals:    make([]model.Load, nVM),
-		required:  make([]model.Resources, nVM),
-		granted:   make([]model.Resources, nVM),
-		used:      make([]model.Resources, nVM),
-		rtProcess: make([]float64, nVM),
-		rtBySrc:   make([]float64, nVM*nLoc),
-		slaLvl:    make([]float64, nVM),
-		queueLen:  make([]float64, nVM),
-		migrating: make([]bool, nVM),
+		loadRows:  make([]model.LoadVector, capVM),
+		totals:    make([]model.Load, capVM),
+		required:  make([]model.Resources, capVM),
+		granted:   make([]model.Resources, capVM),
+		used:      make([]model.Resources, capVM),
+		rtProcess: make([]float64, capVM),
+		rtBySrc:   make([]float64, capVM*nLoc),
+		slaLvl:    make([]float64, capVM),
+		queueLen:  make([]float64, capVM),
+		migrating: make([]bool, capVM),
 
 		pmUsage:    make([]model.Resources, nPM),
 		pmOn:       make([]bool, nPM),
@@ -158,12 +189,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 		perDCWatts:  make([]float64, nLoc),
 		perDCActive: make([]int, nLoc),
 	}
-	rows := make(model.LoadVector, nVM*nLoc) // one backing array for all rows
-	for i := 0; i < nVM; i++ {
-		e.vmIDs[i] = e.vmSpecs[i].ID
+	copy(e.vmSpecs, inv.VMs())
+	rows := make(model.LoadVector, capVM*nLoc) // one backing array for all rows
+	for i := 0; i < capVM; i++ {
 		e.hostOf[i] = -1
 		e.loadRows[i] = rows[i*nLoc : (i+1)*nLoc : (i+1)*nLoc]
 	}
+	for i := 0; i < nVM; i++ {
+		e.vmIDs[i] = e.vmSpecs[i].ID
+		e.activeVM[i] = true
+		e.gens[i] = 1
+		e.vmByID[e.vmIDs[i]] = i
+	}
+	e.rebuildFill()
 	return e, nil
 }
 
@@ -207,7 +245,9 @@ func (e *Engine) TotalMigrations() int { return e.migrated }
 // AvgFacilityWatts returns the mean facility draw per tick so far.
 func (e *Engine) AvgFacilityWatts() float64 { return e.energy.AvgWatts(TickHours) }
 
-// NumVMs returns the dense VM index space size.
+// NumVMs returns the dense VM index space size (the slot high-water
+// mark). Under workload churn some slots in [0, NumVMs()) are inactive —
+// iterate with ActiveVM, or use NumActiveVMs for the live count.
 func (e *Engine) NumVMs() int { return e.nVM }
 
 // NumPMs returns the dense PM index space size.
@@ -222,8 +262,12 @@ func (e *Engine) VMSpecAt(i int) model.VMSpec { return e.vmSpecs[i] }
 // PMSpecAt returns the PM spec at a dense index.
 func (e *Engine) PMSpecAt(j int) model.PMSpec { return e.pmSpecs[j] }
 
-// VMIndex resolves a VM ID to its dense index.
-func (e *Engine) VMIndex(id model.VMID) (int, bool) { return e.cfg.Inventory.VMIndex(id) }
+// VMIndex resolves a VM ID — static or dynamically admitted — to its
+// dense slot index. Retired VMs do not resolve.
+func (e *Engine) VMIndex(id model.VMID) (int, bool) {
+	i, ok := e.vmByID[id]
+	return i, ok
+}
 
 // PMIndex resolves a PM ID to its dense index.
 func (e *Engine) PMIndex(id model.PMID) (int, bool) { return e.cfg.Inventory.PMIndex(id) }
@@ -246,7 +290,7 @@ func (e *Engine) rtRow(i int) []float64 { return e.rtBySrc[i*e.nLoc : (i+1)*e.nL
 // Step. Load and RTBySource alias the Engine's reusable buffers: valid
 // until the next Step, not to be mutated.
 func (e *Engine) VMTruthByIndex(i int) (VMTruth, bool) {
-	if !e.stepped || i < 0 || i >= e.nVM {
+	if !e.stepped || i < 0 || i >= e.nVM || !e.activeVM[i] {
 		return VMTruth{}, false
 	}
 	host := model.NoPM
@@ -312,6 +356,10 @@ func (e *Engine) syncPlacement() {
 		e.guests[j] = e.guests[j][:0]
 	}
 	for i := 0; i < e.nVM; i++ {
+		if !e.activeVM[i] {
+			e.hostOf[i] = -1
+			continue
+		}
 		pm := e.state.HostOf(e.vmIDs[i])
 		if pm == model.NoPM {
 			e.hostOf[i] = -1
@@ -482,8 +530,13 @@ func (e *Engine) Step() TickSummary {
 		e.perDCActive[dc] = 0
 	}
 
-	e.cfg.Generator.Fill(e.tick, e.vmIDs, e.loadRows)
+	// Workload only for live slots: fillIDs/fillRows is the compacted
+	// active view (the rows alias loadRows, so data lands slot-indexed).
+	e.cfg.Generator.Fill(e.tick, e.fillIDs, e.fillRows)
 	for i := 0; i < e.nVM; i++ {
+		if !e.activeVM[i] {
+			continue
+		}
 		e.totals[i] = e.loadRows[i].Total()
 	}
 
@@ -545,7 +598,7 @@ func (e *Engine) Step() TickSummary {
 
 	// Unhosted VMs: no service at all.
 	for i := 0; i < e.nVM; i++ {
-		if e.hostOf[i] >= 0 {
+		if !e.activeVM[i] || e.hostOf[i] >= 0 {
 			continue
 		}
 		e.required[i] = model.Resources{}
@@ -569,6 +622,9 @@ func (e *Engine) Step() TickSummary {
 	// point accumulation is deterministic run to run.
 	var slaWeighted, rpsTotal float64
 	for i := 0; i < e.nVM; i++ {
+		if !e.activeVM[i] {
+			continue
+		}
 		spec := &e.vmSpecs[i]
 		lvl := e.slaLvl[i]
 		rev := sla.Revenue(spec.PriceEURh, lvl, TickHours)
@@ -656,9 +712,14 @@ func (e *Engine) resolveVM(i int, pmSpec *model.PMSpec) {
 	e.rtProcess[i] = rt
 
 	// Backlog dynamics: grows by the arrival surplus, drains by the
-	// service surplus plus an expiry fraction (impatient clients).
+	// service surplus plus an expiry fraction (impatient clients). An
+	// infinite mu means no CPU-costing arrivals this tick (a zero-arrival
+	// tick, e.g. right after a churn boundary): the idle gateway clears
+	// the whole queue instead of lingering on decay alone.
 	backlog := backlogBefore
-	if !math.IsInf(mu, 1) {
+	if math.IsInf(mu, 1) {
+		backlog = 0
+	} else {
 		backlog += (total.RPS - mu) * TickSeconds
 	}
 	backlog *= (1 - p.QueueDecay)

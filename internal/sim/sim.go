@@ -102,6 +102,13 @@ type Config struct {
 	Params    Params
 	Noise     monitor.NoiseConfig
 	Seed      uint64
+	// ExtraVMSlots reserves capacity for dynamically admitted VMs beyond
+	// the static inventory population (the workload-lifecycle subsystem's
+	// AdmitVM/RetireVM). Every per-VM engine buffer is sized once to
+	// inventory + extra, so churn never reallocates the truth slices. Zero
+	// keeps the engine fixed-population, bit-identical to its pre-churn
+	// behaviour.
+	ExtraVMSlots int
 }
 
 // VMTruth is the hidden per-VM state of one tick.

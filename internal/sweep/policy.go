@@ -111,7 +111,10 @@ var policies = map[string]Policy{
 	"static": {
 		Name: "static",
 		Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
-			return &sched.Fixed{P: sc.HomePlacement()}, nil
+			// Churn arrivals are unknowable to a static placement; under
+			// churn they stay wherever they are (i.e. unplaced) — the
+			// baseline's weakness, not a configuration error.
+			return &sched.Fixed{P: sc.HomePlacement(), AllowUnknown: sc.Script != nil}, nil
 		},
 	},
 	"hier-ob": {

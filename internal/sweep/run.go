@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/model"
 	"repro/internal/predict"
 	"repro/internal/scenario"
@@ -62,6 +63,19 @@ type PolicyRun struct {
 	WattsSeries []float64
 	ActiveSer   []float64
 	DCSeries    []float64 // hosting DC of VM 0 (for placement plots)
+
+	// Workload-lifecycle outcomes (zero/one for fixed-population
+	// scenarios, where nothing is ever offered).
+	OfferedVMs  int
+	AdmittedVMs int
+	RejectedVMs int
+	Deferrals   int
+	DepartedVMs int
+	// AdmissionRate is admitted/offered (vacuously 1 with no churn).
+	AdmissionRate float64
+	// MeanPlaceTicks is the mean admission-to-first-host wait of placed
+	// arrivals.
+	MeanPlaceTicks float64
 }
 
 // RunOpts tunes one cell execution beyond the (spec, policy, ticks) key.
@@ -76,6 +90,12 @@ type RunOpts struct {
 	// metrics are folded in — the hook experiment-specific series
 	// (e.g. the green-energy sunlit counter) ride on.
 	OnTick func(sc *scenario.Scenario, st sim.TickStats)
+	// Admission overrides the admission controller of churn scenarios
+	// (nil = the default capacity gate). The default never consults the
+	// predictor bundle, so a cell's decisions cannot depend on whether
+	// some other policy in the matrix happened to train one; ML-gated
+	// admission is an explicit opt-in.
+	Admission *core.AdmissionPolicy
 }
 
 // timedScheduler wraps a scheduler and accumulates the wall-clock time
@@ -168,15 +188,24 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 		roundTicks = DefaultRoundTicks
 	}
 	timed := &timedScheduler{inner: s}
-	mgr, err := core.NewManager(core.ManagerConfig{
+	mgrCfg := core.ManagerConfig{
 		World: sc.World, Scheduler: timed, RoundTicks: roundTicks,
-	})
+	}
+	var runner *lifecycle.Runner
+	if sc.Script != nil {
+		runner = lifecycle.NewRunner(sc.Script)
+		mgrCfg.Lifecycle = runner
+		if opts.Admission != nil {
+			mgrCfg.Admission = *opts.Admission
+		}
+	}
+	mgr, err := core.NewManager(mgrCfg)
 	if err != nil {
 		return nil, err
 	}
 	run := &PolicyRun{
 		Policy: pol.Name, Scenario: spec.Name, Seed: spec.Seed,
-		Ticks: ticks, MinSLA: 1,
+		Ticks: ticks, MinSLA: 1, AdmissionRate: 1,
 	}
 	if run.Policy == "" {
 		run.Policy = s.Name()
@@ -213,6 +242,16 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 	run.Rounds = timed.rounds
 	if timed.rounds > 0 {
 		run.RoundMS = float64(timed.nanos) / float64(timed.rounds) / 1e6
+	}
+	if runner != nil {
+		st := runner.Stats()
+		run.OfferedVMs = st.Offered
+		run.AdmittedVMs = st.Admitted
+		run.RejectedVMs = st.Rejected
+		run.Deferrals = st.Deferrals
+		run.DepartedVMs = st.Departed
+		run.AdmissionRate = st.AdmissionRate()
+		run.MeanPlaceTicks = st.MeanPlacementTicks()
 	}
 	return run, nil
 }

@@ -60,7 +60,14 @@ type Cell struct {
 	PenaltyEUR   float64 `json:"penalty_eur"`
 	Migrations   int     `json:"migrations"`
 	AvgActivePMs float64 `json:"avg_active_pms"`
-	RoundMS      float64 `json:"-"` // mean scheduling-round wall latency
+	// Workload-lifecycle columns (zero/one for fixed populations).
+	OfferedVMs     int     `json:"offered_vms"`
+	AdmittedVMs    int     `json:"admitted_vms"`
+	RejectedVMs    int     `json:"rejected_vms"`
+	DepartedVMs    int     `json:"departed_vms"`
+	AdmissionRate  float64 `json:"admission_rate"`
+	MeanPlaceTicks float64 `json:"mean_place_ticks"`
+	RoundMS        float64 `json:"-"` // mean scheduling-round wall latency
 }
 
 // Stat summarises one metric across the seeds of a (scenario, policy).
@@ -81,16 +88,19 @@ func statOf(xs []float64) Stat {
 
 // Aggregate is the across-seeds summary of one (scenario, policy).
 type Aggregate struct {
-	Scenario     string  `json:"scenario"`
-	Policy       string  `json:"policy"`
-	Seeds        int     `json:"seeds"`
-	AvgSLA       Stat    `json:"avg_sla"`
-	MinSLA       Stat    `json:"min_sla"`
-	AvgWatts     Stat    `json:"avg_watts"`
-	ProfitEURh   Stat    `json:"profit_eur_h"`
-	Migrations   Stat    `json:"migrations"`
-	AvgActivePMs Stat    `json:"avg_active_pms"`
-	RoundMS      float64 `json:"-"` // mean wall latency, reporting only
+	Scenario       string  `json:"scenario"`
+	Policy         string  `json:"policy"`
+	Seeds          int     `json:"seeds"`
+	AvgSLA         Stat    `json:"avg_sla"`
+	MinSLA         Stat    `json:"min_sla"`
+	AvgWatts       Stat    `json:"avg_watts"`
+	ProfitEURh     Stat    `json:"profit_eur_h"`
+	Migrations     Stat    `json:"migrations"`
+	AvgActivePMs   Stat    `json:"avg_active_pms"`
+	AdmissionRate  Stat    `json:"admission_rate"`
+	RejectedVMs    Stat    `json:"rejected_vms"`
+	MeanPlaceTicks Stat    `json:"mean_place_ticks"`
+	RoundMS        float64 `json:"-"` // mean wall latency, reporting only
 }
 
 // Result is one executed sweep: the matrix echo, every cell in
@@ -180,6 +190,9 @@ func Run(m Matrix) (*Result, error) {
 			ProfitEURh: run.AvgEuroH, RevenueEUR: run.RevenueEUR,
 			EnergyEUR: run.EnergyEUR, PenaltyEUR: run.PenaltyEUR,
 			Migrations: run.Migrations, AvgActivePMs: run.AvgActive,
+			OfferedVMs: run.OfferedVMs, AdmittedVMs: run.AdmittedVMs,
+			RejectedVMs: run.RejectedVMs, DepartedVMs: run.DepartedVMs,
+			AdmissionRate: run.AdmissionRate, MeanPlaceTicks: run.MeanPlaceTicks,
 			RoundMS: run.RoundMS,
 		}
 	})
@@ -208,12 +221,15 @@ func Run(m Matrix) (*Result, error) {
 		for pi := 0; pi < nP; pi++ {
 			agg := Aggregate{
 				Scenario: scns[si], Policy: pols[pi].Name, Seeds: nK,
-				AvgSLA:       metric(si, pi, func(c *Cell) float64 { return c.AvgSLA }),
-				MinSLA:       metric(si, pi, func(c *Cell) float64 { return c.MinSLA }),
-				AvgWatts:     metric(si, pi, func(c *Cell) float64 { return c.AvgWatts }),
-				ProfitEURh:   metric(si, pi, func(c *Cell) float64 { return c.ProfitEURh }),
-				Migrations:   metric(si, pi, func(c *Cell) float64 { return float64(c.Migrations) }),
-				AvgActivePMs: metric(si, pi, func(c *Cell) float64 { return c.AvgActivePMs }),
+				AvgSLA:         metric(si, pi, func(c *Cell) float64 { return c.AvgSLA }),
+				MinSLA:         metric(si, pi, func(c *Cell) float64 { return c.MinSLA }),
+				AvgWatts:       metric(si, pi, func(c *Cell) float64 { return c.AvgWatts }),
+				ProfitEURh:     metric(si, pi, func(c *Cell) float64 { return c.ProfitEURh }),
+				Migrations:     metric(si, pi, func(c *Cell) float64 { return float64(c.Migrations) }),
+				AvgActivePMs:   metric(si, pi, func(c *Cell) float64 { return c.AvgActivePMs }),
+				AdmissionRate:  metric(si, pi, func(c *Cell) float64 { return c.AdmissionRate }),
+				RejectedVMs:    metric(si, pi, func(c *Cell) float64 { return float64(c.RejectedVMs) }),
+				MeanPlaceTicks: metric(si, pi, func(c *Cell) float64 { return c.MeanPlaceTicks }),
 			}
 			agg.RoundMS = metric(si, pi, func(c *Cell) float64 { return c.RoundMS }).Mean
 			res.Aggregates = append(res.Aggregates, agg)
@@ -242,7 +258,9 @@ func (r *Result) CellsTable() report.Table {
 		Caption: "sweep cells",
 		Headers: []string{"scenario", "policy", "seed", "ticks", "rounds",
 			"avg_sla", "min_sla", "avg_watts", "profit_eur_h", "revenue_eur",
-			"energy_eur", "penalty_eur", "migrations", "avg_active_pms"},
+			"energy_eur", "penalty_eur", "migrations", "avg_active_pms",
+			"offered_vms", "admitted_vms", "rejected_vms", "departed_vms",
+			"admission_rate", "mean_place_ticks"},
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
@@ -250,7 +268,10 @@ func (r *Result) CellsTable() report.Table {
 			strconv.FormatUint(c.Seed, 10), strconv.Itoa(c.Ticks), strconv.Itoa(c.Rounds),
 			fmtF(c.AvgSLA), fmtF(c.MinSLA), fmtF(c.AvgWatts), fmtF(c.ProfitEURh),
 			fmtF(c.RevenueEUR), fmtF(c.EnergyEUR), fmtF(c.PenaltyEUR),
-			strconv.Itoa(c.Migrations), fmtF(c.AvgActivePMs))
+			strconv.Itoa(c.Migrations), fmtF(c.AvgActivePMs),
+			strconv.Itoa(c.OfferedVMs), strconv.Itoa(c.AdmittedVMs),
+			strconv.Itoa(c.RejectedVMs), strconv.Itoa(c.DepartedVMs),
+			fmtF(c.AdmissionRate), fmtF(c.MeanPlaceTicks))
 	}
 	return t
 }
@@ -269,7 +290,7 @@ func (r *Result) AggregateTable() report.Table {
 		Caption: fmt.Sprintf("sweep — %d scenarios × %d policies × %d seeds, %d ticks",
 			len(r.Scenarios), len(r.Policies), len(r.Seeds), r.Ticks),
 		Headers: []string{"scenario", "policy", "avg SLA", "min SLA", "avg W",
-			"profit €/h", "migrations", "PMs on", "ms/round"},
+			"profit €/h", "migrations", "PMs on", "admit", "t→place", "ms/round"},
 	}
 	ms := func(s Stat) string { return fmt.Sprintf("%.4f ±%.4f", s.Mean, s.StdDev) }
 	for _, a := range r.Aggregates {
@@ -279,6 +300,8 @@ func (r *Result) AggregateTable() report.Table {
 			ms(a.ProfitEURh),
 			fmt.Sprintf("%.1f ±%.1f", a.Migrations.Mean, a.Migrations.StdDev),
 			fmt.Sprintf("%.2f ±%.2f", a.AvgActivePMs.Mean, a.AvgActivePMs.StdDev),
+			fmt.Sprintf("%.2f", a.AdmissionRate.Mean),
+			fmt.Sprintf("%.1f", a.MeanPlaceTicks.Mean),
 			fmt.Sprintf("%.2f", a.RoundMS))
 	}
 	return t

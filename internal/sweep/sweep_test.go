@@ -56,6 +56,48 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepChurnDeterminism extends the determinism contract to dynamic
+// workloads: churn cells (seeded event queue, admission controller,
+// shrinking/growing problems) stay byte-identical across runs and worker
+// counts, and actually churn.
+func TestSweepChurnDeterminism(t *testing.T) {
+	matrix := func(workers int) Matrix {
+		return Matrix{
+			Scenarios: []string{scenario.ChurnStorm, scenario.ChurnPoisson},
+			Policies:  []string{"bf", "bf-ob"},
+			Seeds:     []uint64{1, 2},
+			Ticks:     180,
+			Workers:   workers,
+		}
+	}
+	get := func(workers int) (*Result, []byte) {
+		res, err := Run(matrix(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, j
+	}
+	base, baseJSON := get(1)
+	churned := false
+	for _, c := range base.Cells {
+		if c.OfferedVMs > 0 && c.AdmittedVMs > 0 {
+			churned = true
+		}
+	}
+	if !churned {
+		t.Fatal("churn cells reported no lifecycle activity")
+	}
+	for _, workers := range []int{1, 4} {
+		if _, j := get(workers); !bytes.Equal(baseJSON, j) {
+			t.Errorf("churn sweep JSON differs at workers=%d", workers)
+		}
+	}
+}
+
 func TestSweepShape(t *testing.T) {
 	res, err := Run(fastMatrix(4))
 	if err != nil {
