@@ -372,6 +372,53 @@ func scenarioProblem(b *testing.B, name string) (*sched.Problem, sched.CostModel
 	return p, sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
 }
 
+// BenchmarkSLAQuery measures the SLA estimation path a (VM, DC) table
+// fill drives, over one fleet-sized sweep of 256 queries per op: Single
+// is the per-VM proc-split query (one k-NN fulfilment + one M5P response
+// time each), Batch runs the same 256 rows through the batched inference
+// path, which amortizes kd-tree descents and shares one traversal
+// scratch. Both are steady-state and gated via BENCH_sched.json.
+func BenchmarkSLAQuery(b *testing.B) {
+	bundle, err := experiments.TrainedBundle(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	problem := syntheticProblem(256, 16)
+	n := len(problem.VMs)
+	var s predict.Scratch
+	rows := make([]float64, 0, n*predict.SLAFeatureDims)
+	grants := make([]float64, n)
+	for i := range problem.VMs {
+		vm := &problem.VMs[i]
+		grants[i] = vm.Observed.CPUPct
+		rows = predict.VMSLAFeaturesAppend(rows, vm.Total, grants[i], 0, float64(vm.QueueLen))
+	}
+	slaProc := make([]float64, n)
+	rtProc := make([]float64, n)
+	b.Run("Single", func(b *testing.B) {
+		for q := range problem.VMs { // warm the inference scratch across all rows
+			vm := &problem.VMs[q]
+			bundle.PredictSLAProcBuf(&s, vm.Total, grants[q], 0, float64(vm.QueueLen))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for q := range problem.VMs {
+				vm := &problem.VMs[q]
+				slaProc[q], rtProc[q] = bundle.PredictSLAProcBuf(&s, vm.Total, grants[q], 0, float64(vm.QueueLen))
+			}
+		}
+	})
+	b.Run("Batch", func(b *testing.B) {
+		bundle.PredictSLAProcBatchBuf(&s, rows, n, slaProc, rtProc) // warm scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bundle.PredictSLAProcBatchBuf(&s, rows, n, slaProc, rtProc)
+		}
+	})
+}
+
 // BenchmarkChurn measures the dynamic-workload hot paths on a fleet that
 // has lived through an arrival storm: Step is the churn-enabled engine
 // tick (slot gaps, compacted fill list), Round is one scheduling decision

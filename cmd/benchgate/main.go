@@ -13,6 +13,13 @@
 //
 //	go test -run '^$' -bench BenchmarkScheduleRound -benchmem -benchtime 20x . | \
 //	    go run ./cmd/benchgate -baseline BENCH_sched.json
+//
+// With -update the tool rewrites the baseline instead of gating: every
+// measured benchmark replaces (or joins) its entry in the benchmarks
+// block, while description, machine, tolerances, history and notes are
+// preserved verbatim. Baseline entries the bench output did not measure
+// are kept (a partial bench run must never silently drop a gate) and
+// reported. Update notes/machine by hand when the profile shifts.
 package main
 
 import (
@@ -155,6 +162,93 @@ func gate(base Baseline, got map[string]Metrics) []string {
 	return violations
 }
 
+// fmtNum renders a metric value without exponent notation, matching the
+// hand-written baseline style.
+func fmtNum(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// renderBaseline serialises a Baseline in the committed BENCH_sched.json
+// style: two-space indent, one line per benchmark entry, fields in
+// declaration order, benchmark names sorted for stable diffs.
+func renderBaseline(base Baseline) []byte {
+	var b strings.Builder
+	enc := func(v any) string {
+		j, _ := json.Marshal(v)
+		return string(j)
+	}
+	metricsLine := func(m Metrics) string {
+		return fmt.Sprintf(`{"ns_per_op": %s, "bytes_per_op": %s, "allocs_per_op": %s}`,
+			fmtNum(m.NsPerOp), fmtNum(m.BytesPerOp), fmtNum(m.AllocsPerOp))
+	}
+	block := func(indent string, set map[string]Metrics) {
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			comma := ","
+			if i == len(names)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(&b, "%s%s: %s%s\n", indent, enc(name), metricsLine(set[name]), comma)
+		}
+	}
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  \"description\": %s,\n", enc(base.Description))
+	fmt.Fprintf(&b, "  \"machine\": %s,\n", enc(base.Machine))
+	fmt.Fprintf(&b, "  \"ns_tolerance_factor\": %s,\n", fmtNum(base.NsToleranceFactor))
+	fmt.Fprintf(&b, "  \"bytes_tolerance_factor\": %s,\n", fmtNum(base.BytesToleranceFactor))
+	b.WriteString("  \"benchmarks\": {\n")
+	block("    ", base.Benchmarks)
+	b.WriteString("  }")
+	if len(base.History) > 0 {
+		b.WriteString(",\n  \"history\": {\n")
+		eras := make([]string, 0, len(base.History))
+		for era := range base.History {
+			eras = append(eras, era)
+		}
+		sort.Strings(eras)
+		for i, era := range eras {
+			fmt.Fprintf(&b, "    %s: {\n", enc(era))
+			block("      ", base.History[era])
+			b.WriteString("    }")
+			if i < len(eras)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  }")
+	}
+	if base.Notes != "" {
+		fmt.Fprintf(&b, ",\n  \"notes\": %s", enc(base.Notes))
+	}
+	b.WriteString("\n}\n")
+	return []byte(b.String())
+}
+
+// update merges measured metrics into the baseline's benchmarks block and
+// returns the names it replaced, the names it added, and the baseline
+// entries the bench output did not cover (kept as-is).
+func update(base *Baseline, got map[string]Metrics) (updated, added, kept []string) {
+	for name, m := range got {
+		if _, ok := base.Benchmarks[name]; ok {
+			updated = append(updated, name)
+		} else {
+			added = append(added, name)
+		}
+		base.Benchmarks[name] = m
+	}
+	for name := range base.Benchmarks {
+		if _, ok := got[name]; !ok {
+			kept = append(kept, name)
+		}
+	}
+	sort.Strings(updated)
+	sort.Strings(added)
+	sort.Strings(kept)
+	return updated, added, kept
+}
+
 func loadBaseline(path string) (Baseline, error) {
 	var base Baseline
 	data, err := os.ReadFile(path)
@@ -170,7 +264,7 @@ func loadBaseline(path string) (Baseline, error) {
 	return base, nil
 }
 
-func run(baselinePath, inputPath string, out, errOut io.Writer) int {
+func run(baselinePath, inputPath string, doUpdate bool, out, errOut io.Writer) int {
 	base, err := loadBaseline(baselinePath)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
@@ -198,6 +292,23 @@ func run(baselinePath, inputPath string, out, errOut io.Writer) int {
 		// gate reports per name. Either way nothing passes silently.
 		fmt.Fprintln(errOut, "benchgate: no benchmarks found in bench output — did the bench run fail or match nothing?")
 		return 2
+	}
+	if doUpdate {
+		updated, added, kept := update(&base, got)
+		if err := os.WriteFile(baselinePath, renderBaseline(base), 0o644); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+		for _, name := range updated {
+			fmt.Fprintf(out, "benchgate: updated %s\n", name)
+		}
+		for _, name := range added {
+			fmt.Fprintf(out, "benchgate: added %s (new gate)\n", name)
+		}
+		for _, name := range kept {
+			fmt.Fprintf(errOut, "benchgate: warn %s not measured — baseline entry kept unchanged\n", name)
+		}
+		return 0
 	}
 	violations := gate(base, got)
 	if len(violations) > 0 {
@@ -241,6 +352,7 @@ func unbaselined(base Baseline, got map[string]Metrics) []string {
 func main() {
 	baseline := flag.String("baseline", "BENCH_sched.json", "committed baseline file")
 	input := flag.String("input", "-", "bench output file (- = stdin)")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline's benchmarks block from the bench output instead of gating")
 	flag.Parse()
-	os.Exit(run(*baseline, *input, os.Stdout, os.Stderr))
+	os.Exit(run(*baseline, *input, *doUpdate, os.Stdout, os.Stderr))
 }

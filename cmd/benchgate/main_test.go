@@ -130,7 +130,7 @@ func TestRunFailsOnEmptyBenchOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	if code := run(baselinePath, empty, &out, &errOut); code != 2 {
+	if code := run(baselinePath, empty, false, &out, &errOut); code != 2 {
 		t.Fatalf("empty bench output exited %d, want 2 (stderr: %s)", code, errOut.String())
 	}
 	if !strings.Contains(errOut.String(), "no benchmarks found") {
@@ -160,7 +160,7 @@ func TestRunWarnsOnUnbaselinedBenchmark(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	if code := run(base, file, &out, &errOut); code != 0 {
+	if code := run(base, file, false, &out, &errOut); code != 0 {
 		t.Fatalf("unbaselined benchmark must warn, not fail: exit %d (stderr: %s)", code, errOut.String())
 	}
 	if !strings.Contains(errOut.String(), "warn") || !strings.Contains(errOut.String(), "XXL") {
@@ -204,16 +204,115 @@ func TestRunAgainstCommittedBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	if code := run(baselinePath, okFile, &out, &errOut); code != 0 {
+	if code := run(baselinePath, okFile, false, &out, &errOut); code != 0 {
 		t.Fatalf("baseline-equal run failed with code %d: %s", code, errOut.String())
 	}
 	out.Reset()
 	errOut.Reset()
-	if code := run(baselinePath, badFile, &out, &errOut); code != 1 {
+	if code := run(baselinePath, badFile, false, &out, &errOut); code != 1 {
 		t.Fatalf("allocs regression exited %d, want 1 (stderr: %s)", code, errOut.String())
 	}
 	if !strings.Contains(errOut.String(), "allocs/op regressed") {
 		t.Fatalf("missing violation message: %s", errOut.String())
+	}
+}
+
+// TestUpdateRewritesBenchmarksBlock is the -update contract: measured
+// benchmarks replace their baseline entries, new ones join the gate,
+// unmeasured entries survive untouched, and everything else in the file
+// (description, machine, tolerances, history, notes) round-trips
+// verbatim through a loadBaseline of the rewritten file.
+func TestUpdateRewritesBenchmarksBlock(t *testing.T) {
+	base := Baseline{
+		Description:          "perf contract",
+		Machine:              "test rig",
+		NsToleranceFactor:    3,
+		BytesToleranceFactor: 1.5,
+		Benchmarks: map[string]Metrics{
+			"BenchmarkScheduleRound/Small": {NsPerOp: 10_000_000, BytesPerOp: 1000, AllocsPerOp: 5},
+			"BenchmarkChurn/Step":          {NsPerOp: 30_000, BytesPerOp: 0, AllocsPerOp: 0},
+		},
+		History: map[string]map[string]Metrics{
+			"pr2": {"BenchmarkScheduleRound/Small": {NsPerOp: 24_000_000, BytesPerOp: 424144, AllocsPerOp: 12173}},
+		},
+		Notes: "hot-path profile notes",
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, renderBaseline(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := "BenchmarkScheduleRound/Small-4 \t20\t9000000 ns/op\t900 B/op\t4 allocs/op\n" +
+		"BenchmarkSLAQuery/Batch-4 \t20\t2500000 ns/op\t0 B/op\t0 allocs/op\n"
+	benchFile := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(benchFile, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run(path, benchFile, true, &out, &errOut); code != 0 {
+		t.Fatalf("-update exited %d (stderr: %s)", code, errOut.String())
+	}
+	got, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := got.Benchmarks["BenchmarkScheduleRound/Small"]; m.NsPerOp != 9_000_000 || m.BytesPerOp != 900 || m.AllocsPerOp != 4 {
+		t.Fatalf("measured entry not replaced: %+v", m)
+	}
+	if m, ok := got.Benchmarks["BenchmarkSLAQuery/Batch"]; !ok || m.NsPerOp != 2_500_000 {
+		t.Fatalf("new benchmark not added: %+v (ok=%v)", m, ok)
+	}
+	if m := got.Benchmarks["BenchmarkChurn/Step"]; m.NsPerOp != 30_000 {
+		t.Fatalf("unmeasured entry not preserved: %+v", m)
+	}
+	if got.Description != base.Description || got.Machine != base.Machine ||
+		got.NsToleranceFactor != 3 || got.BytesToleranceFactor != 1.5 || got.Notes != base.Notes {
+		t.Fatalf("metadata not preserved: %+v", got)
+	}
+	if h := got.History["pr2"]["BenchmarkScheduleRound/Small"]; h.AllocsPerOp != 12173 {
+		t.Fatalf("history not preserved: %+v", got.History)
+	}
+	if !strings.Contains(out.String(), "updated BenchmarkScheduleRound/Small") ||
+		!strings.Contains(out.String(), "added BenchmarkSLAQuery/Batch") {
+		t.Fatalf("missing update report: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkChurn/Step not measured") {
+		t.Fatalf("missing kept-entry warning: %q", errOut.String())
+	}
+	// The rewritten file must still satisfy the gate against its own numbers.
+	out.Reset()
+	errOut.Reset()
+	if code := run(path, benchFile, false, &out, &errOut); code != 1 {
+		// Gate fails only because BenchmarkChurn/Step is absent from the
+		// bench output — the two measured entries must pass exactly.
+		t.Fatalf("post-update gate exited %d (stderr: %s)", code, errOut.String())
+	}
+	if strings.Contains(errOut.String(), "regressed") {
+		t.Fatalf("freshly updated baseline flags a regression: %s", errOut.String())
+	}
+}
+
+// TestRenderBaselineRoundTrips pins the writer against the reader: a
+// render → load cycle must reproduce the exact Baseline, including
+// fractional metric values.
+func TestRenderBaselineRoundTrips(t *testing.T) {
+	base := Baseline{
+		Description:       "d",
+		NsToleranceFactor: 2.5,
+		Benchmarks: map[string]Metrics{
+			"BenchmarkX": {NsPerOp: 123456.75, BytesPerOp: 12, AllocsPerOp: 3},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, renderBaseline(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBaseline(path)
+	if err != nil {
+		t.Fatalf("rendered baseline does not parse: %v", err)
+	}
+	if got.Benchmarks["BenchmarkX"] != base.Benchmarks["BenchmarkX"] ||
+		got.NsToleranceFactor != 2.5 || got.Description != "d" {
+		t.Fatalf("round trip lost data: %+v", got)
 	}
 }
 

@@ -35,6 +35,12 @@ type Hierarchical struct {
 	HostsPerDC int
 	// Workers bounds the per-DC parallelism of the local rounds.
 	Workers int
+	// Delta and DeltaEpsilon propagate incremental rounds to the local and
+	// global Best-Fit layers (see sched.BestFit.Delta). Each layer keeps
+	// its own per-VM memo, so a VM's local-round row and global-round row
+	// never mix.
+	Delta        bool
+	DeltaEpsilon float64
 
 	// Reused per-DC local schedulers plus the global-round scheduler: each
 	// owns a Round whose storage (and memoized estimates) survive across
@@ -106,6 +112,7 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 			h.localBF[dc] = sched.NewBestFit(h.Cost, h.Est)
 		}
 		bf := h.localBF[dc]
+		bf.Delta, bf.DeltaEpsilon = h.Delta, h.DeltaEpsilon
 		placement, err := bf.Schedule(local)
 		if err != nil {
 			return localResult{err: err}
@@ -165,6 +172,7 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 		if h.globalBF == nil {
 			h.globalBF = sched.NewBestFit(h.Cost, h.Est)
 		}
+		h.globalBF.Delta, h.globalBF.DeltaEpsilon = h.Delta, h.DeltaEpsilon
 		gPlacement, err := h.globalBF.Schedule(&sched.Problem{VMs: globalVMs, Hosts: globalHosts, Tick: p.Tick})
 		if err != nil {
 			return nil, err

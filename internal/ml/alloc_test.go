@@ -88,6 +88,37 @@ func TestInferenceZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBatchPredictZeroAlloc extends the allocation gate to the batch
+// query path: once the shared Buf is warm (row, heap, traversal stack),
+// a whole batch through PredictBatchBuf allocates nothing.
+func TestBatchPredictZeroAlloc(t *testing.T) {
+	d := allocDataset(1000)
+	knn, err := TrainKNN(d, DefaultKNNConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	stream := rng.New(7, 3)
+	flat := make([]float64, 0, n*d.Width())
+	for i := 0; i < n; i++ {
+		flat = append(flat, stream.Uniform(0, 100), stream.Uniform(-5, 5), stream.Uniform(0, 1))
+	}
+	out := make([]float64, n)
+	var buf Buf
+	knn.PredictBatchBuf(flat, n, out, &buf) // warm the scratch
+	for _, v := range out {
+		if math.IsNaN(v) {
+			t.Fatal("NaN prediction")
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		knn.PredictBatchBuf(flat, n, out, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch inference allocates %.1f objects per batch, want 0", allocs)
+	}
+}
+
 // TestKNNTreeMatchesBruteBuffered re-checks the kd-tree/brute equivalence
 // through the buffered path specifically.
 func TestKNNTreeMatchesBruteBuffered(t *testing.T) {

@@ -1,13 +1,15 @@
 package ml
 
-// Buf is reusable inference scratch: the standardized-query row and the
-// neighbour buffers a k-NN query needs. Passing one Buf through repeated
-// predictions makes inference allocation-free after the first call. The
-// zero value is ready to use. A Buf must not be shared between goroutines.
+// Buf is reusable inference scratch: the standardized-query row, the
+// neighbour buffers and the kd-traversal stack a k-NN query needs. Passing
+// one Buf through repeated predictions makes inference allocation-free
+// after the first call. The zero value is ready to use. A Buf must not be
+// shared between goroutines.
 type Buf struct {
 	row    []float64
 	heap   neighborHeap
 	sorted []neighbor
+	stack  []kdTask
 }
 
 // BufferedRegressor is a Regressor with an allocation-free prediction path
@@ -18,6 +20,17 @@ type BufferedRegressor interface {
 	PredictBuf(x []float64, b *Buf) float64
 }
 
+// BatchRegressor is a BufferedRegressor that answers many queries in one
+// call over shared scratch. xs holds n feature rows row-major
+// (len(xs) == n*dims); out receives one prediction per row. The batch
+// path must be bit-identical to calling PredictBuf row by row — batching
+// amortizes scratch setup and keeps the index hot, it never reorders the
+// per-query arithmetic.
+type BatchRegressor interface {
+	BufferedRegressor
+	PredictBatchBuf(xs []float64, n int, out []float64, b *Buf)
+}
+
 // PredictBuffered routes through the zero-alloc path when the regressor has
 // one and falls back to the plain (possibly allocating) Predict otherwise.
 func PredictBuffered(r Regressor, x []float64, b *Buf) float64 {
@@ -25,4 +38,21 @@ func PredictBuffered(r Regressor, x []float64, b *Buf) float64 {
 		return br.PredictBuf(x, b)
 	}
 	return r.Predict(x)
+}
+
+// PredictBatchBuffered routes a row-major batch through the regressor's
+// batch path when it has one and otherwise falls back to row-by-row
+// buffered predictions — the results are identical either way.
+func PredictBatchBuffered(r Regressor, xs []float64, n int, out []float64, b *Buf) {
+	if n <= 0 {
+		return
+	}
+	if br, ok := r.(BatchRegressor); ok {
+		br.PredictBatchBuf(xs, n, out, b)
+		return
+	}
+	d := len(xs) / n
+	for i := 0; i < n; i++ {
+		out[i] = PredictBuffered(r, xs[i*d:(i+1)*d], b)
+	}
 }

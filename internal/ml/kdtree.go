@@ -169,20 +169,130 @@ func (s *kdAxisSorter) Less(a, b int) bool {
 }
 func (s *kdAxisSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
 
+// kdTask is one deferred far-subtree visit on the iterative search stack:
+// the node to descend into and the squared distance from the query to the
+// splitting plane guarding it.
+type kdTask struct {
+	id    int32
+	diff2 float64
+}
+
 // search collects the k nearest stored points to q into the caller's heap
-// (callers drain it with sortedInto for ascending-distance order).
-func (t *kdTree) search(q []float64, k int, h *neighborHeap) {
+// (callers drain it with sortedInto for ascending-distance order). stack
+// is reusable traversal scratch: it grows once to the tree depth and is
+// then shared by every query of a batch, so repeated searches allocate
+// nothing.
+//
+// The traversal is the classic near-first recursion made iterative:
+// descend to the nearest leaf, pushing every far sibling with its plane
+// distance, scan the leaf, then pop. The stack is LIFO, so a far entry is
+// popped exactly when its near sibling's subtree has completed — the heap
+// bound at pop time equals the bound the recursion would have tested after
+// returning from the near call. Visit order, pruning decisions and
+// therefore results are bit-identical to the recursive form.
+func (t *kdTree) search(q []float64, k int, h *neighborHeap, stack *[]kdTask) {
 	if len(t.first) == 0 {
 		return
 	}
-	t.searchNode(0, q, k, h)
+	st := (*stack)[:0]
+	id := int32(0)
+	for {
+		for t.count[id] == 0 {
+			diff := q[t.axis[id]] - t.thresh[id]
+			near := t.first[id]
+			far := near + 1
+			if diff > 0 {
+				near, far = far, near
+			}
+			st = append(st, kdTask{far, diff * diff})
+			id = near
+		}
+		t.scanLeaf(id, q, k, h)
+		// Pop the next surviving far subtree. The prune test is the same
+		// h.Len() < k || diff² < worst-of-k test the recursion applies.
+		for {
+			if len(st) == 0 {
+				*stack = st
+				return
+			}
+			e := st[len(st)-1]
+			st = st[:len(st)-1]
+			if h.Len() < k || e.diff2 < (*h)[0].d2 {
+				id = e.id
+				break
+			}
+		}
+	}
+}
+
+// scanLeaf runs one leaf bucket through the neighbour heap. The warm-up
+// phase (heap not yet holding k candidates) pays the full distance and
+// pushes unconditionally; the steady phase runs the branch-minimal kernel
+// against the current worst-of-k distance and replaces the heap root on
+// acceptance — exactly the two cases of the recursive leaf scan, with the
+// heap-fullness branch hoisted out of the per-point loop.
+func (t *kdTree) scanLeaf(id int32, q []float64, k int, h *neighborHeap) {
+	slot := t.first[id]
+	c := t.count[id]
+	off := int(slot) * t.dims
+	s := int32(0)
+	for ; s < c && h.Len() < k; s++ {
+		h.push(neighbor{int(t.ptIdx[slot+s]), sqDist(q, t.coords[off:off+t.dims])})
+		off += t.dims
+	}
+	for ; s < c; s++ {
+		p := t.coords[off : off+t.dims]
+		off += t.dims
+		if d2, within := leafDistWithin(q, p, (*h)[0].d2); within {
+			(*h)[0] = neighbor{int(t.ptIdx[slot+s]), d2}
+			h.fixRoot()
+		}
+	}
+}
+
+// leafDistWithin is the leaf-scan distance kernel: squared Euclidean
+// distance with the partial-distance exit hoisted from once per dimension
+// to once per unrolled 4-wide block. Rejection is unchanged — partial sums
+// are monotone, so "some prefix ≥ bound" and "the full sum ≥ bound" are
+// the same predicate no matter how often it is tested — and accepted sums
+// accumulate through a single accumulator in the same dimension order as
+// sqDist, so accepted values are bit-identical too. (A multi-accumulator
+// reassociation would vectorize better but change float results; the
+// frozen parity oracles forbid that.)
+func leafDistWithin(q, p []float64, bound float64) (float64, bool) {
+	p = p[:len(q)] // bounds-check hint for the unrolled loads below
+	var s float64
+	i := 0
+	for ; i+4 <= len(q); i += 4 {
+		d0 := q[i] - p[i]
+		s += d0 * d0
+		d1 := q[i+1] - p[i+1]
+		s += d1 * d1
+		d2 := q[i+2] - p[i+2]
+		s += d2 * d2
+		d3 := q[i+3] - p[i+3]
+		s += d3 * d3
+		if s >= bound {
+			return 0, false
+		}
+	}
+	for ; i < len(q); i++ {
+		d := q[i] - p[i]
+		s += d * d
+	}
+	if s >= bound {
+		return 0, false
+	}
+	return s, true
 }
 
 // sqDistWithin is sqDist with an early exit once the partial sum reaches
 // bound. Partial sums only grow, so a rejected point is exactly a point
 // whose full distance would fail the d2 < bound test, and an accepted
 // point's distance is the same sum in the same order — selection and
-// values are bit-identical to the full computation.
+// values are bit-identical to the full computation. leafDistWithin is the
+// block-unrolled form of the same predicate; this scalar form is kept as
+// the reference (the parity oracle scans with it).
 func sqDistWithin(a, b []float64, bound float64) (float64, bool) {
 	var s float64
 	for i := range a {
@@ -193,35 +303,4 @@ func sqDistWithin(a, b []float64, bound float64) (float64, bool) {
 		}
 	}
 	return s, true
-}
-
-func (t *kdTree) searchNode(id int32, q []float64, k int, h *neighborHeap) {
-	if c := t.count[id]; c > 0 {
-		// Leaf: scan the contiguous bucket.
-		slot := t.first[id]
-		off := int(slot) * t.dims
-		for s := int32(0); s < c; s++ {
-			p := t.coords[off : off+t.dims]
-			off += t.dims
-			if h.Len() < k {
-				h.push(neighbor{int(t.ptIdx[slot+s]), sqDist(q, p)})
-			} else if d2, within := sqDistWithin(q, p, (*h)[0].d2); within {
-				(*h)[0] = neighbor{int(t.ptIdx[slot+s]), d2}
-				h.fixRoot()
-			}
-		}
-		return
-	}
-	diff := q[t.axis[id]] - t.thresh[id]
-	near := t.first[id]
-	far := near + 1
-	if diff > 0 {
-		near, far = far, near
-	}
-	t.searchNode(near, q, k, h)
-	// Visit the far side only if the splitting plane could hide a closer
-	// point than the current k-th best.
-	if h.Len() < k || diff*diff < (*h)[0].d2 {
-		t.searchNode(far, q, k, h)
-	}
 }

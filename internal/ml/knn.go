@@ -75,7 +75,7 @@ func (k *KNN) PredictBuf(x []float64, b *Buf) float64 {
 	b.row = k.std.ApplyInto(b.row, x)
 	b.heap = b.heap[:0]
 	if k.tree != nil {
-		k.tree.search(b.row, k.cfg.K, &b.heap)
+		k.tree.search(b.row, k.cfg.K, &b.heap, &b.stack)
 	} else {
 		k.bruteSearch(b.row, &b.heap)
 	}
@@ -83,13 +83,45 @@ func (k *KNN) PredictBuf(x []float64, b *Buf) float64 {
 	return k.blend(b.sorted)
 }
 
+// PredictBatch predicts every row of xs. Results are bit-identical to
+// calling Predict per row; see PredictBatchBuf for the allocation-free
+// form the schedulers use.
+func (k *KNN) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	var b Buf
+	for i, x := range xs {
+		out[i] = k.PredictBuf(x, &b)
+	}
+	return out
+}
+
+// PredictBatchBuf predicts n feature rows stored row-major in xs
+// (len(xs) == n * feature-dims) into out[:n]. Every per-row result is
+// bit-identical to PredictBuf on that row: the batch shares one
+// standardized-row buffer, one neighbour heap and one traversal stack
+// across all queries — a table fill pays the scratch setup once instead
+// of per query — but each query's descent, leaf scans and blend run in
+// exactly the per-query order. (A fused multi-query descent would reorder
+// leaf visits between queries and break bit-identity under exact distance
+// ties, which duplicate-heavy feature columns make common.)
+func (k *KNN) PredictBatchBuf(xs []float64, n int, out []float64, b *Buf) {
+	if n <= 0 {
+		return
+	}
+	d := len(xs) / n
+	for i := 0; i < n; i++ {
+		out[i] = k.PredictBuf(xs[i*d:(i+1)*d], b)
+	}
+}
+
 // Neighbors exposes the raw nearest neighbours (index, squared distance)
 // for diagnostics and tests.
 func (k *KNN) Neighbors(x []float64) []neighborInfo {
 	q := k.std.Apply(x)
 	var h neighborHeap
+	var stack []kdTask
 	if k.tree != nil {
-		k.tree.search(q, k.cfg.K, &h)
+		k.tree.search(q, k.cfg.K, &h, &stack)
 	} else {
 		k.bruteSearch(q, &h)
 	}
@@ -234,4 +266,5 @@ func (h *neighborHeap) sortedInto(dst []neighbor) []neighbor {
 var (
 	_ Regressor         = (*KNN)(nil)
 	_ BufferedRegressor = (*KNN)(nil)
+	_ BatchRegressor    = (*KNN)(nil)
 )

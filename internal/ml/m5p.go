@@ -50,14 +50,14 @@ func DefaultM5PConfig(minLeaf int) M5PConfig {
 // M5P is a fitted model tree. Inference runs over a flat structure of
 // arrays: per-node columns (split feature/threshold, child and parent
 // links, instance counts) plus all linear-model coefficients packed into
-// one contiguous backing slice. Predict descends iteratively and, with
-// smoothing on, blends ancestor models walking the parent links back up —
-// no recursion, no per-node heap objects, no pointer chasing.
+// one contiguous backing slice. Predict descends iteratively and evaluates
+// exactly one linear model — with smoothing on, the per-leaf effective
+// model that compile folded the whole ancestor blend into — no recursion,
+// no per-node heap objects, no pointer chasing.
 //
 // Training still grows a conventional pointer-linked tree (grow/prune
 // need mutable structure); TrainM5P compiles it into the flat layout and
-// drops the pointers. Predictions are bit-identical to the pointer-walk:
-// same models, same blend order, same arithmetic.
+// drops the pointers.
 type M5P struct {
 	cfg      M5PConfig
 	yLo, yHi float64 // training target range, for ClampToRange
@@ -75,6 +75,18 @@ type M5P struct {
 	coefOff   []int32
 	coefLen   []int32
 	coefs     []float64 // all nodes' coefficients, one backing array
+
+	// Precompiled smoothed leaf models. Quinlan's along-path blend
+	// p := (n*p + k*q)/(n + k) is, for a fixed leaf, a fixed affine
+	// combination of the leaf's and its ancestors' linear models — so
+	// compile folds the whole path into one effective model per leaf and
+	// Predict pays a single dot product instead of an LM evaluation per
+	// ancestor. Entries are empty for interior nodes and when smoothing is
+	// off.
+	smIntercept []float64
+	smCoefOff   []int32
+	smCoefLen   []int32
+	smCoefs     []float64
 }
 
 // m5pNode is the mutable training-time representation.
@@ -144,6 +156,84 @@ func (m *M5P) compile(root *m5pNode) {
 	}
 	m.allocNodes(1, -1)
 	m.fillNode(0, root)
+	if m.cfg.Smoothing {
+		m.compileSmoothed()
+	}
+}
+
+// compileSmoothed folds the along-path smoothing blend into one effective
+// linear model per leaf. Walking the blend p := (n_a*p + k*q_a)/(n_a + k)
+// from the leaf to the root multiplies every already-accumulated model's
+// weight by n_a/(n_a+k) and adds ancestor a with weight k/(n_a+k); the
+// resulting per-model weights depend only on the path, so the weighted sum
+// of intercepts and (zero-padded) coefficient vectors is the smoothed
+// prediction as a single affine model.
+func (m *M5P) compileSmoothed() {
+	nn := len(m.feature)
+	m.smIntercept = append(m.smIntercept[:0], make([]float64, nn)...)
+	m.smCoefOff = append(m.smCoefOff[:0], make([]int32, nn)...)
+	m.smCoefLen = append(m.smCoefLen[:0], make([]int32, nn)...)
+	m.smCoefs = m.smCoefs[:0]
+	k := m.cfg.SmoothK
+	var coef []float64
+	for id := 0; id < nn; id++ {
+		if m.feature[id] >= 0 {
+			continue // interior
+		}
+		// Path width: the widest model the blend touches.
+		width := int(m.coefLen[id])
+		for a := m.parent[id]; a >= 0; a = m.parent[a] {
+			if w := int(m.coefLen[a]); w > width {
+				width = w
+			}
+		}
+		if cap(coef) < width {
+			coef = make([]float64, width)
+		}
+		coef = coef[:width]
+		for j := range coef {
+			coef[j] = 0
+		}
+		// Leaf model starts with weight 1; each ancestor rescales the
+		// accumulated sum and joins with its own blend share.
+		inter := m.intercept[id]
+		off := int(m.coefOff[id])
+		for j := 0; j < int(m.coefLen[id]); j++ {
+			coef[j] = m.coefs[off+j]
+		}
+		for a := m.parent[id]; a >= 0; a = m.parent[a] {
+			keep := m.n[a] / (m.n[a] + k)
+			add := k / (m.n[a] + k)
+			inter *= keep
+			for j := range coef {
+				coef[j] *= keep
+			}
+			inter += add * m.intercept[a]
+			off := int(m.coefOff[a])
+			for j := 0; j < int(m.coefLen[a]); j++ {
+				coef[j] += add * m.coefs[off+j]
+			}
+		}
+		m.smIntercept[id] = inter
+		m.smCoefOff[id] = int32(len(m.smCoefs))
+		m.smCoefLen[id] = int32(width)
+		m.smCoefs = append(m.smCoefs, coef...)
+	}
+}
+
+// smPredict evaluates leaf id's precompiled smoothed model, truncating at
+// the row width exactly as lmPredict zero-pads short rows.
+func (m *M5P) smPredict(id int32, x []float64) float64 {
+	y := m.smIntercept[id]
+	off := int(m.smCoefOff[id])
+	n := int(m.smCoefLen[id])
+	if n > len(x) {
+		n = len(x)
+	}
+	for j, c := range m.smCoefs[off : off+n] {
+		y += c * x[j]
+	}
+	return y
 }
 
 // allocNodes appends count zeroed node records with the given parent and
@@ -346,10 +436,9 @@ func (m *M5P) Predict(x []float64) float64 {
 	return v
 }
 
-// predictRaw descends the flat node columns to the leaf; with smoothing it
-// then walks the parent links back to the root blending each ancestor
-// model in — p := (n*p + k*q) / (n + k) — deepest ancestor first, exactly
-// the order of the recursive formulation.
+// predictRaw descends the flat node columns to the leaf and evaluates the
+// leaf's model — the precompiled smoothed one when smoothing is on (see
+// compileSmoothed), the plain leaf model otherwise.
 func (m *M5P) predictRaw(x []float64) float64 {
 	id := int32(0)
 	for m.feature[id] >= 0 {
@@ -359,15 +448,10 @@ func (m *M5P) predictRaw(x []float64) float64 {
 			id = m.left[id] + 1
 		}
 	}
-	p := m.lmPredict(id, x)
-	if !m.cfg.Smoothing {
-		return p
+	if m.cfg.Smoothing {
+		return m.smPredict(id, x)
 	}
-	for a := m.parent[id]; a >= 0; a = m.parent[a] {
-		q := m.lmPredict(a, x)
-		p = (m.n[a]*p + m.cfg.SmoothK*q) / (m.n[a] + m.cfg.SmoothK)
-	}
-	return p
+	return m.lmPredict(id, x)
 }
 
 // NumNodes returns the total node count of the flat layout.

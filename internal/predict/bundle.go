@@ -219,7 +219,10 @@ func (b *Bundle) PredictSLA(terms model.SLATerms, load model.Load, grantedCPUPct
 	return b.PredictSLABuf(&s, terms, load, grantedCPUPct, memDeficitFrac, queueLen, latencySec)
 }
 
-// PredictSLABuf is PredictSLA over caller scratch.
+// PredictSLABuf is PredictSLA over caller scratch. It is the
+// one-query composition of PredictSLAProcBuf and ComposeSLA, with the RT
+// prediction skipped when the latency shift cannot change the answer
+// (zero latency or zero processing SLA).
 func (b *Bundle) PredictSLABuf(s *Scratch, terms model.SLATerms, load model.Load, grantedCPUPct, memDeficitFrac, queueLen, latencySec float64) float64 {
 	s.feat = VMSLAFeaturesInto(s.feat, load, grantedCPUPct, memDeficitFrac, queueLen)
 	v := ml.PredictBuffered(b.VMSLA, s.feat, &s.buf)
@@ -233,12 +236,84 @@ func (b *Bundle) PredictSLABuf(s *Scratch, terms model.SLATerms, load model.Load
 		return v
 	}
 	rtProc := b.PredictRTBuf(s, load, grantedCPUPct, memDeficitFrac, queueLen)
+	return ComposeSLA(terms, v, rtProc, latencySec)
+}
+
+// PredictSLAProcBuf predicts the latency-independent processing stage of
+// the SLA model: the k-NN processing SLA clamped to [0, 1] plus the
+// predicted processing response time the latency composition needs.
+// rtProc is 0 whenever slaProc is 0 (ComposeSLA short-circuits there, so
+// the RT model is never consulted — matching PredictSLABuf's laziness).
+// ComposeSLA(terms, slaProc, rtProc, lat) then equals
+// PredictSLABuf(..., lat) bit for bit: this split is what lets a
+// scheduling-round table fill run the expensive models once per VM and
+// derive every candidate DC's SLA analytically.
+func (b *Bundle) PredictSLAProcBuf(s *Scratch, load model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) (slaProc, rtProc float64) {
+	s.feat = VMSLAFeaturesInto(s.feat, load, grantedCPUPct, memDeficitFrac, queueLen)
+	v := ml.PredictBuffered(b.VMSLA, s.feat, &s.buf)
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	if v == 0 {
+		return 0, 0
+	}
+	return v, b.PredictRTBuf(s, load, grantedCPUPct, memDeficitFrac, queueLen)
+}
+
+// PredictSLAProcBatchBuf is PredictSLAProcBuf over n prepared feature
+// rows, stored row-major in rows (len(rows) == n*SLAFeatureDims; build
+// them with VMSLAFeaturesAppend). It fills slaProc[:n] and rtProc[:n].
+// The SLA and RT models share the row layout, so each row is standardized
+// and queried as-is by both; per-row results are bit-identical to
+// PredictSLAProcBuf. The k-NN runs through its batch path — one shared
+// scratch, one traversal stack — which is where a (VM, DC) table fill's
+// query volume gets amortized.
+func (b *Bundle) PredictSLAProcBatchBuf(s *Scratch, rows []float64, n int, slaProc, rtProc []float64) {
+	if n <= 0 {
+		return
+	}
+	ml.PredictBatchBuffered(b.VMSLA, rows, n, slaProc, &s.buf)
+	d := len(rows) / n
+	for i := 0; i < n; i++ {
+		v := slaProc[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		slaProc[i] = v
+		if v == 0 {
+			rtProc[i] = 0
+			continue
+		}
+		rt := ml.PredictBuffered(b.VMRT, rows[i*d:(i+1)*d], &s.buf)
+		if rt < 0 {
+			rt = 0
+		}
+		rtProc[i] = rt
+	}
+}
+
+// ComposeSLA folds client latency into a processing-stage prediction —
+// the analytic tail of PredictSLA (Figure 3, constraints 6.2-6.3 then 7):
+// the predicted processing response time is shifted through the contract
+// curve and the processing SLA scaled by the fulfilment ratio. It must
+// stay bit-identical to the tail of PredictSLABuf; in particular the
+// ratio is computed before the multiply, matching the original v *= s/b.
+func ComposeSLA(terms model.SLATerms, slaProc, rtProc, latencySec float64) float64 {
+	if latencySec <= 0 || slaProc == 0 {
+		return slaProc
+	}
 	base := terms.Fulfilment(rtProc)
 	if base <= 1e-9 {
 		return 0
 	}
 	shifted := terms.Fulfilment(rtProc + latencySec)
-	v *= shifted / base
+	v := slaProc * (shifted / base)
 	if v > 1 {
 		v = 1
 	}

@@ -117,7 +117,16 @@ func VMSLAFeatures(l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64
 
 // VMSLAFeaturesInto is VMSLAFeatures into dst's reused capacity.
 func VMSLAFeaturesInto(dst []float64, l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) []float64 {
-	return append(dst[:0],
+	return VMSLAFeaturesAppend(dst[:0], l, grantedCPUPct, memDeficitFrac, queueLen)
+}
+
+// VMSLAFeaturesAppend appends the VMSLA feature row to dst without
+// truncating it — the batch-matrix building form of VMSLAFeaturesInto.
+// The row layout is identical to VMRTFeatures (asserted by
+// TestSLAAndRTFeatureLayoutsMatch), which is what lets one prepared row
+// serve both the SLA and the RT model in the batched proc predictor.
+func VMSLAFeaturesAppend(dst []float64, l model.Load, grantedCPUPct, memDeficitFrac, queueLen float64) []float64 {
+	return append(dst,
 		l.RPS,
 		l.CPUTimeReq*1000,
 		grantedCPUPct,
@@ -125,6 +134,9 @@ func VMSLAFeaturesInto(dst []float64, l model.Load, grantedCPUPct, memDeficitFra
 		queueLen,
 	)
 }
+
+// SLAFeatureDims is the width of one VMSLA/VMRT feature row.
+const SLAFeatureDims = 5
 
 // VMSLAFeatureNames labels VMSLAFeatures.
 func VMSLAFeatureNames() []string {

@@ -57,6 +57,78 @@ func TestFeatureWidthsMatchNames(t *testing.T) {
 	}
 }
 
+// TestSLAAndRTFeatureLayoutsMatch pins the invariant the batched proc
+// predictor relies on: the VMSLA and VMRT models consume the identical
+// feature row, so one prepared row may be fed to both. If either layout
+// ever diverges, PredictSLAProcBatchBuf must build separate rows.
+func TestSLAAndRTFeatureLayoutsMatch(t *testing.T) {
+	l := model.Load{RPS: 37.5, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.0125}
+	sla := VMSLAFeatures(l, 123.4, 0.25, 77)
+	rt := VMRTFeatures(l, 123.4, 0.25, 77)
+	if len(sla) != len(rt) || len(sla) != SLAFeatureDims {
+		t.Fatalf("layout widths diverged: sla %d, rt %d, const %d", len(sla), len(rt), SLAFeatureDims)
+	}
+	for i := range sla {
+		if sla[i] != rt[i] {
+			t.Fatalf("feature %d diverged: sla %v != rt %v", i, sla[i], rt[i])
+		}
+	}
+	if got := VMSLAFeaturesAppend(nil, l, 123.4, 0.25, 77); len(got) != len(sla) {
+		t.Fatalf("append form width %d != %d", len(got), len(sla))
+	}
+}
+
+// TestSLAProcComposeMatchesPredictSLA proves the two-stage split is a
+// bit-identical refactor: PredictSLAProcBuf + ComposeSLA must reproduce
+// PredictSLABuf exactly for every latency (including zero), and the batch
+// form must reproduce the single-query form row by row.
+func TestSLAProcComposeMatchesPredictSLA(t *testing.T) {
+	b := trainedBundle(t)
+	terms := model.DefaultSLATerms
+	loads := []model.Load{
+		{RPS: 5, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01},
+		{RPS: 60, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01},
+		{RPS: 200, BytesInReq: 300, BytesOutRq: 5000, CPUTimeReq: 0.03},
+	}
+	grants := []float64{10, 50, 200, 390}
+	queues := []float64{0, 40, 5000}
+	lats := []float64{0, 0.012, 0.08, 0.5}
+
+	var s1, s2, s3 Scratch
+	var rows []float64
+	var qLoads []model.Load
+	var qGrants, qDefs, qQueues []float64
+	for _, l := range loads {
+		for _, g := range grants {
+			for _, q := range queues {
+				memDef := 0.0
+				if g < 100 {
+					memDef = 0.3
+				}
+				rows = VMSLAFeaturesAppend(rows, l, g, memDef, q)
+				qLoads = append(qLoads, l)
+				qGrants, qDefs, qQueues = append(qGrants, g), append(qDefs, memDef), append(qQueues, q)
+			}
+		}
+	}
+	n := len(qLoads)
+	slaProc := make([]float64, n)
+	rtProc := make([]float64, n)
+	b.PredictSLAProcBatchBuf(&s3, rows, n, slaProc, rtProc)
+	for i := 0; i < n; i++ {
+		sp, rp := b.PredictSLAProcBuf(&s1, qLoads[i], qGrants[i], qDefs[i], qQueues[i])
+		if sp != slaProc[i] || rp != rtProc[i] {
+			t.Fatalf("row %d: batch proc (%v,%v) != single proc (%v,%v)", i, slaProc[i], rtProc[i], sp, rp)
+		}
+		for _, lat := range lats {
+			want := b.PredictSLABuf(&s2, terms, qLoads[i], qGrants[i], qDefs[i], qQueues[i], lat)
+			if got := ComposeSLA(terms, sp, rp, lat); got != want {
+				t.Fatalf("row %d lat %v: compose %v != PredictSLA %v", i, lat, got, want)
+			}
+		}
+	}
+}
+
 func TestMemDeficitFrac(t *testing.T) {
 	if MemDeficitFrac(512, 512) != 0 {
 		t.Fatal("no deficit expected")

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/par"
@@ -29,6 +30,14 @@ type BestFit struct {
 	// round. Without it, borderline decisions oscillate every round and
 	// the migration blackouts eat the SLA the moves were meant to save.
 	MinGainEUR float64
+	// Delta enables incremental rounds: the Round memoizes its per-VM fill
+	// outputs across Schedule calls and re-estimates only the VMs whose
+	// monitored features moved beyond DeltaEpsilon (see Round.SetDelta).
+	Delta bool
+	// DeltaEpsilon is the relative feature-movement tolerance for reuse;
+	// 0 demands bit-exact equality, making delta rounds placement-identical
+	// to full rounds.
+	DeltaEpsilon float64
 	// label overrides the reported name (e.g. "bestfit-ml").
 	label string
 
@@ -41,7 +50,28 @@ type BestFit struct {
 	sorter    demandSorter
 	curVM     int
 	evalFn    func(worker, j int)
+	stats     RoundStats
 }
+
+// RoundStats is the phase instrumentation of one scheduling round: where
+// the wall-clock went (table fill, candidate scoring, reduction — argmax,
+// hysteresis and commit) and how much work the delta memo saved.
+type RoundStats struct {
+	FillNS         int64
+	ScoreNS        int64
+	ReduceNS       int64
+	RowsReused     int
+	RowsRecomputed int
+}
+
+// RoundStatsReporter is implemented by schedulers exposing per-round phase
+// instrumentation; harnesses probe for it to add timing columns.
+type RoundStatsReporter interface {
+	LastRoundStats() RoundStats
+}
+
+// LastRoundStats implements RoundStatsReporter for the last Schedule call.
+func (b *BestFit) LastRoundStats() RoundStats { return b.stats }
 
 // DefaultMinGainEUR is roughly 10% of one VM's per-round revenue at the
 // paper's €0.17/VMh pricing and 10-minute rounds.
@@ -103,6 +133,8 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 		}
 	}
 	r := &b.round
+	r.SetDelta(b.Delta, b.DeltaEpsilon)
+	start := time.Now()
 	if err := r.ResetParallel(p, b.Cost, b.Est, workers, b.scratches); err != nil {
 		return err
 	}
@@ -124,7 +156,9 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 	if workers > nh {
 		workers = nh
 	}
+	var scoreNS int64
 	for _, i := range b.order {
+		t0 := time.Now()
 		if workers > 1 {
 			b.curVM = i
 			par.ForEachWorker(nh, workers, b.evalFn)
@@ -133,6 +167,7 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 				b.scores[j] = r.Profit(i, j)
 			}
 		}
+		scoreNS += time.Since(t0).Nanoseconds()
 		best := 0
 		for j := 1; j < nh; j++ {
 			if b.scores[j] > b.scores[best] {
@@ -147,6 +182,16 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 		}
 		r.Assign(i, best)
 		placement[p.VMs[i].Spec.ID] = r.HostID(best)
+	}
+	fillNS, reused, recomputed := r.FillStats()
+	total := time.Since(start).Nanoseconds()
+	reduceNS := total - fillNS - scoreNS
+	if reduceNS < 0 {
+		reduceNS = 0
+	}
+	b.stats = RoundStats{
+		FillNS: fillNS, ScoreNS: scoreNS, ReduceNS: reduceNS,
+		RowsReused: reused, RowsRecomputed: recomputed,
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"repro/internal/model"
 	"repro/internal/predict"
 )
@@ -19,12 +21,85 @@ type Scratch struct {
 	// DC) tuples repeat across hosts with equal availability, and
 	// estimators are pure — so the answers are memoized here per VM. The
 	// cache is scoped to one (Round generation, VM) and holds exact-match
-	// float keys, so hits return bit-identical values.
+	// float keys, so hits return bit-identical values. For proc-split
+	// estimators the entry stores the latency-independent processing pair
+	// under dc == -1 and the caller composes latency per host, so one
+	// entry serves every DC.
 	cacheRound *Round
 	cacheGen   uint64
 	cacheVM    int
 	cacheN     int
 	cache      [profitCacheSize]profitCacheEntry
+
+	// Batched-fill scratch: the grant vector, the processing-stage outputs
+	// and (inside the estimator) the feature matrix of one fill chunk.
+	grants  []float64
+	slaProc []float64
+	rtProc  []float64
+	rows    []float64
+
+	// Marginal-energy memo: while one VM is scored against every host,
+	// hosts in the same tentative state (all still-empty hosts, notably)
+	// pose the identical PM-CPU query, so the marginal facility watts are
+	// memoized per exact host-state key in a direct-mapped table. Slots
+	// are validated by an epoch stamp (bumped when the scored VM changes)
+	// instead of being cleared, and a last-key fast path serves the long
+	// runs of identically-stated hosts without hashing. PMCPU is pure and
+	// the keys are exact floats, so hits are bit-identical; collisions
+	// merely recompute.
+	eRound *Round
+	eGen   uint64
+	eVM    int
+	eEpoch uint64
+	eLast  energyKey
+	eLastW float64
+	eKeys  [energyCacheSize]energyKey
+	eWatts [energyCacheSize]float64
+}
+
+// energyCacheSize is the direct-mapped marginal-energy table size (power
+// of two; sized past the distinct tentative host states one VM's scan can
+// meet on the largest preset).
+const energyCacheSize = 512
+
+type energyKey struct {
+	sumCPU, sumRPS, cap, vmCPU float64
+	guests                     int
+	epoch                      uint64
+}
+
+// marginalWatts returns the marginal facility draw of adding VM i (using
+// vmCPU of its tentative grant) to host j, memoized on the host's exact
+// tentative state. The baseline draw is itself a pure function of that
+// state, so the whole difference memoizes.
+func (s *Scratch) marginalWatts(r *Round, i, j int, vmCPU float64) float64 {
+	if s.eRound != r || s.eGen != r.gen || s.eVM != i {
+		s.eRound, s.eGen, s.eVM = r, r.gen, i
+		s.eEpoch++
+	}
+	guests, sumCPU, sumRPS, cap := r.hGuests[j], r.hSumCPU[j], r.hSumRPS[j], r.hCapCPU[j]
+	if l := &s.eLast; l.epoch == s.eEpoch && l.guests == guests && l.sumCPU == sumCPU &&
+		l.sumRPS == sumRPS && l.cap == cap && l.vmCPU == vmCPU {
+		return s.eLastW
+	}
+	h := math.Float64bits(sumCPU)
+	h ^= math.Float64bits(sumRPS) * 0x9E3779B97F4A7C15
+	h ^= math.Float64bits(cap) + uint64(guests)
+	h = (h ^ h>>29) * 0xBF58476D1CE4E5B9
+	slot := (h ^ h>>32) & (energyCacheSize - 1)
+	e := &s.eKeys[slot]
+	if e.epoch == s.eEpoch && e.guests == guests && e.sumCPU == sumCPU &&
+		e.sumRPS == sumRPS && e.cap == cap && e.vmCPU == vmCPU {
+		s.eLast, s.eLastW = *e, s.eWatts[slot]
+		return s.eWatts[slot]
+	}
+	newPM := r.est.PMCPU(guests+1, sumCPU+vmCPU, sumRPS+r.vms[i].Total.RPS, s)
+	newPM = clampF(newPM, 0, cap)
+	w := r.facilityWatts(newPM) - r.hWattsBefore[j]
+	*e = energyKey{sumCPU: sumCPU, sumRPS: sumRPS, cap: cap, vmCPU: vmCPU, guests: guests, epoch: s.eEpoch}
+	s.eLast, s.eLastW = *e, w
+	s.eWatts[slot] = w
+	return w
 }
 
 // profitCacheSize bounds the per-VM congested-grant memo; one VM rarely
@@ -35,8 +110,11 @@ const profitCacheSize = 16
 type profitCacheEntry struct {
 	grantCPU, memDef float64
 	dc               int
-	sla, vmCPU       float64
-	hasSLA, hasCPU   bool
+	// sla holds the composed fulfilment for plain estimators (dc in the
+	// key), or the latency-free processing fulfilment for proc-split
+	// estimators (dc == -1, rt carries the processing RT).
+	sla, rt, vmCPU float64
+	hasSLA, hasCPU bool
 }
 
 // profitEntry returns the memo slot for the exact key, resetting the cache
@@ -85,6 +163,37 @@ type Estimator interface {
 	PMCPU(nGuests int, sumVMCPUPct, sumRPS float64, s *Scratch) float64
 	// Name identifies the estimator in reports.
 	Name() string
+}
+
+// SLAProcEstimator is an Estimator whose SLA model factors into a
+// latency-independent *processing* stage plus an analytic latency
+// composition. The factoring is the central table-fill lever: the
+// processing stage depends only on (VM, grant), not on the DC, so one
+// query serves every DC row of the (VM, DC) tables and the per-DC work
+// shrinks to the closed-form compose step.
+//
+// Contract: ComposeSLA(vm, SLAProc(vm, g, d), lat) must equal
+// SLA(vm, g, d, lat) bit-for-bit for every latency (including zero), and
+// SLA's ok must be constant-true — an estimator without a QoS model must
+// not implement this interface.
+type SLAProcEstimator interface {
+	Estimator
+	// SLAProc predicts the processing-stage fulfilment and response time
+	// under a tentative grant, before any network latency is applied.
+	SLAProc(vm *VMInfo, grantCPUPct, memDeficitFrac float64, s *Scratch) (slaProc, rtProc float64)
+	// ComposeSLA applies a network latency to a processing-stage pair.
+	ComposeSLA(vm *VMInfo, slaProc, rtProc, latencySec float64) float64
+}
+
+// BatchSLAEstimator is an SLAProcEstimator that answers many processing
+// queries in one call, letting the backing model amortize per-query setup
+// (tree descent, buffer churn) over a whole fill chunk. For each position
+// p in idx, the query is (vms[idx[p]], grants[p], memDeficit 0) and the
+// answers land in slaProc[p], rtProc[p] — results must be bit-identical
+// to per-position SLAProc calls.
+type BatchSLAEstimator interface {
+	SLAProcEstimator
+	SLAProcBatch(vms []VMInfo, idx []int32, grants, slaProc, rtProc []float64, s *Scratch)
 }
 
 // Observed sizes VMs by their monitored last-window usage — the plain
@@ -229,6 +338,13 @@ func (m *ML) Required(vm *VMInfo, s *Scratch) model.Resources {
 // drains it (healthy neighbourhoods answer) — this is what restores the
 // profit gradient for a currently-backlogged VM.
 func (m *ML) SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64, s *Scratch) (float64, bool) {
+	l, qAfter := slaQuery(vm, grantCPUPct)
+	return m.Bundle.PredictSLABuf(m.ps(s), vm.Spec.Terms, l, grantCPUPct, memDeficitFrac, qAfter, latencySec), true
+}
+
+// slaQuery builds the SLA model's query point for a tentative grant: the
+// total load plus the counterfactual backlog after one round at that grant.
+func slaQuery(vm *VMInfo, grantCPUPct float64) (model.Load, float64) {
 	l := vm.Total
 	qAfter := vm.QueueLen
 	if l.CPUTimeReq > 0 {
@@ -238,7 +354,37 @@ func (m *ML) SLA(vm *VMInfo, grantCPUPct, memDeficitFrac, latencySec float64, s 
 			qAfter = 0
 		}
 	}
-	return m.Bundle.PredictSLABuf(m.ps(s), vm.Spec.Terms, l, grantCPUPct, memDeficitFrac, qAfter, latencySec), true
+	return l, qAfter
+}
+
+// SLAProc implements SLAProcEstimator: the k-NN SLA query and the RT query
+// share one feature row, so the pair costs one tree descent plus one model
+// evaluation beyond the plain SLA call — and is latency-free, reusable
+// across every DC.
+func (m *ML) SLAProc(vm *VMInfo, grantCPUPct, memDeficitFrac float64, s *Scratch) (float64, float64) {
+	l, qAfter := slaQuery(vm, grantCPUPct)
+	return m.Bundle.PredictSLAProcBuf(m.ps(s), l, grantCPUPct, memDeficitFrac, qAfter)
+}
+
+// ComposeSLA implements SLAProcEstimator via the analytic transport shift.
+func (m *ML) ComposeSLA(vm *VMInfo, slaProc, rtProc, latencySec float64) float64 {
+	return predict.ComposeSLA(vm.Spec.Terms, slaProc, rtProc, latencySec)
+}
+
+// SLAProcBatch implements BatchSLAEstimator: it builds the feature matrix
+// for the whole chunk (memory deficit 0 — the fill grants full memory) and
+// hands it to the bundle's batched k-NN path in one call.
+func (m *ML) SLAProcBatch(vms []VMInfo, idx []int32, grants, slaProc, rtProc []float64, s *Scratch) {
+	if s == nil {
+		s = new(Scratch)
+	}
+	rows := s.rows[:0]
+	for p, i := range idx {
+		l, qAfter := slaQuery(&vms[i], grants[p])
+		rows = predict.VMSLAFeaturesAppend(rows, l, grants[p], 0, qAfter)
+	}
+	s.rows = rows
+	m.Bundle.PredictSLAProcBatchBuf(m.ps(s), rows, len(idx), slaProc, rtProc)
 }
 
 // VMCPUUsage implements Estimator via the learned CPU model.
@@ -262,6 +408,7 @@ func (m *ML) PMCPU(nGuests int, sumVMCPUPct, sumRPS float64, s *Scratch) float64
 }
 
 var (
-	_ Estimator = (*Observed)(nil)
-	_ Estimator = (*ML)(nil)
+	_ Estimator         = (*Observed)(nil)
+	_ Estimator         = (*ML)(nil)
+	_ BatchSLAEstimator = (*ML)(nil)
 )

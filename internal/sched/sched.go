@@ -9,6 +9,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/network"
@@ -161,47 +162,133 @@ type Round struct {
 	needWatts bool
 	gen       uint64 // Reset counter, invalidates scratch-level memos
 	scratch   Scratch
+
+	// Proc-split views of est (nil when the estimator does not factor).
+	estProc  SLAProcEstimator
+	estBatch BatchSLAEstimator
+
+	// fillList is the set of VM rows (re)computed by the current Reset —
+	// all rows normally, only the moved rows in delta mode. fillSlot is
+	// the parallel delta-memo slot per refilled row (delta mode only).
+	fillList []int32
+	fillSlot []int32
+
+	// Delta-round memo (enabled via SetDelta): the per-VM fill outputs of
+	// previous Resets, keyed by VM identity so rows survive index shifts
+	// under churn. A row is reused when its context (estimator, topology,
+	// cost switches, DC set, capacity cap) is unchanged and its feature
+	// signature moved by at most deltaEps (0 = bit-exact reuse). Slots of
+	// departed VMs are swept once the map outgrows the fleet.
+	deltaOn  bool
+	deltaEps float64
+	dCtx     deltaCtx
+	dSlot    map[model.VMID]int32
+	dFree    []int32
+	dUsed    int32
+	dGen     []uint64  // [slot] last r.gen the slot was touched
+	dSig     []float64 // [slot*sigW] feature signature
+	dReq     []model.Resources
+	dCPU     []float64
+	dLat     []float64 // [slot*nDC+dc]
+	dSLA     []float64
+	dMig     []float64
+	sigW     int
+	maxSrc   int // load-vector width the signature layout covers
+	sigTmp   []float64
+
+	// Instrumentation of the last Reset.
+	fillNS                     int64
+	rowsReused, rowsRecomputed int
 }
 
-// fillVMTables computes VM i's row of every per-VM table: the capped
-// requirement, the full-grant CPU usage, and the per-candidate-DC mean
-// latency, full-grant SLA estimate and migration penalty. It reads only
-// immutable round inputs plus the given scratch, so distinct VMs may fill
-// concurrently with distinct scratches.
-func (r *Round) fillVMTables(i int, s *Scratch) {
-	vm := &r.vms[i]
-	// A VM's requirement is capped at the largest host: constraint (2) of
-	// Figure 3 makes asking for more than a whole machine meaningless, and
-	// the cap defuses estimator extrapolation on unseen load levels.
-	req := r.est.Required(vm, s).Max(model.Resources{})
-	if len(r.hID) > 0 {
-		req = req.Min(r.maxCap)
+// deltaCtx is the table-fill context outside the per-VM inputs: any change
+// here invalidates the whole delta memo (the memoized outputs were computed
+// under different rules).
+type deltaCtx struct {
+	est            Estimator
+	top            *network.Topology
+	latencyOnly    bool
+	migrationAware bool
+	hasHosts       bool
+	nDC            int
+	maxCap         model.Resources
+	dcs            []int // copy of the present-DC list, order-sensitive
+	valid          bool
+}
+
+// fillIdx computes the per-VM table rows of every VM in list, in three
+// stages: (1) capped requirements and full-grant CPU usage, which also
+// yields the grant vector; (2) the latency-independent SLA processing
+// stage — one query per VM, batched through the estimator when it supports
+// BatchSLAEstimator, so the k-NN descent is amortized over the whole
+// chunk; (3) the per-candidate-DC latency, composed SLA and migration
+// penalty. It reads only immutable round inputs plus the given scratch, so
+// disjoint lists may fill concurrently with distinct scratches.
+//
+// Estimators without the proc split fall back to the per-(VM, DC) SLA
+// query of the original fill; both paths are bit-identical to it (the
+// split contract requires compose(proc) == SLA exactly).
+func (r *Round) fillIdx(list []int32, s *Scratch) {
+	n := len(list)
+	// Stage 1: requirements and grants. A VM's requirement is capped at
+	// the largest host: constraint (2) of Figure 3 makes asking for more
+	// than a whole machine meaningless, and the cap defuses estimator
+	// extrapolation on unseen load levels.
+	s.grants = grown(s.grants, n)
+	capReq := len(r.hID) > 0
+	for p, i := range list {
+		vm := &r.vms[i]
+		req := r.est.Required(vm, s).Max(model.Resources{})
+		if capReq {
+			req = req.Min(r.maxCap)
+		}
+		r.req[i] = req
+		r.vmCPUFull[i] = r.est.VMCPUUsage(vm, req.CPUPct, s)
+		s.grants[p] = req.CPUPct
 	}
-	r.req[i] = req
-	r.vmCPUFull[i] = r.est.VMCPUUsage(vm, req.CPUPct, s)
-	base := i * r.nDC
-	for _, dc := range r.dcs {
-		lat := r.cost.Top.MeanLatencyFrom(model.DCID(dc), vm.Load)
-		r.latVMDC[base+dc] = lat
-		var sla float64
-		switch {
-		case r.cost.LatencyOnly:
-			sla = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + lat)
-		default:
-			if v, ok := r.est.SLA(vm, req.CPUPct, 0, lat, s); ok {
-				sla = v
-			} else {
-				sla = HeuristicSLA(vm, req, req, lat)
+	// Stage 2: the latency-free processing stage (skipped when the cost
+	// model scores latency only, or the estimator does not factor).
+	useProc := r.estProc != nil && !r.cost.LatencyOnly
+	if useProc {
+		s.slaProc = grown(s.slaProc, n)
+		s.rtProc = grown(s.rtProc, n)
+		if r.estBatch != nil {
+			r.estBatch.SLAProcBatch(r.vms, list, s.grants, s.slaProc, s.rtProc, s)
+		} else {
+			for p, i := range list {
+				s.slaProc[p], s.rtProc[p] = r.estProc.SLAProc(&r.vms[i], s.grants[p], 0, s)
 			}
 		}
-		r.slaFull[base+dc] = sla
-		pen := 0.0
-		if r.cost.MigrationAware && vm.Current != model.NoPM {
-			down := r.cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, model.DCID(dc))
-			// Explicit penalty fee plus the revenue lost while blacked out.
-			pen = 2 * vm.Spec.PriceEURh * down / 3600
+	}
+	// Stage 3: per-DC columns.
+	for p, i := range list {
+		vm := &r.vms[int(i)]
+		base := int(i) * r.nDC
+		for _, dc := range r.dcs {
+			lat := r.cost.Top.MeanLatencyFrom(model.DCID(dc), vm.Load)
+			r.latVMDC[base+dc] = lat
+			var sla float64
+			switch {
+			case r.cost.LatencyOnly:
+				sla = vm.Spec.Terms.Fulfilment(vm.Spec.Terms.RT0/2 + lat)
+			case useProc:
+				sla = r.estProc.ComposeSLA(vm, s.slaProc[p], s.rtProc[p], lat)
+			default:
+				if v, ok := r.est.SLA(vm, s.grants[p], 0, lat, s); ok {
+					sla = v
+				} else {
+					sla = HeuristicSLA(vm, r.req[i], r.req[i], lat)
+				}
+			}
+			r.slaFull[base+dc] = sla
+			pen := 0.0
+			if r.cost.MigrationAware && vm.Current != model.NoPM {
+				down := r.cost.Top.MigrationDuration(vm.Spec.ImageSizeGB, vm.CurrentDC, model.DCID(dc))
+				// Explicit penalty fee plus the revenue lost while blacked out.
+				pen = 2 * vm.Spec.PriceEURh * down / 3600
+			}
+			r.migPen[base+dc] = pen
 		}
-		r.migPen[base+dc] = pen
 	}
 }
 
@@ -230,6 +317,7 @@ func (r *Round) Reset(p *Problem, cost CostModel, est Estimator) error {
 // workers <= 1 (or a short scratch slice) runs serially on the round's
 // own scratch.
 func (r *Round) ResetParallel(p *Problem, cost CostModel, est Estimator, workers int, scratches []Scratch) error {
+	fillStart := time.Now()
 	if err := cost.Validate(); err != nil {
 		return err
 	}
@@ -237,6 +325,8 @@ func (r *Round) ResetParallel(p *Problem, cost CostModel, est Estimator, workers
 		return fmt.Errorf("sched: estimator is nil")
 	}
 	r.cost, r.est, r.vms, r.tick = cost, est, p.VMs, p.Tick
+	r.estProc, _ = est.(SLAProcEstimator)
+	r.estBatch, _ = est.(BatchSLAEstimator)
 	r.gen++
 	nV, nH := len(p.VMs), len(p.Hosts)
 	r.nDC = cost.Top.NumDCs()
@@ -304,17 +394,28 @@ func (r *Round) ResetParallel(p *Problem, cost CostModel, est Estimator, workers
 	r.latVMDC = grown(r.latVMDC, nV*r.nDC)
 	r.slaFull = grown(r.slaFull, nV*r.nDC)
 	r.migPen = grown(r.migPen, nV*r.nDC)
+
+	// Decide which rows to (re)fill. Without delta mode (or after any
+	// context change) that is every row; in delta mode, rows whose memoized
+	// signature still matches are restored from the memo instead.
+	list := r.decideFill()
+	r.rowsRecomputed = len(list)
+	r.rowsReused = nV - len(list)
+
+	// Fill the chosen rows, fanned out as contiguous blocks so the batched
+	// processing stage amortizes over whole chunks rather than single VMs.
 	if workers > len(scratches) {
 		workers = len(scratches)
 	}
-	if workers > 1 && nV > 1 {
-		par.ForEachWorker(nV, workers, func(w, i int) {
-			r.fillVMTables(i, &scratches[w])
+	if workers > 1 && len(list) > 1 {
+		par.ForEachChunkWorker(len(list), workers, func(w, lo, hi int) {
+			r.fillIdx(list[lo:hi], &scratches[w])
 		})
 	} else {
-		for i := 0; i < nV; i++ {
-			r.fillVMTables(i, &r.scratch)
-		}
+		r.fillIdx(list, &r.scratch)
+	}
+	if r.deltaOn {
+		r.storeDelta(list)
 	}
 
 	// Power: grab the raw curve when the model exposes one, then prime the
@@ -329,7 +430,247 @@ func (r *Round) ResetParallel(p *Problem, cost CostModel, est Estimator, workers
 			r.recomputeWattsBefore(j)
 		}
 	}
+	r.fillNS = time.Since(fillStart).Nanoseconds()
 	return nil
+}
+
+// SetDelta switches delta rounds on or off for subsequent Resets. With
+// delta on, the fill outputs of each Reset are memoized per VM identity
+// and reused next Reset for VMs whose feature signature moved by at most
+// eps (relative movement; eps = 0 demands bit-exact equality, making delta
+// rounds placement-identical to full rounds). Changing the mode or the
+// epsilon drops the memo.
+func (r *Round) SetDelta(on bool, eps float64) {
+	if on == r.deltaOn && eps == r.deltaEps {
+		return
+	}
+	r.deltaOn, r.deltaEps = on, eps
+	r.dCtx.valid = false
+	r.dropDelta()
+}
+
+// FillStats reports the instrumentation of the last Reset: the wall-clock
+// nanoseconds of the table fill and the delta-round row counters (with
+// delta off, reused is 0 and recomputed is the fleet size).
+func (r *Round) FillStats() (fillNS int64, rowsReused, rowsRecomputed int) {
+	return r.fillNS, r.rowsReused, r.rowsRecomputed
+}
+
+// sigExactW is the width of the signature's exact-match prefix: identity,
+// placement and contract fields where any change whatsoever invalidates
+// the row (the epsilon tolerance applies only to the monitored features
+// after it).
+const sigExactW = 10
+
+// decideFill returns the list of VM rows the current Reset must compute.
+// In delta mode with an unchanged fill context it restores matching rows
+// from the memo and returns only the moved (or new) rows, recording the
+// memo slot of each so storeDelta can write the fresh outputs back.
+func (r *Round) decideFill() []int32 {
+	nV := len(r.vms)
+	r.fillList = r.fillList[:0]
+	if !r.deltaOn {
+		for i := 0; i < nV; i++ {
+			r.fillList = append(r.fillList, int32(i))
+		}
+		return r.fillList
+	}
+	// A wider load vector than the signature layout covers forces a new
+	// layout, which orphans every stored signature.
+	needSrc := r.maxSrc
+	for i := range r.vms {
+		if n := len(r.vms[i].Load); n > needSrc {
+			needSrc = n
+		}
+	}
+	if needSrc > r.maxSrc || r.sigW == 0 {
+		r.maxSrc = needSrc
+		r.sigW = sigExactW + 4 + 4*r.maxSrc
+		r.dropDelta()
+	}
+	if !r.ctxMatches() {
+		r.ctxStore()
+		r.dropDelta()
+	}
+	r.fillSlot = r.fillSlot[:0]
+	for i := 0; i < nV; i++ {
+		sig := r.buildSig(&r.vms[i], r.sigTmp)
+		r.sigTmp = sig
+		slot, known := r.dSlot[r.vms[i].Spec.ID]
+		if known && sigMatches(r.dSig[int(slot)*r.sigW:int(slot+1)*r.sigW], sig, r.deltaEps) {
+			r.restoreDelta(i, slot)
+			r.dGen[slot] = r.gen
+			continue
+		}
+		if !known {
+			slot = r.allocSlot()
+			r.dSlot[r.vms[i].Spec.ID] = slot
+		}
+		copy(r.dSig[int(slot)*r.sigW:int(slot+1)*r.sigW], sig)
+		r.dGen[slot] = r.gen
+		r.fillList = append(r.fillList, int32(i))
+		r.fillSlot = append(r.fillSlot, slot)
+	}
+	// Sweep slots of departed VMs once the memo clearly outgrows the
+	// fleet, so a churning workload cannot grow it without bound.
+	if int(r.dUsed) > 2*nV+64 {
+		for id, slot := range r.dSlot {
+			if r.dGen[slot] != r.gen {
+				delete(r.dSlot, id)
+				r.dFree = append(r.dFree, slot)
+			}
+		}
+	}
+	return r.fillList
+}
+
+// ctxMatches reports whether the fill context of the previous Reset still
+// holds. The DC list is compared order-sensitively: host order is
+// deterministic for an unchanged problem, and a false negative merely
+// costs one full fill.
+func (r *Round) ctxMatches() bool {
+	c := &r.dCtx
+	if !c.valid || c.est != r.est || c.top != r.cost.Top ||
+		c.latencyOnly != r.cost.LatencyOnly || c.migrationAware != r.cost.MigrationAware ||
+		c.hasHosts != (len(r.hID) > 0) || c.nDC != r.nDC || c.maxCap != r.maxCap ||
+		len(c.dcs) != len(r.dcs) {
+		return false
+	}
+	for k, dc := range r.dcs {
+		if c.dcs[k] != dc {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Round) ctxStore() {
+	r.dCtx = deltaCtx{
+		est: r.est, top: r.cost.Top,
+		latencyOnly: r.cost.LatencyOnly, migrationAware: r.cost.MigrationAware,
+		hasHosts: len(r.hID) > 0, nDC: r.nDC, maxCap: r.maxCap,
+		dcs: append(r.dCtx.dcs[:0], r.dcs...), valid: true,
+	}
+}
+
+// dropDelta forgets every memoized row (slot storage is kept for reuse).
+func (r *Round) dropDelta() {
+	if r.dSlot == nil {
+		r.dSlot = make(map[model.VMID]int32)
+	} else {
+		clear(r.dSlot)
+	}
+	r.dFree = r.dFree[:0]
+	r.dUsed = 0
+}
+
+// buildSig writes the delta signature of vm into dst: the exact-match
+// prefix (placement, spec and SLA-contract fields), then the
+// epsilon-tolerant monitored features (backlog, observed usage, per-source
+// load), padded to the fixed layout width.
+func (r *Round) buildSig(vm *VMInfo, dst []float64) []float64 {
+	cur := 0.0
+	if vm.HasObserved {
+		cur = 1
+	}
+	dst = append(dst[:0],
+		float64(vm.Current), float64(vm.CurrentDC), cur,
+		vm.Spec.PriceEURh, vm.Spec.ImageSizeGB, vm.Spec.BaseMemMB, vm.Spec.MaxMemMB,
+		vm.Spec.Terms.RT0, vm.Spec.Terms.Alpha, float64(len(vm.Load)),
+		vm.QueueLen, vm.Observed.CPUPct, vm.Observed.MemMB, vm.Observed.BWMbps,
+	)
+	for _, l := range vm.Load {
+		dst = append(dst, l.RPS, l.BytesInReq, l.BytesOutRq, l.CPUTimeReq)
+	}
+	for len(dst) < r.sigW {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// sigMatches reports whether a stored signature still covers the current
+// one: the exact prefix must be identical, and each later feature may move
+// at most eps relative to the larger magnitude (eps <= 0: bit-exact).
+func sigMatches(old, cur []float64, eps float64) bool {
+	for i := 0; i < sigExactW; i++ {
+		if old[i] != cur[i] {
+			return false
+		}
+	}
+	if eps <= 0 {
+		for i := sigExactW; i < len(old); i++ {
+			if old[i] != cur[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := sigExactW; i < len(old); i++ {
+		d := old[i] - cur[i]
+		if d < 0 {
+			d = -d
+		}
+		m := old[i]
+		if m < 0 {
+			m = -m
+		}
+		if c := cur[i]; c > m {
+			m = c
+		} else if -c > m {
+			m = -c
+		}
+		if d > eps*m {
+			return false
+		}
+	}
+	return true
+}
+
+// allocSlot hands out a memo slot, growing the backing columns while
+// preserving the rows already stored.
+func (r *Round) allocSlot() int32 {
+	if n := len(r.dFree); n > 0 {
+		s := r.dFree[n-1]
+		r.dFree = r.dFree[:n-1]
+		return s
+	}
+	s := r.dUsed
+	r.dUsed++
+	n := int(r.dUsed)
+	r.dGen = growKeep(r.dGen, n)
+	r.dSig = growKeep(r.dSig, n*r.sigW)
+	r.dReq = growKeep(r.dReq, n)
+	r.dCPU = growKeep(r.dCPU, n)
+	r.dLat = growKeep(r.dLat, n*r.nDC)
+	r.dSLA = growKeep(r.dSLA, n*r.nDC)
+	r.dMig = growKeep(r.dMig, n*r.nDC)
+	return s
+}
+
+// restoreDelta copies a memoized row into the round tables. Absent-DC
+// entries ride along; they are stale in the memo exactly as they would be
+// in a fresh fill, and the tables' contract already forbids reading them.
+func (r *Round) restoreDelta(i int, slot int32) {
+	r.req[i] = r.dReq[slot]
+	r.vmCPUFull[i] = r.dCPU[slot]
+	base, mbase := i*r.nDC, int(slot)*r.nDC
+	copy(r.latVMDC[base:base+r.nDC], r.dLat[mbase:mbase+r.nDC])
+	copy(r.slaFull[base:base+r.nDC], r.dSLA[mbase:mbase+r.nDC])
+	copy(r.migPen[base:base+r.nDC], r.dMig[mbase:mbase+r.nDC])
+}
+
+// storeDelta writes the freshly filled rows back into the memo (their
+// signatures were stored by decideFill).
+func (r *Round) storeDelta(list []int32) {
+	for p, i := range list {
+		slot := r.fillSlot[p]
+		r.dReq[slot] = r.req[i]
+		r.dCPU[slot] = r.vmCPUFull[i]
+		base, mbase := int(i)*r.nDC, int(slot)*r.nDC
+		copy(r.dLat[mbase:mbase+r.nDC], r.latVMDC[base:base+r.nDC])
+		copy(r.dSLA[mbase:mbase+r.nDC], r.slaFull[base:base+r.nDC])
+		copy(r.dMig[mbase:mbase+r.nDC], r.migPen[base:base+r.nDC])
+	}
 }
 
 // Required exposes the estimated requirement of VM i.
@@ -417,6 +758,17 @@ func (r *Round) ProfitScratch(i, j int, s *Scratch) float64 {
 	var entry *profitCacheEntry
 	if fits || r.cost.LatencyOnly {
 		slaEst = r.slaFull[base]
+	} else if r.estProc != nil {
+		// Proc-split estimator: memoize the latency-free processing pair
+		// under dc == -1 so one entry serves every DC, and compose the
+		// host's latency per call (closed-form, cheap).
+		grant := req.Min(avail)
+		entry = s.profitEntry(r, i, grant.CPUPct, memDeficitFrac(grant.MemMB, req.MemMB), -1)
+		if !entry.hasSLA {
+			entry.sla, entry.rt = r.estProc.SLAProc(vm, entry.grantCPU, entry.memDef, s)
+			entry.hasSLA = true
+		}
+		slaEst = r.estProc.ComposeSLA(vm, entry.sla, entry.rt, lat)
 	} else {
 		grant := req.Min(avail)
 		entry = s.profitEntry(r, i, grant.CPUPct, memDeficitFrac(grant.MemMB, req.MemMB), dc)
@@ -444,9 +796,7 @@ func (r *Round) ProfitScratch(i, j int, s *Scratch) float64 {
 			}
 			vmCPU = entry.vmCPU
 		}
-		newPM := r.est.PMCPU(r.hGuests[j]+1, r.hSumCPU[j]+vmCPU, r.hSumRPS[j]+vm.Total.RPS, s)
-		newPM = clampF(newPM, 0, r.hCapCPU[j])
-		marginal := r.facilityWatts(newPM) - r.hWattsBefore[j]
+		marginal := s.marginalWatts(r, i, j, vmCPU)
 		profit -= power.EnergyEUR(marginal, r.cost.HorizonHours, r.priceDC[dc])
 	}
 
@@ -528,4 +878,15 @@ func grown[T any](s []T, n int) []T {
 		return make([]T, n)
 	}
 	return s[:n]
+}
+
+// growKeep returns s resized to n, preserving existing contents (the
+// delta-memo columns must survive growth).
+func growKeep[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n, n+n/2+8)
+	copy(ns, s)
+	return ns
 }

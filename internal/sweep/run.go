@@ -57,8 +57,20 @@ type PolicyRun struct {
 	// Rounds counts executed scheduling rounds; RoundMS is their mean
 	// wall-clock latency in milliseconds (not deterministic — excluded
 	// from machine-readable sweep output).
-	Rounds      int
-	RoundMS     float64
+	Rounds  int
+	RoundMS float64
+	// Phase breakdown of the rounds, probed from schedulers implementing
+	// sched.RoundStatsReporter (zero otherwise). FillMS/ScoreMS/ReduceMS
+	// are mean per-round wall milliseconds (non-deterministic, reporting
+	// only); RowsReused/RowsRecomputed are total (VM, DC)-table rows the
+	// delta memo served from cache vs re-estimated — pure counters, and
+	// deterministic like every placement decision.
+	FillMS         float64
+	ScoreMS        float64
+	ReduceMS       float64
+	RowsReused     int
+	RowsRecomputed int
+
 	SLASeries   []float64
 	WattsSeries []float64
 	ActiveSer   []float64
@@ -102,11 +114,31 @@ type RunOpts struct {
 // spent inside scheduling rounds. It forwards the allocation-free
 // ScheduleInto contract when the inner scheduler supports it and falls
 // back to Schedule (copying into the recycled map) when it does not, so
-// wrapping never changes decisions.
+// wrapping never changes decisions. When the inner scheduler implements
+// sched.RoundStatsReporter it also folds in each round's phase breakdown
+// (fill/score/reduce nanoseconds, delta-memo row counters).
 type timedScheduler struct {
 	inner  sched.Scheduler
 	nanos  int64
 	rounds int
+
+	fillNS, scoreNS, reduceNS int64
+	rowsReused                int
+	rowsRecomputed            int
+}
+
+// fold accumulates the phase breakdown of the round that just ran.
+func (t *timedScheduler) fold() {
+	rep, ok := t.inner.(sched.RoundStatsReporter)
+	if !ok {
+		return
+	}
+	st := rep.LastRoundStats()
+	t.fillNS += st.FillNS
+	t.scoreNS += st.ScoreNS
+	t.reduceNS += st.ReduceNS
+	t.rowsReused += st.RowsReused
+	t.rowsRecomputed += st.RowsRecomputed
 }
 
 // intoScheduler mirrors core's optional allocation-free contract.
@@ -121,6 +153,7 @@ func (t *timedScheduler) Schedule(p *sched.Problem) (model.Placement, error) {
 	placement, err := t.inner.Schedule(p)
 	t.nanos += time.Since(start).Nanoseconds()
 	t.rounds++
+	t.fold()
 	return placement, err
 }
 
@@ -129,6 +162,7 @@ func (t *timedScheduler) ScheduleInto(p *sched.Problem, placement model.Placemen
 	defer func() {
 		t.nanos += time.Since(start).Nanoseconds()
 		t.rounds++
+		t.fold()
 	}()
 	if is, ok := t.inner.(intoScheduler); ok {
 		return is.ScheduleInto(p, placement)
@@ -241,8 +275,14 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 	run.PenaltyEUR = ledger.Penalties()
 	run.Rounds = timed.rounds
 	if timed.rounds > 0 {
-		run.RoundMS = float64(timed.nanos) / float64(timed.rounds) / 1e6
+		perRoundMS := func(ns int64) float64 { return float64(ns) / float64(timed.rounds) / 1e6 }
+		run.RoundMS = perRoundMS(timed.nanos)
+		run.FillMS = perRoundMS(timed.fillNS)
+		run.ScoreMS = perRoundMS(timed.scoreNS)
+		run.ReduceMS = perRoundMS(timed.reduceNS)
 	}
+	run.RowsReused = timed.rowsReused
+	run.RowsRecomputed = timed.rowsRecomputed
 	if runner != nil {
 		st := runner.Stats()
 		run.OfferedVMs = st.Offered

@@ -67,7 +67,19 @@ type Cell struct {
 	DepartedVMs    int     `json:"departed_vms"`
 	AdmissionRate  float64 `json:"admission_rate"`
 	MeanPlaceTicks float64 `json:"mean_place_ticks"`
+	// Delta-round row counters: (VM, DC)-table rows served from the memo
+	// vs re-estimated, summed over the cell's rounds. Pure counters —
+	// deterministic, so they are real JSON/CSV columns (zero for
+	// schedulers that do not report round stats).
+	RowsReused     int     `json:"rows_reused"`
+	RowsRecomputed int     `json:"rows_recomputed"`
 	RoundMS        float64 `json:"-"` // mean scheduling-round wall latency
+	// Phase breakdown of RoundMS (table fill, candidate scoring,
+	// everything else); wall-clock like RoundMS, so excluded from the
+	// machine-readable output.
+	FillMS   float64 `json:"-"`
+	ScoreMS  float64 `json:"-"`
+	ReduceMS float64 `json:"-"`
 }
 
 // Stat summarises one metric across the seeds of a (scenario, policy).
@@ -100,7 +112,11 @@ type Aggregate struct {
 	AdmissionRate  Stat    `json:"admission_rate"`
 	RejectedVMs    Stat    `json:"rejected_vms"`
 	MeanPlaceTicks Stat    `json:"mean_place_ticks"`
+	RowsReused     Stat    `json:"rows_reused"`
+	RowsRecomputed Stat    `json:"rows_recomputed"`
 	RoundMS        float64 `json:"-"` // mean wall latency, reporting only
+	FillMS         float64 `json:"-"` // mean table-fill latency, reporting only
+	ScoreMS        float64 `json:"-"` // mean scoring latency, reporting only
 }
 
 // Result is one executed sweep: the matrix echo, every cell in
@@ -193,7 +209,9 @@ func Run(m Matrix) (*Result, error) {
 			OfferedVMs: run.OfferedVMs, AdmittedVMs: run.AdmittedVMs,
 			RejectedVMs: run.RejectedVMs, DepartedVMs: run.DepartedVMs,
 			AdmissionRate: run.AdmissionRate, MeanPlaceTicks: run.MeanPlaceTicks,
+			RowsReused: run.RowsReused, RowsRecomputed: run.RowsRecomputed,
 			RoundMS: run.RoundMS,
+			FillMS:  run.FillMS, ScoreMS: run.ScoreMS, ReduceMS: run.ReduceMS,
 		}
 	})
 	for _, err := range errs {
@@ -230,8 +248,12 @@ func Run(m Matrix) (*Result, error) {
 				AdmissionRate:  metric(si, pi, func(c *Cell) float64 { return c.AdmissionRate }),
 				RejectedVMs:    metric(si, pi, func(c *Cell) float64 { return float64(c.RejectedVMs) }),
 				MeanPlaceTicks: metric(si, pi, func(c *Cell) float64 { return c.MeanPlaceTicks }),
+				RowsReused:     metric(si, pi, func(c *Cell) float64 { return float64(c.RowsReused) }),
+				RowsRecomputed: metric(si, pi, func(c *Cell) float64 { return float64(c.RowsRecomputed) }),
 			}
 			agg.RoundMS = metric(si, pi, func(c *Cell) float64 { return c.RoundMS }).Mean
+			agg.FillMS = metric(si, pi, func(c *Cell) float64 { return c.FillMS }).Mean
+			agg.ScoreMS = metric(si, pi, func(c *Cell) float64 { return c.ScoreMS }).Mean
 			res.Aggregates = append(res.Aggregates, agg)
 		}
 	}
@@ -260,7 +282,7 @@ func (r *Result) CellsTable() report.Table {
 			"avg_sla", "min_sla", "avg_watts", "profit_eur_h", "revenue_eur",
 			"energy_eur", "penalty_eur", "migrations", "avg_active_pms",
 			"offered_vms", "admitted_vms", "rejected_vms", "departed_vms",
-			"admission_rate", "mean_place_ticks"},
+			"admission_rate", "mean_place_ticks", "rows_reused", "rows_recomputed"},
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
@@ -271,7 +293,8 @@ func (r *Result) CellsTable() report.Table {
 			strconv.Itoa(c.Migrations), fmtF(c.AvgActivePMs),
 			strconv.Itoa(c.OfferedVMs), strconv.Itoa(c.AdmittedVMs),
 			strconv.Itoa(c.RejectedVMs), strconv.Itoa(c.DepartedVMs),
-			fmtF(c.AdmissionRate), fmtF(c.MeanPlaceTicks))
+			fmtF(c.AdmissionRate), fmtF(c.MeanPlaceTicks),
+			strconv.Itoa(c.RowsReused), strconv.Itoa(c.RowsRecomputed))
 	}
 	return t
 }
@@ -290,7 +313,8 @@ func (r *Result) AggregateTable() report.Table {
 		Caption: fmt.Sprintf("sweep — %d scenarios × %d policies × %d seeds, %d ticks",
 			len(r.Scenarios), len(r.Policies), len(r.Seeds), r.Ticks),
 		Headers: []string{"scenario", "policy", "avg SLA", "min SLA", "avg W",
-			"profit €/h", "migrations", "PMs on", "admit", "t→place", "ms/round"},
+			"profit €/h", "migrations", "PMs on", "admit", "t→place", "reused",
+			"ms/round", "fill/score ms"},
 	}
 	ms := func(s Stat) string { return fmt.Sprintf("%.4f ±%.4f", s.Mean, s.StdDev) }
 	for _, a := range r.Aggregates {
@@ -302,7 +326,9 @@ func (r *Result) AggregateTable() report.Table {
 			fmt.Sprintf("%.2f ±%.2f", a.AvgActivePMs.Mean, a.AvgActivePMs.StdDev),
 			fmt.Sprintf("%.2f", a.AdmissionRate.Mean),
 			fmt.Sprintf("%.1f", a.MeanPlaceTicks.Mean),
-			fmt.Sprintf("%.2f", a.RoundMS))
+			fmt.Sprintf("%.0f", a.RowsReused.Mean),
+			fmt.Sprintf("%.2f", a.RoundMS),
+			fmt.Sprintf("%.2f/%.2f", a.FillMS, a.ScoreMS))
 	}
 	return t
 }
