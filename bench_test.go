@@ -483,6 +483,77 @@ func BenchmarkChurn(b *testing.B) {
 	})
 }
 
+// BenchmarkFailover measures the scheduling decision the fault layer
+// leans on: one round over a fleet that just lost a host — the victim is
+// out of the candidate set and its evicted guests sit homeless in the
+// re-home backlog, so the round must place them from scratch while
+// everything else holds steady. Zero-alloc like every other ScheduleInto
+// path; benchgate pins it via BENCH_sched.json.
+func BenchmarkFailover(b *testing.B) {
+	bundle, err := experiments.TrainedBundle(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := scenario.Build(scenario.MustPreset(scenario.ChurnStorm, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+		b.Fatal(err)
+	}
+	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	fr := lifecycle.NewFaultRunner(nil)
+	mgr, err := core.NewManager(core.ManagerConfig{
+		World:      sc.World,
+		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
+		RoundTicks: 10,
+		Lifecycle:  lifecycle.NewRunner(sc.Script),
+		Faults:     fr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.Run(130, nil); err != nil {
+		b.Fatal(err)
+	}
+	// Crash the busiest host mid-run: its guests become the re-home
+	// backlog the benchmarked round has to absorb.
+	victim, most := model.NoPM, -1
+	st := sc.World.State()
+	for j := 0; j < sc.World.NumPMs(); j++ {
+		pm := sc.World.PMSpecAt(j).ID
+		if n := len(st.GuestsOf(pm)); n > most {
+			victim, most = pm, n
+		}
+	}
+	evicted := st.GuestsOf(victim)
+	if err := sc.World.FailPM(victim); err != nil {
+		b.Fatal(err)
+	}
+	fr.RecordEvictions(130, evicted, false)
+	b.Run("Round", func(b *testing.B) {
+		problem := mgr.BuildProblem()
+		bf := sched.NewBestFit(cost, sched.NewML(bundle))
+		placement := make(model.Placement, len(problem.VMs))
+		for i := 0; i < 2; i++ { // warm the reusable round storage
+			clear(placement)
+			if err := bf.ScheduleInto(problem, placement); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(problem.VMs)), "vms")
+		b.ReportMetric(float64(len(evicted)), "backlog")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(placement)
+			if err := bf.ScheduleInto(problem, placement); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkWorkloadGeneration measures trace synthesis for a full fleet
 // tick through the dense Fill contract.
 func BenchmarkWorkloadGeneration(b *testing.B) {

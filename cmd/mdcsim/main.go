@@ -245,6 +245,11 @@ func runScenario(name string, seed uint64, ticks int, admitAll bool) error {
 		runner = lifecycle.NewRunner(sc.Script)
 		mgrCfg.Lifecycle = runner
 	}
+	var faults *lifecycle.FaultRunner
+	if sc.Faults != nil {
+		faults = lifecycle.NewFaultRunner(sc.Faults)
+		mgrCfg.Faults = faults
+	}
 	mgr, err := core.NewManager(mgrCfg)
 	if err != nil {
 		return err
@@ -257,6 +262,9 @@ func runScenario(name string, seed uint64, ticks int, admitAll bool) error {
 	if runner != nil {
 		fmt.Printf("churn: %d scripted arrivals, admission %s\n",
 			len(sc.Script.Arrivals), map[bool]string{true: "disabled", false: "capacity gate"}[admitAll])
+	}
+	if faults != nil {
+		fmt.Printf("faults: %d scripted events\n", len(sc.Faults.Events))
 	}
 	fmt.Println("tick  SLA    min    watts    PMs  VMs  migs  profit€")
 	var sumSLA, sumW float64
@@ -281,6 +289,14 @@ func runScenario(name string, seed uint64, ticks int, admitAll bool) error {
 		fmt.Printf("churn: offered %d admitted %d rejected %d deferred %d departed %d | admit rate %.2f | mean time-to-place %.1f ticks\n",
 			st.Offered, st.Admitted, st.Rejected, st.Deferrals, st.Departed,
 			st.AdmissionRate(), st.MeanPlacementTicks())
+	}
+	if faults != nil {
+		st := faults.Stats()
+		fmt.Printf("faults: %d crashes %d takedowns %d drains %d outages | %d interruptions (%d forced) | rehomed %d (mean %.1f max %d ticks) shed %d | availability %.4f | degraded %d ticks\n",
+			st.Crashes, st.Takedowns, st.DrainsStarted, st.OutageStarts,
+			st.Interruptions, st.ForcedEvictions,
+			st.Rehomed, st.MeanRehomeTicks(), st.MaxRehomeTicks, st.Shed,
+			st.Availability(), st.DegradedTicks)
 	}
 	return nil
 }

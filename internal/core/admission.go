@@ -72,7 +72,8 @@ func (p *AdmissionPolicy) requirement(w *sim.World, a *lifecycle.Arrival) model.
 }
 
 // fleetCommitment is the capacity gate's per-tick fleet snapshot: the
-// non-failed capacity and the committed *requirements* of every live VM
+// surviving (non-failed, non-draining) capacity and the committed
+// *requirements* of every live VM
 // — not observed usage, because an oversubscribed fleet clamps every
 // grant at capacity and looks deceptively idle exactly when it is
 // drowning. Truth is frozen between Steps, so the manager computes this
@@ -88,7 +89,10 @@ type fleetCommitment struct {
 func fleetCommitmentOf(w *sim.World) fleetCommitment {
 	var f fleetCommitment
 	for j := 0; j < w.NumPMs(); j++ {
-		if w.IsFailedIndex(j) {
+		if w.IsFailedIndex(j) || w.IsDrainingIndex(j) {
+			// A draining host's capacity is already on its way out; VMs on
+			// it still count in committed, so admission plans for the world
+			// after the drain completes.
 			continue
 		}
 		f.total = f.total.Add(w.PMSpecAt(j).Capacity)

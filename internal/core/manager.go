@@ -29,6 +29,27 @@ type ManagerConfig struct {
 	// Admission gates Lifecycle arrivals. The zero value is the default
 	// capacity gate; set Disabled to admit everything.
 	Admission AdmissionPolicy
+	// Faults replays a fault script: host crashes/repairs, drains and
+	// takedowns, DC outages (nil = an immortal fleet).
+	Faults *lifecycle.FaultRunner
+	// Degraded tunes the capacity-loss response (zero value = defaults).
+	Degraded DegradedPolicy
+}
+
+// DegradedPolicy is the graceful-degradation contract: when the fleet's
+// committed requirements (live VMs + admitted-but-unplaced + evicted VMs
+// awaiting re-home) no longer fit in the surviving non-failed, non-
+// draining capacity, the manager enters degraded mode — new arrivals are
+// deferred without admission (re-homes keep priority for the remaining
+// headroom) and, optionally, long-homeless dynamic VMs are shed instead
+// of thrashing the deferral queue forever.
+type DegradedPolicy struct {
+	// Util is the capacity fraction above which committed requirements
+	// mean "degraded" (0 = 1.0, i.e. nominal surviving capacity).
+	Util float64
+	// ShedAfterTicks retires a dynamic VM that has been homeless that long
+	// while the fleet is degraded (0 = never shed; keep deferring).
+	ShedAfterTicks int
 }
 
 // Manager runs the MAPE loop: observe the world, build the scheduling
@@ -52,12 +73,30 @@ type Manager struct {
 	// simultaneous offers would all pass on the same fleet reading. The
 	// slice is append-ordered so the sum is bit-deterministic.
 	pendingCommits []pendingCommit
+	// rehomes ledgers fault-evicted VMs awaiting re-placement: like
+	// pendingCommits, their requirements vanish from the fleet's committed
+	// sum while unplaced (truth zeroes an unhosted VM), but they were
+	// already accepted — admission must reserve their capacity so churn
+	// arrivals cannot take it (re-home priority), and they bypass the SLA
+	// gate entirely by never re-entering the admission path.
+	rehomes []rehomeCommit
+	// degraded mirrors the last stepFaults verdict: committed requirements
+	// exceed surviving capacity.
+	degraded bool
 }
 
 // pendingCommit is one admitted-but-unplaced VM's reserved requirement.
 type pendingCommit struct {
 	id  model.VMID
 	req model.Resources
+}
+
+// rehomeCommit is one fault-evicted VM's reserved requirement (captured
+// from its last pre-eviction truth) and its eviction tick.
+type rehomeCommit struct {
+	id        model.VMID
+	req       model.Resources
+	evictTick int
 }
 
 // intoScheduler is the optional allocation-free scheduling contract: the
@@ -160,27 +199,42 @@ func (m *Manager) BuildProblem() *sched.Problem {
 		p.VMs = append(p.VMs, info)
 	}
 	for j := 0; j < nPM; j++ {
-		if w.IsFailedIndex(j) {
-			continue // failed hosts are not candidates
+		if w.IsFailedIndex(j) || w.IsDrainingIndex(j) {
+			continue // failed and draining hosts are not candidates
 		}
 		p.Hosts = append(p.Hosts, sched.HostInfo{Spec: w.PMSpecAt(j)})
 	}
 	return p
 }
 
-// Step advances the world one tick: lifecycle events (departures, then
-// admission-gated arrivals) land first, then a scheduling round runs
-// whenever the tick index is a round boundary (and at least one tick of
-// observations exists), then the world ticks.
+// Step advances the world one tick. Event order within the tick: fault
+// events land first (crashes and drains must be visible to this tick's
+// admission and round), then lifecycle events (departures, then
+// admission-gated arrivals), then degraded-mode shedding, then a
+// scheduling round whenever the tick index is a round boundary, then the
+// fault runner observes re-home outcomes, then the world ticks.
 func (m *Manager) Step() (sim.TickStats, error) {
 	w := m.cfg.World
 	t := w.Tick()
+	if m.cfg.Faults != nil {
+		if err := m.stepFaults(t); err != nil {
+			return sim.TickStats{}, err
+		}
+	}
 	if m.cfg.Lifecycle != nil {
 		if err := m.stepLifecycle(t); err != nil {
 			return sim.TickStats{}, err
 		}
 	}
-	if t > 0 && t%m.cfg.RoundTicks == 0 {
+	if m.cfg.Faults != nil && m.degraded && m.cfg.Degraded.ShedAfterTicks > 0 {
+		if err := m.stepShedding(t); err != nil {
+			return sim.TickStats{}, err
+		}
+	}
+	// A round with zero candidates (total capacity loss) is skipped, not an
+	// error: the fleet keeps ticking — and shedding — until a repair
+	// restores candidates.
+	if t > 0 && t%m.cfg.RoundTicks == 0 && m.numCandidates() > 0 {
 		problem := m.BuildProblem()
 		var placement model.Placement
 		if is, ok := m.cfg.Scheduler.(intoScheduler); ok {
@@ -200,20 +254,204 @@ func (m *Manager) Step() (sim.TickStats, error) {
 				return sim.TickStats{}, fmt.Errorf("core: scheduling round at tick %d: %w", t, err)
 			}
 		}
+		if w.NumFailedPMs() > 0 || w.NumDrainingPMs() > 0 {
+			// Schedulers that ignore the candidate set (Fixed, replayed
+			// placements) may still target unavailable hosts; scrub those
+			// assignments rather than abort the run.
+			m.sanitizePlacement(placement)
+		}
 		if err := w.ApplySchedule(placement); err != nil {
 			return sim.TickStats{}, fmt.Errorf("core: applying schedule: %w", err)
 		}
 		m.rounds++
 		if m.cfg.Lifecycle != nil {
-			if m.hostedFn == nil {
-				m.hostedFn = func(id model.VMID) bool {
-					return m.cfg.World.State().HostOf(id) != model.NoPM
-				}
-			}
-			m.cfg.Lifecycle.ObservePlacements(t, m.hostedFn)
+			m.cfg.Lifecycle.ObservePlacements(t, m.hosted())
 		}
 	}
+	if m.cfg.Faults != nil {
+		m.cfg.Faults.ObserveTick(t, w.NumActiveVMs(), m.degraded, m.hosted())
+	}
 	return w.Step(), nil
+}
+
+// numCandidates counts hosts the scheduler may target. Failed and
+// draining are disjoint states (a crash clears the drain flag), so the
+// two counters subtract cleanly.
+func (m *Manager) numCandidates() int {
+	w := m.cfg.World
+	return w.Inventory().NumPMs() - w.NumFailedPMs() - w.NumDrainingPMs()
+}
+
+// hosted returns the reusable placement probe (built once).
+func (m *Manager) hosted() func(model.VMID) bool {
+	if m.hostedFn == nil {
+		m.hostedFn = func(id model.VMID) bool {
+			return m.cfg.World.State().HostOf(id) != model.NoPM
+		}
+	}
+	return m.hostedFn
+}
+
+// sanitizePlacement rewrites placement entries that target failed hosts
+// (or move a VM onto a draining host) to the VM's current host when that
+// host is still usable, and to NoPM otherwise. Values are rewritten
+// per-key with no cross-entry dependence, so map order does not matter.
+func (m *Manager) sanitizePlacement(p model.Placement) {
+	w := m.cfg.World
+	st := w.State()
+	for vm, pm := range p {
+		if pm == model.NoPM {
+			continue
+		}
+		cur := st.HostOf(vm)
+		if w.IsFailed(pm) || (w.IsDraining(pm) && cur != pm) {
+			if cur != model.NoPM && !w.IsFailed(cur) {
+				p[vm] = cur // staying put on a draining host is legal
+			} else {
+				p[vm] = model.NoPM
+			}
+		}
+	}
+}
+
+// stepFaults executes the tick's due fault events and refreshes the
+// degraded verdict. Crashes and takedowns evict guests into the re-home
+// ledger; outages expand to every host of the DC in inventory order.
+func (m *Manager) stepFaults(tick int) error {
+	fr := m.cfg.Faults
+	w := m.cfg.World
+	for _, ev := range fr.Due(tick) {
+		var err error
+		switch ev.Kind {
+		case lifecycle.FaultCrash:
+			err = m.failHost(tick, ev.PM, false)
+		case lifecycle.FaultTakedown:
+			err = m.failHost(tick, ev.PM, true)
+		case lifecycle.FaultRepair:
+			err = w.RecoverPM(ev.PM)
+		case lifecycle.FaultDrainStart:
+			err = w.DrainPM(ev.PM)
+		case lifecycle.FaultOutageStart:
+			for _, pm := range w.Inventory().PMsOfDC(ev.DC) {
+				if err = m.failHost(tick, pm, false); err != nil {
+					break
+				}
+			}
+		case lifecycle.FaultOutageEnd:
+			for _, pm := range w.Inventory().PMsOfDC(ev.DC) {
+				if err = w.RecoverPM(pm); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("core: fault %v at tick %d: %w", ev.Kind, tick, err)
+		}
+	}
+
+	// Degraded verdict: live requirements plus both unplaced ledgers
+	// against the surviving capacity. At the eviction tick itself the
+	// victims' last truth still counts them in the committed sum, so the
+	// ledger double-counts them for one tick — deliberately conservative;
+	// the next world tick zeroes an unhosted VM's requirement.
+	fleet := fleetCommitmentOf(w)
+	need := fleet.committed.Add(m.prunePendingCommits()).Add(m.pruneRehomes())
+	util := m.cfg.Degraded.Util
+	if util <= 0 {
+		util = 1.0
+	}
+	m.degraded = !need.FitsIn(fleet.total.Scale(util))
+	return nil
+}
+
+// failHost captures a host's guests into the re-home ledger (with their
+// last-truth requirements) and fails it. forced marks drain-deadline
+// takedowns.
+func (m *Manager) failHost(tick int, pm model.PMID, forced bool) error {
+	w := m.cfg.World
+	guests := w.State().GuestsOf(pm)
+	for _, id := range guests {
+		var req model.Resources
+		if truth, ok := w.VMTruthAt(id); ok {
+			req = truth.Required
+		}
+		m.rehomes = append(m.rehomes, rehomeCommit{id: id, req: req, evictTick: tick})
+		// The victim moves from the admission ledger (if it was still
+		// there) to the re-home ledger; never count it twice.
+		m.dropPendingCommit(id)
+	}
+	if err := w.FailPM(pm); err != nil {
+		return err
+	}
+	if len(guests) > 0 {
+		m.cfg.Faults.RecordEvictions(tick, guests, forced)
+	}
+	return nil
+}
+
+// dropPendingCommit removes one VM's admission-ledger entry, if any.
+func (m *Manager) dropPendingCommit(id model.VMID) {
+	for i := range m.pendingCommits {
+		if m.pendingCommits[i].id == id {
+			m.pendingCommits = append(m.pendingCommits[:i], m.pendingCommits[i+1:]...)
+			return
+		}
+	}
+}
+
+// pruneRehomes drops re-home ledger entries whose VM has a host again or
+// has left the world, and returns the remaining reserved total.
+func (m *Manager) pruneRehomes() model.Resources {
+	w := m.cfg.World
+	st := w.State()
+	kept := m.rehomes[:0]
+	var sum model.Resources
+	for _, rc := range m.rehomes {
+		if _, live := w.LookupVM(rc.id); !live {
+			continue
+		}
+		if st.HostOf(rc.id) != model.NoPM {
+			continue
+		}
+		kept = append(kept, rc)
+		sum = sum.Add(rc.req)
+	}
+	m.rehomes = kept
+	return sum
+}
+
+// stepShedding retires dynamic VMs that have been homeless past the
+// shedding deadline while the fleet is degraded: capacity is not coming
+// back soon, and holding them in the re-home queue forever just thrashes
+// every future round. Static inventory VMs are never shed.
+func (m *Manager) stepShedding(tick int) error {
+	w := m.cfg.World
+	st := w.State()
+	deadline := m.cfg.Degraded.ShedAfterTicks
+	kept := m.rehomes[:0]
+	for _, rc := range m.rehomes {
+		h, live := w.LookupVM(rc.id)
+		if !live {
+			continue
+		}
+		_, dynamic := st.DynamicVM(rc.id)
+		if !dynamic || st.HostOf(rc.id) != model.NoPM || tick-rc.evictTick < deadline {
+			kept = append(kept, rc)
+			continue
+		}
+		if err := w.RetireVM(h); err != nil {
+			return fmt.Errorf("core: shedding %v at tick %d: %w", rc.id, tick, err)
+		}
+		if m.cfg.Lifecycle != nil {
+			// The shed VM must not depart a second time at its scheduled
+			// lifetime end.
+			m.cfg.Lifecycle.CancelDeparture(rc.id)
+		}
+		m.cfg.Faults.Drop(rc.id)
+		m.cfg.Faults.RecordShed()
+	}
+	m.rehomes = kept
+	return nil
 }
 
 // stepLifecycle executes the tick's dynamic-workload events: VMs at end
@@ -227,18 +465,35 @@ func (m *Manager) stepLifecycle(tick int) error {
 		if err := w.RetireVM(d.Handle); err != nil {
 			return fmt.Errorf("core: retiring %v at tick %d: %w", d.ID, tick, err)
 		}
+		if m.cfg.Faults != nil {
+			// A homeless VM departing at end of lifetime stops accruing
+			// downtime; it is not a re-home.
+			m.cfg.Faults.Drop(d.ID)
+		}
 	}
 	offers := lc.Due(tick)
 	if len(offers) == 0 {
 		return nil
 	}
-	pending := m.prunePendingCommits()
+	// Re-home reservations ride in the pending sum: evicted VMs were
+	// already accepted, so arrivals compete only for the headroom the
+	// re-home queue does not need.
+	pending := m.prunePendingCommits().Add(m.pruneRehomes())
 	var fleet fleetCommitment
 	if !m.cfg.Admission.Disabled {
 		fleet = fleetCommitmentOf(w) // once per tick: truth is frozen between Steps
 	}
 	for _, o := range offers {
-		dec, req := m.cfg.Admission.decide(w, tick, o, fleet, pending)
+		var dec lifecycle.Decision
+		var req model.Resources
+		if m.degraded && !m.cfg.Admission.Disabled {
+			// Degraded mode: committed load already exceeds surviving
+			// capacity, so no arrival can be admitted — defer (reject past
+			// deadline) without burning a fleet reading.
+			dec = m.cfg.Admission.deferOrReject(tick, o)
+		} else {
+			dec, req = m.cfg.Admission.decide(w, tick, o, fleet, pending)
+		}
 		var h sim.VMHandle
 		if dec == lifecycle.Admit {
 			var err error

@@ -24,6 +24,7 @@ var registry = map[string]Runner{
 	"online":     OnlineLearning,
 	"hierarchy":  Hierarchy,
 	"churn":      Churn,
+	"failures":   Failures,
 }
 
 // Names lists the registered experiments in stable order.

@@ -1,0 +1,184 @@
+package lifecycle
+
+// FaultRunner replays a FaultScript into a managed run and keeps the
+// availability ledger: which VMs are waiting to be re-homed after an
+// eviction, how long each waited, and the fleet-wide downtime fraction.
+// Like Runner it is deterministic and allocation-light: the due-event and
+// re-home queues are reused slices, and a quiescent tick (no due events,
+// empty queue) does no allocation.
+
+import "repro/internal/model"
+
+// FaultStats aggregates fault-layer outcomes over a run.
+type FaultStats struct {
+	// Event counts, by kind.
+	Crashes       int
+	Repairs       int
+	DrainsStarted int
+	Takedowns     int
+	OutageStarts  int
+
+	// Interruptions is the number of VM evictions caused by faults
+	// (a VM interrupted twice counts twice). ForcedEvictions is the
+	// subset evicted by a drain deadline expiring with guests aboard.
+	Interruptions   int
+	ForcedEvictions int
+
+	// Re-home outcomes: how many interrupted VMs were placed again, the
+	// summed and worst-case latency in ticks from eviction to re-placement,
+	// and how many were shed (retired while homeless in degraded mode).
+	Rehomed        int
+	RehomeTicksSum int
+	MaxRehomeTicks int
+	Shed           int
+
+	// DowntimeTicks counts VM-ticks spent homeless after an interruption;
+	// VMTicks counts active VM-ticks overall, so Availability() is the
+	// fraction of VM-time actually served. DegradedTicks counts ticks the
+	// manager spent in degraded mode (committed load over surviving
+	// capacity).
+	DowntimeTicks int
+	VMTicks       int
+	DegradedTicks int
+}
+
+// Availability is served VM-time over total VM-time: 1 - downtime/total.
+// A run with no VM-ticks is vacuously fully available.
+func (s FaultStats) Availability() float64 {
+	if s.VMTicks <= 0 {
+		return 1
+	}
+	return 1 - float64(s.DowntimeTicks)/float64(s.VMTicks)
+}
+
+// MeanRehomeTicks is the average eviction-to-replacement latency over
+// re-homed VMs (0 when none were re-homed).
+func (s FaultStats) MeanRehomeTicks() float64 {
+	if s.Rehomed == 0 {
+		return 0
+	}
+	return float64(s.RehomeTicksSum) / float64(s.Rehomed)
+}
+
+// rehome tracks one evicted VM awaiting re-placement.
+type rehome struct {
+	id        model.VMID
+	evictTick int
+}
+
+// FaultRunner walks a FaultScript and accounts for its consequences.
+type FaultRunner struct {
+	script *FaultScript
+	next   int
+
+	due   []FaultEvent // reused buffer returned by Due
+	queue []rehome     // evicted VMs awaiting re-home, eviction order
+
+	stats FaultStats
+}
+
+// NewFaultRunner wraps a generated script. A nil script yields a runner
+// that never fires (useful for uniform wiring).
+func NewFaultRunner(script *FaultScript) *FaultRunner {
+	if script == nil {
+		script = &FaultScript{}
+	}
+	return &FaultRunner{script: script}
+}
+
+// Due returns the events scheduled at or before tick, in script order,
+// advancing the cursor. The returned slice is reused by the next call.
+func (r *FaultRunner) Due(tick int) []FaultEvent {
+	r.due = r.due[:0]
+	for r.next < len(r.script.Events) && r.script.Events[r.next].Tick <= tick {
+		ev := r.script.Events[r.next]
+		r.next++
+		switch ev.Kind {
+		case FaultCrash:
+			r.stats.Crashes++
+		case FaultRepair:
+			r.stats.Repairs++
+		case FaultDrainStart:
+			r.stats.DrainsStarted++
+		case FaultTakedown:
+			r.stats.Takedowns++
+		case FaultOutageStart:
+			r.stats.OutageStarts++
+		}
+		r.due = append(r.due, ev)
+	}
+	return r.due
+}
+
+// RecordEvictions enqueues VMs evicted by a fault at tick for re-home
+// accounting. forced marks drain-deadline evictions. VMs already queued
+// (evicted again before ever being re-homed) are not double-enqueued.
+func (r *FaultRunner) RecordEvictions(tick int, ids []model.VMID, forced bool) {
+	for _, id := range ids {
+		r.stats.Interruptions++
+		if forced {
+			r.stats.ForcedEvictions++
+		}
+		if r.queued(id) {
+			continue
+		}
+		r.queue = append(r.queue, rehome{id: id, evictTick: tick})
+	}
+}
+
+func (r *FaultRunner) queued(id model.VMID) bool {
+	for _, q := range r.queue {
+		if q.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Drop removes a queued VM without counting a re-home — for VMs that
+// depart or are shed while homeless. Reports whether it was queued.
+func (r *FaultRunner) Drop(id model.VMID) bool {
+	for i, q := range r.queue {
+		if q.id == id {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RecordShed counts a homeless VM retired by degraded-mode shedding.
+// Callers pair it with Drop (or a departure) so the queue entry goes away.
+func (r *FaultRunner) RecordShed() { r.stats.Shed++ }
+
+// ObserveTick closes out one tick: live is the number of active VMs,
+// degraded whether the manager is in degraded mode, and hosted reports
+// whether a VM currently has a host. Queued VMs found hosted are counted
+// as re-homed with their latency; the rest accrue a downtime tick.
+func (r *FaultRunner) ObserveTick(tick, live int, degraded bool, hosted func(model.VMID) bool) {
+	r.stats.VMTicks += live
+	if degraded {
+		r.stats.DegradedTicks++
+	}
+	kept := r.queue[:0]
+	for _, q := range r.queue {
+		if hosted(q.id) {
+			lat := tick - q.evictTick
+			r.stats.Rehomed++
+			r.stats.RehomeTicksSum += lat
+			if lat > r.stats.MaxRehomeTicks {
+				r.stats.MaxRehomeTicks = lat
+			}
+			continue
+		}
+		r.stats.DowntimeTicks++
+		kept = append(kept, q)
+	}
+	r.queue = kept
+}
+
+// PendingRehomes is the number of evicted VMs still awaiting a host.
+func (r *FaultRunner) PendingRehomes() int { return len(r.queue) }
+
+// Stats returns the accumulated fault/availability counters.
+func (r *FaultRunner) Stats() FaultStats { return r.stats }

@@ -1,0 +1,237 @@
+package lifecycle
+
+// Fault injection: the failure/maintenance analog of the arrival script.
+// A FaultSpec declaratively describes per-host crash/repair processes,
+// correlated DC-scoped outages and rolling maintenance drains; Generate-
+// Faults expands it at build time into a deterministic FaultScript of
+// typed events, a pure function of (seed, spec, fleet shape) — named PCG
+// streams per host, no wall clock, no dependence on anything that happens
+// during the run. The FaultRunner (faultrunner.go) replays the script into
+// a managed simulation and keeps the availability accounting.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// FaultKind is the type of one scripted fault event.
+type FaultKind uint8
+
+const (
+	// FaultCrash fails a host abruptly: its guests are evicted on the
+	// spot and stay unplaced until a scheduler re-homes them.
+	FaultCrash FaultKind = iota
+	// FaultRepair returns a failed host (crashed, taken down for
+	// maintenance, or both) to service, empty.
+	FaultRepair
+	// FaultDrainStart puts a host into drain: it accepts no new
+	// placements but keeps its guests serving until the scheduler
+	// migrates them out or the takedown deadline forces eviction.
+	FaultDrainStart
+	// FaultTakedown is the drain deadline: any guest still on the host is
+	// force-evicted and the host goes offline for its maintenance window.
+	FaultTakedown
+	// FaultOutageStart fails every host of one DC at once — the
+	// correlated availability-zone event.
+	FaultOutageStart
+	// FaultOutageEnd recovers every host of the DC.
+	FaultOutageEnd
+)
+
+// String names the kind for reports and error messages.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRepair:
+		return "repair"
+	case FaultDrainStart:
+		return "drain"
+	case FaultTakedown:
+		return "takedown"
+	case FaultOutageStart:
+		return "outage-start"
+	case FaultOutageEnd:
+		return "outage-end"
+	}
+	return fmt.Sprintf("faultkind(%d)", uint8(k))
+}
+
+// FaultEvent is one scripted fault. PM identifies the host for per-host
+// kinds; DC identifies the datacenter for outage kinds.
+type FaultEvent struct {
+	Tick int
+	Kind FaultKind
+	PM   model.PMID
+	DC   model.DCID
+}
+
+// FaultScript is a generated fault schedule, sorted by tick (equal-tick
+// events keep their deterministic generation order: per-host processes in
+// inventory order, then maintenance, then outages).
+type FaultScript struct {
+	Events []FaultEvent
+}
+
+// OutageSpec is one correlated DC-scoped outage window: every host of the
+// DC fails at StartTick and recovers DurationTicks later.
+type OutageSpec struct {
+	DC            model.DCID
+	StartTick     int
+	DurationTicks int
+}
+
+// MaintenanceSpec schedules a rolling maintenance wave: hosts are drained
+// one after another in inventory order, each given DrainDeadlineTicks to
+// be emptied by the scheduler before the forced takedown, then held
+// offline for OfflineTicks.
+type MaintenanceSpec struct {
+	// StartTick is when the first host starts draining.
+	StartTick int
+	// EveryTicks staggers consecutive hosts' drain starts (>= 1).
+	EveryTicks int
+	// DrainDeadlineTicks is the drain window before the forced takedown
+	// (>= 1; give the scheduler at least one full round to migrate guests
+	// out and the takedown evicts nobody).
+	DrainDeadlineTicks int
+	// OfflineTicks is how long the host stays down after takedown (>= 1).
+	OfflineTicks int
+	// MaxHosts bounds how many hosts the wave covers (0 = every host).
+	MaxHosts int
+}
+
+// FaultSpec declaratively describes the failure and maintenance processes
+// of a scenario. The zero value injects nothing; GenerateFaults validates
+// the rest.
+type FaultSpec struct {
+	// HostMTTFTicks/HostMTTRTicks enable independent per-host crash and
+	// repair processes: times to failure and to repair are exponential
+	// draws with these means, one named PCG stream per host. Both must be
+	// positive when either is set.
+	HostMTTFTicks float64
+	HostMTTRTicks float64
+	// Outages are correlated DC-scoped failure windows.
+	Outages []OutageSpec
+	// Maintenance schedules a rolling drain wave over the fleet.
+	Maintenance *MaintenanceSpec
+	// HorizonTicks bounds event generation (0 = one simulated day).
+	HorizonTicks int
+	// MaxEvents caps the script length (0 = 4096).
+	MaxEvents int
+}
+
+// Validate checks the spec against a fleet of dcs datacenters. Error
+// messages list the valid options, matching the sweep CLI's unknown-name
+// style.
+func (f *FaultSpec) Validate(dcs int) error {
+	if f.HostMTTFTicks < 0 || f.HostMTTRTicks < 0 {
+		return fmt.Errorf("lifecycle: negative host MTTF/MTTR (%g/%g ticks); both must be positive, or zero to disable the crash process",
+			f.HostMTTFTicks, f.HostMTTRTicks)
+	}
+	if (f.HostMTTFTicks > 0) != (f.HostMTTRTicks > 0) {
+		return fmt.Errorf("lifecycle: host crash process needs both HostMTTFTicks and HostMTTRTicks > 0 (got %g/%g)",
+			f.HostMTTFTicks, f.HostMTTRTicks)
+	}
+	for i, o := range f.Outages {
+		if int(o.DC) < 0 || int(o.DC) >= dcs {
+			return fmt.Errorf("lifecycle: outage %d targets unknown DC %d (have 0..%d)", i, int(o.DC), dcs-1)
+		}
+		if o.StartTick < 0 {
+			return fmt.Errorf("lifecycle: outage %d starts at negative tick %d", i, o.StartTick)
+		}
+		if o.DurationTicks < 1 {
+			return fmt.Errorf("lifecycle: outage %d needs DurationTicks >= 1, got %d", i, o.DurationTicks)
+		}
+	}
+	if m := f.Maintenance; m != nil {
+		if m.DrainDeadlineTicks < 1 {
+			return fmt.Errorf("lifecycle: maintenance drain deadline must be >= 1 tick, got %d", m.DrainDeadlineTicks)
+		}
+		if m.EveryTicks < 1 {
+			return fmt.Errorf("lifecycle: maintenance needs EveryTicks >= 1, got %d", m.EveryTicks)
+		}
+		if m.OfflineTicks < 1 {
+			return fmt.Errorf("lifecycle: maintenance needs OfflineTicks >= 1, got %d", m.OfflineTicks)
+		}
+		if m.StartTick < 0 {
+			return fmt.Errorf("lifecycle: maintenance starts at negative tick %d", m.StartTick)
+		}
+		if m.MaxHosts < 0 {
+			return fmt.Errorf("lifecycle: maintenance has negative MaxHosts %d", m.MaxHosts)
+		}
+	}
+	return nil
+}
+
+// GenerateFaults expands a fault spec into its deterministic script for
+// the given fleet. Per-host crash/repair times come from one named stream
+// per host ("lifecycle/faults/host<id>"), so adding or removing a process
+// never perturbs the draws of another host — the same splittability
+// contract as the arrival script.
+func GenerateFaults(seed uint64, f FaultSpec, pms []model.PMSpec, dcs int) (*FaultScript, error) {
+	if err := f.Validate(dcs); err != nil {
+		return nil, err
+	}
+	horizon := f.HorizonTicks
+	if horizon <= 0 {
+		horizon = model.TicksPerDay
+	}
+	maxE := f.MaxEvents
+	if maxE <= 0 {
+		maxE = 4096
+	}
+	s := &FaultScript{}
+
+	// Independent per-host crash/repair alternation.
+	if f.HostMTTFTicks > 0 {
+		for _, pm := range pms {
+			stream := rng.NewNamed(seed, fmt.Sprintf("lifecycle/faults/host%d", int(pm.ID)))
+			t := int(stream.Exp(f.HostMTTFTicks)) + 1
+			for t < horizon && len(s.Events) < maxE {
+				down := int(stream.Exp(f.HostMTTRTicks)) + 1
+				s.Events = append(s.Events,
+					FaultEvent{Tick: t, Kind: FaultCrash, PM: pm.ID},
+					FaultEvent{Tick: t + down, Kind: FaultRepair, PM: pm.ID})
+				t += down + int(stream.Exp(f.HostMTTFTicks)) + 1
+			}
+		}
+	}
+
+	// Rolling maintenance wave, hosts in inventory order.
+	if m := f.Maintenance; m != nil {
+		covered := len(pms)
+		if m.MaxHosts > 0 && m.MaxHosts < covered {
+			covered = m.MaxHosts
+		}
+		for k := 0; k < covered && len(s.Events) < maxE; k++ {
+			start := m.StartTick + k*m.EveryTicks
+			if start >= horizon {
+				break
+			}
+			pm := pms[k].ID
+			s.Events = append(s.Events,
+				FaultEvent{Tick: start, Kind: FaultDrainStart, PM: pm},
+				FaultEvent{Tick: start + m.DrainDeadlineTicks, Kind: FaultTakedown, PM: pm},
+				FaultEvent{Tick: start + m.DrainDeadlineTicks + m.OfflineTicks, Kind: FaultRepair, PM: pm})
+		}
+	}
+
+	// Correlated DC outages.
+	for _, o := range f.Outages {
+		if o.StartTick >= horizon || len(s.Events) >= maxE {
+			continue
+		}
+		s.Events = append(s.Events,
+			FaultEvent{Tick: o.StartTick, Kind: FaultOutageStart, DC: o.DC},
+			FaultEvent{Tick: o.StartTick + o.DurationTicks, Kind: FaultOutageEnd, DC: o.DC})
+	}
+
+	// Stable sort: tick order, generation order within a tick.
+	sort.SliceStable(s.Events, func(a, b int) bool {
+		return s.Events[a].Tick < s.Events[b].Tick
+	})
+	return s, nil
+}

@@ -189,6 +189,23 @@ func (r *Runner) DeparturesDue(tick int) []Departure {
 	return r.depsDue
 }
 
+// CancelDeparture forgets a scheduled departure and any pending placement
+// wait for a VM that left the world outside the normal lifetime path —
+// shed in degraded mode after a fault eviction, for example. The VM is
+// neither resurrected by its departure tick nor counted in Departed;
+// admission counters are untouched (it really was admitted). Reports
+// whether a departure was scheduled.
+func (r *Runner) CancelDeparture(id model.VMID) bool {
+	r.dropWaiting(id)
+	for i := range r.deps {
+		if r.deps[i].id == id {
+			r.deps = append(r.deps[:i], r.deps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // dropWaiting forgets a placement wait (the VM departed unplaced).
 func (r *Runner) dropWaiting(id model.VMID) {
 	for i := range r.waiting {

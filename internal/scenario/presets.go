@@ -66,6 +66,18 @@ const (
 	// batch VMs slam the fleet every two hours, the stress test for the
 	// admission controller's deferral queue.
 	ChurnStorm = "churn-storm"
+	// FailSparse is the uncorrelated-failure scenario: independent host
+	// crashes (exponential MTTF/MTTR) under steady Poisson churn, so
+	// fault-evicted VMs compete with fresh arrivals for capacity.
+	FailSparse = "fail-sparse"
+	// FailAZOutage is the correlated-failure scenario: DC 0 drops out
+	// whole for two hours mid-run, the degraded-mode and mass-re-home
+	// stress test.
+	FailAZOutage = "fail-az-outage"
+	// MaintRolling is the planned-maintenance scenario: a rolling drain
+	// wave over every host, each given three full scheduling rounds to be
+	// migrated empty before its takedown.
+	MaintRolling = "maint-rolling"
 )
 
 // presets maps names to spec literals. Seeds are zero: callers set them.
@@ -180,6 +192,61 @@ var presets = map[string]Spec{
 			LoadScale:         1.0,
 		},
 	},
+	FailSparse: {
+		Name: FailSparse,
+		DCs:  4, PMsPerDC: 2, VMs: 6,
+		LoadScale: 1.2, NoiseSD: 0.2, HomeBias: 0.6,
+		Churn: &lifecycle.ProcessSpec{
+			Kind:              lifecycle.Poisson,
+			RatePerHour:       6,
+			MeanLifetimeTicks: 180,
+			MinLifetimeTicks:  20,
+			LoadScale:         0.8,
+		},
+		Faults: &lifecycle.FaultSpec{
+			// ~4 expected crashes over a 240-tick run of the 8-host fleet,
+			// each down about an hour and a half.
+			HostMTTFTicks: 500,
+			HostMTTRTicks: 90,
+		},
+	},
+	FailAZOutage: {
+		Name: FailAZOutage,
+		DCs:  4, PMsPerDC: 2, VMs: 8,
+		LoadScale: 1.1, NoiseSD: 0.2, HomeBias: 0.5,
+		Churn: &lifecycle.ProcessSpec{
+			Kind:              lifecycle.Poisson,
+			RatePerHour:       4,
+			MeanLifetimeTicks: 180,
+			MinLifetimeTicks:  20,
+			LoadScale:         0.8,
+		},
+		Faults: &lifecycle.FaultSpec{
+			// DC 0 (a quarter of the fleet) out for two hours starting at
+			// minute 65 — deliberately off the 10-tick round grid, so the
+			// evicted VMs measurably wait for the next round. A 240-tick
+			// run covers both the outage and the recovery.
+			Outages: []lifecycle.OutageSpec{
+				{DC: 0, StartTick: 65, DurationTicks: 120},
+			},
+		},
+	},
+	MaintRolling: {
+		Name: MaintRolling,
+		DCs:  4, PMsPerDC: 2, VMs: 8,
+		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.5,
+		Faults: &lifecycle.FaultSpec{
+			// Drain every host in turn: three full 10-tick rounds to empty
+			// each before its takedown, 20 minutes offline, next host
+			// starting while the previous one is still down.
+			Maintenance: &lifecycle.MaintenanceSpec{
+				StartTick:          30,
+				EveryTicks:         25,
+				DrainDeadlineTicks: 30,
+				OfflineTicks:       20,
+			},
+		},
+	},
 }
 
 // heavyPresets holds the presets too expensive for "run everything"
@@ -248,6 +315,15 @@ func Preset(name string, seed uint64) (Spec, error) {
 	if spec.Churn != nil {
 		churn := *spec.Churn
 		spec.Churn = &churn
+	}
+	if spec.Faults != nil {
+		faults := *spec.Faults
+		faults.Outages = append([]lifecycle.OutageSpec(nil), faults.Outages...)
+		if faults.Maintenance != nil {
+			m := *faults.Maintenance
+			faults.Maintenance = &m
+		}
+		spec.Faults = &faults
 	}
 	return spec, nil
 }

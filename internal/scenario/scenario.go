@@ -100,6 +100,18 @@ type Spec struct {
 	// script's peak concurrency. nil keeps the classic fixed population.
 	Churn *lifecycle.ProcessSpec
 
+	// Faults enables the fault-injection layer: the spec expands at Build
+	// time into a deterministic script of host crashes/repairs, rolling
+	// maintenance drains and DC outages (see internal/lifecycle). nil
+	// keeps the classic immortal fleet.
+	Faults *lifecycle.FaultSpec
+
+	// ExtraVMSlots reserves engine slots for dynamically admitted VMs on
+	// top of what a churn script's peak concurrency already claims. Tests
+	// and tools that drive a hand-written lifecycle script (no Churn
+	// process) need this to admit anything at all.
+	ExtraVMSlots int
+
 	// Params overrides the world's ground-truth constants when non-nil.
 	Params *sim.Params
 }
@@ -118,6 +130,10 @@ type Scenario struct {
 	// for fixed populations). Runners feed it through lifecycle.NewRunner
 	// into core.ManagerConfig.Lifecycle.
 	Script *lifecycle.Script
+	// Faults is the generated failure/maintenance schedule (nil for
+	// immortal fleets). Runners feed it through lifecycle.NewFaultRunner
+	// into core.ManagerConfig.Faults.
+	Faults *lifecycle.FaultScript
 }
 
 // DefaultVMSpecs builds n VM specs in the paper's style: 4 GB images,
@@ -234,6 +250,16 @@ func Build(spec Spec) (*Scenario, error) {
 		genVMs = append(append([]model.VMSpec(nil), vms...), script.VMSpecs()...)
 	}
 
+	// Faults: expand the failure/maintenance spec into its deterministic
+	// script against the concrete fleet (host IDs, DC membership).
+	var faults *lifecycle.FaultScript
+	if spec.Faults != nil {
+		faults, err = lifecycle.GenerateFaults(spec.Seed, *spec.Faults, pms, spec.DCs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var cfg trace.Config
 	if spec.Rotating {
 		cfg = trace.RotatingConfig(spec.Seed, vms[0], sources, tzOffsets)
@@ -310,6 +336,7 @@ func Build(spec Spec) (*Scenario, error) {
 		// capacity rejections.
 		simCfg.ExtraVMSlots = script.SlotBound(lifecycle.DefaultMaxDeferTicks)
 	}
+	simCfg.ExtraVMSlots += spec.ExtraVMSlots
 	if spec.Params != nil {
 		simCfg.Params = *spec.Params
 	}
@@ -317,7 +344,7 @@ func Build(spec Spec) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scenario{Spec: spec, World: world, Inventory: inv, Topology: top, Generator: gen, VMs: vms, Script: script}, nil
+	return &Scenario{Spec: spec, World: world, Inventory: inv, Topology: top, Generator: gen, VMs: vms, Script: script, Faults: faults}, nil
 }
 
 // applyPricing installs the requested price schedule on the topology.

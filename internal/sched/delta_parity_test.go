@@ -153,6 +153,108 @@ func TestDeltaRoundPlacementParity(t *testing.T) {
 	}
 }
 
+// failCycleProblems derives the three successor problems a host fault
+// cycle produces from a mid-run problem: the crash round (victim host
+// gone, its guests homeless), the re-home round (victims current on a
+// survivor), and the recovery round (victim host back as a candidate,
+// same order as the original). The memoized rows are per-DC quantities
+// and the per-host profit assembly happens outside the memo, so shrinking
+// a multi-host DC may legally keep rows — but the victims' signatures
+// change (Current flips) and the placements must match a full recompute
+// at every stage regardless.
+func failCycleProblems(p *sched.Problem) (failed, rehomed, recovered *sched.Problem) {
+	victim := p.VMs[0].Current
+	var hosts []sched.HostInfo
+	for _, h := range p.Hosts {
+		if h.Spec.ID != victim {
+			hosts = append(hosts, h)
+		}
+	}
+	survivor := hosts[0].Spec
+	stage := func(tick int, hs []sched.HostInfo, cur model.PMID, curDC model.DCID) *sched.Problem {
+		out := &sched.Problem{Hosts: hs, Tick: tick}
+		for _, vm := range p.VMs {
+			if vm.Current == victim {
+				vm.Current = cur
+				vm.CurrentDC = curDC
+			}
+			out.VMs = append(out.VMs, vm)
+		}
+		return out
+	}
+	failed = stage(p.Tick+1, hosts, model.NoPM, -1)
+	rehomed = stage(p.Tick+2, hosts, survivor.ID, survivor.DC)
+	recovered = stage(p.Tick+3, p.Hosts, survivor.ID, survivor.DC)
+	return failed, rehomed, recovered
+}
+
+// TestDeltaParityThroughFaultCycle proves Delta at epsilon 0 stays
+// placement-identical to full recomputation through a crash → re-home →
+// recover cycle on every preset, with one scheduler instance carrying its
+// memo across the shrinking and re-growing candidate set.
+func TestDeltaParityThroughFaultCycle(t *testing.T) {
+	bundle, err := experiments.TrainedBundle(paritySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := []sched.Estimator{sched.NewObserved(), sched.NewML(bundle)}
+	for _, name := range scenario.Names() {
+		p := presetProblem(t, name, paritySeed)
+		if p.VMs[0].Current == model.NoPM || len(p.Hosts) < 2 {
+			t.Fatalf("%s: warm-up problem has no failable host", name)
+		}
+		pFail, pRehome, pRecover := failCycleProblems(p)
+		cost := parityCost(t, name, paritySeed)
+		for _, est := range ests {
+			delta := sched.NewBestFit(cost, est)
+			delta.Delta = true
+			for stage, sp := range []*sched.Problem{p, pFail, pRehome, pRecover} {
+				want, err := sched.NewBestFit(cost, est).Schedule(sp)
+				if err != nil {
+					t.Fatalf("%s/%s stage %d: %v", name, est.Name(), stage, err)
+				}
+				got, err := delta.Schedule(sp)
+				if err != nil {
+					t.Fatalf("%s/%s stage %d: %v", name, est.Name(), stage, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%s/%s stage %d: delta diverged from full recompute", name, est.Name(), stage)
+				}
+				st := delta.LastRoundStats()
+				switch stage {
+				case 0: // cold memo: everything computes
+					if st.RowsReused != 0 {
+						t.Fatalf("%s/%s cold round reused %d rows", name, est.Name(), st.RowsReused)
+					}
+				case 1, 2: // evicted then re-homed: every victim's signature
+					// (its Current host) changed, so those rows must recompute.
+					if st.RowsRecomputed == 0 {
+						t.Fatalf("%s/%s stage %d: moved VMs never recomputed: %+v",
+							name, est.Name(), stage, st)
+					}
+				}
+			}
+			// A repeat of the recovered problem is a steady fleet again:
+			// reuse must come back in full.
+			got, err := delta.Schedule(pRecover)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, est.Name(), err)
+			}
+			want, err := sched.NewBestFit(cost, est).Schedule(pRecover)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, est.Name(), err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s/%s: steady post-recovery round diverged", name, est.Name())
+			}
+			if st := delta.LastRoundStats(); st.RowsReused != len(pRecover.VMs) {
+				t.Fatalf("%s/%s: post-recovery reuse %d of %d rows",
+					name, est.Name(), st.RowsReused, len(pRecover.VMs))
+			}
+		}
+	}
+}
+
 // TestDeltaEpsilonToleratesDrift checks the epsilon knob: with a loose
 // tolerance, a slightly drifted fleet reuses rows (that is the point of
 // the knob), while epsilon 0 recomputes the drifted ones.

@@ -69,9 +69,14 @@ type Engine struct {
 	fillRows []model.LoadVector
 
 	// Placement state, dense mirrors of cluster.State.
-	hostOf []int32   // VM index -> PM index, -1 when unplaced
-	guests [][]int32 // PM index -> guest VM indices, sorted by VMID
-	failed []bool    // PM index -> crashed
+	hostOf   []int32   // VM index -> PM index, -1 when unplaced
+	guests   [][]int32 // PM index -> guest VM indices, sorted by VMID
+	failed   []bool    // PM index -> crashed
+	draining []bool    // PM index -> draining (no new placements)
+	// nFailed/nDraining mirror the bool slices so the tick summary reports
+	// them without a scan.
+	nFailed   int
+	nDraining int
 
 	// Persistent per-VM dynamics carried across ticks.
 	backlog  []float64 // gateway pending-request queue
@@ -114,6 +119,11 @@ type TickSummary struct {
 	PenaltyEUR    float64
 	ProfitEUR     float64
 	TotalRPS      float64
+	// Availability surface for the fault layer: active VMs without a host
+	// this tick, and the current failed/draining host counts.
+	UnplacedVMs int
+	FailedPMs   int
+	DrainingPMs int
 }
 
 // NewEngine validates the configuration and builds a fresh engine at tick
@@ -162,9 +172,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		fillIDs:   make([]model.VMID, 0, capVM),
 		fillRows:  make([]model.LoadVector, 0, capVM),
 
-		hostOf: make([]int32, capVM),
-		guests: make([][]int32, nPM),
-		failed: make([]bool, nPM),
+		hostOf:   make([]int32, capVM),
+		guests:   make([][]int32, nPM),
+		failed:   make([]bool, nPM),
+		draining: make([]bool, nPM),
 
 		backlog:  make([]float64, capVM),
 		downtime: make([]float64, capVM),
@@ -443,6 +454,12 @@ func (e *Engine) FailPM(pm model.PMID) error {
 		return nil
 	}
 	e.failed[j] = true
+	e.nFailed++
+	if e.draining[j] {
+		// A crash supersedes an in-progress drain.
+		e.draining[j] = false
+		e.nDraining--
+	}
 	for _, vi := range e.guests[j] {
 		if err := e.state.Place(e.vmIDs[vi], model.NoPM); err != nil {
 			return err
@@ -455,16 +472,66 @@ func (e *Engine) FailPM(pm model.PMID) error {
 	return nil
 }
 
-// RecoverPM returns a failed host to service (empty; the next round may
-// use it again).
+// RecoverPM returns a failed or draining host to full service (a failed
+// host comes back empty; the next round may use it again).
 func (e *Engine) RecoverPM(pm model.PMID) error {
 	j, ok := e.PMIndex(pm)
 	if !ok {
 		return fmt.Errorf("sim: unknown PM %v", pm)
 	}
-	e.failed[j] = false
+	if e.failed[j] {
+		e.failed[j] = false
+		e.nFailed--
+	}
+	if e.draining[j] {
+		e.draining[j] = false
+		e.nDraining--
+	}
 	return nil
 }
+
+// DrainPM puts a host into drain: its guests keep serving, but new
+// placements onto it are rejected until the drain is lifted (RecoverPM)
+// or the host is taken down (FailPM). Draining a failed host is a no-op —
+// crash and drain are distinct events and crash wins.
+func (e *Engine) DrainPM(pm model.PMID) error {
+	j, ok := e.PMIndex(pm)
+	if !ok {
+		return fmt.Errorf("sim: unknown PM %v", pm)
+	}
+	if e.failed[j] || e.draining[j] {
+		return nil
+	}
+	e.draining[j] = true
+	e.nDraining++
+	return nil
+}
+
+// IsDraining reports whether a host is currently draining.
+func (e *Engine) IsDraining(pm model.PMID) bool {
+	j, ok := e.PMIndex(pm)
+	return ok && e.draining[j]
+}
+
+// IsDrainingIndex reports whether the host at dense index j is draining.
+func (e *Engine) IsDrainingIndex(j int) bool { return e.draining[j] }
+
+// DrainingPMs returns the currently draining hosts in inventory order.
+func (e *Engine) DrainingPMs() []model.PMID {
+	var out []model.PMID
+	for j := range e.pmSpecs {
+		if e.draining[j] {
+			out = append(out, e.pmSpecs[j].ID)
+		}
+	}
+	return out
+}
+
+// NumFailedPMs is the count of currently failed hosts.
+func (e *Engine) NumFailedPMs() int { return e.nFailed }
+
+// NumDrainingPMs is the count of currently draining hosts.
+func (e *Engine) NumDrainingPMs() int { return e.nDraining }
 
 // IsFailed reports whether a host is currently failed.
 func (e *Engine) IsFailed(pm model.PMID) bool {
@@ -487,15 +554,26 @@ func (e *Engine) FailedPMs() []model.PMID {
 }
 
 // validatePlacementTargets rejects schedules that place VMs on failed
-// hosts; the manager should never offer them, so this is a programming-
-// error guard rather than a recoverable state.
+// hosts, or move new VMs onto draining hosts (guests already there may
+// stay while the drain completes); the manager should never offer either,
+// so this is a programming-error guard rather than a recoverable state.
 func (e *Engine) validatePlacementTargets(p model.Placement) error {
 	for vm, pm := range p {
 		if pm == model.NoPM {
 			continue
 		}
-		if j, ok := e.PMIndex(pm); ok && e.failed[j] {
+		j, ok := e.PMIndex(pm)
+		if !ok {
+			continue
+		}
+		if e.failed[j] {
 			return fmt.Errorf("sim: placement puts %v on failed host %v", vm, pm)
+		}
+		if e.draining[j] {
+			i, live := e.vmByID[vm]
+			if !live || !e.activeVM[i] || e.hostOf[i] != int32(j) {
+				return fmt.Errorf("sim: placement puts %v on draining host %v", vm, pm)
+			}
 		}
 	}
 	return nil
@@ -596,11 +674,15 @@ func (e *Engine) Step() TickSummary {
 		e.obs.ObservePM(e.tick, pmSpec.ID, e.pmUsage[j])
 	}
 
+	sum.FailedPMs = e.nFailed
+	sum.DrainingPMs = e.nDraining
+
 	// Unhosted VMs: no service at all.
 	for i := 0; i < e.nVM; i++ {
 		if !e.activeVM[i] || e.hostOf[i] >= 0 {
 			continue
 		}
+		sum.UnplacedVMs++
 		e.required[i] = model.Resources{}
 		e.granted[i] = model.Resources{}
 		e.used[i] = model.Resources{}

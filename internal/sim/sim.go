@@ -148,8 +148,13 @@ type TickStats struct {
 	PenaltyEUR    float64
 	ProfitEUR     float64
 	TotalRPS      float64
-	PerDCWatts    map[model.DCID]float64
-	Placement     model.Placement
+	// Availability surface for the fault layer (PR 7): active VMs without
+	// a host this tick and the current failed/draining host counts.
+	UnplacedVMs int
+	FailedPMs   int
+	DrainingPMs int
+	PerDCWatts  map[model.DCID]float64
+	Placement   model.Placement
 }
 
 // TickSeconds is the tick length in seconds.
@@ -193,6 +198,9 @@ func (w *World) Step() TickStats {
 		PenaltyEUR:    s.PenaltyEUR,
 		ProfitEUR:     s.ProfitEUR,
 		TotalRPS:      s.TotalRPS,
+		UnplacedVMs:   s.UnplacedVMs,
+		FailedPMs:     s.FailedPMs,
+		DrainingPMs:   s.DrainingPMs,
 		PerDCWatts:    make(map[model.DCID]float64),
 		Placement:     w.State().Placement(),
 	}

@@ -88,6 +88,21 @@ type PolicyRun struct {
 	// MeanPlaceTicks is the mean admission-to-first-host wait of placed
 	// arrivals.
 	MeanPlaceTicks float64
+
+	// Fault-layer outcomes (zero, with Availability 1, for immortal
+	// fleets).
+	Crashes         int
+	ForcedEvictions int
+	Interruptions   int
+	RehomedVMs      int
+	ShedVMs         int
+	DegradedTicks   int
+	// MeanRehomeTicks is the mean eviction-to-replacement latency of
+	// re-homed VMs; MaxRehomeTicks the worst case.
+	MeanRehomeTicks float64
+	MaxRehomeTicks  int
+	// Availability is served VM-time over total VM-time.
+	Availability float64
 }
 
 // RunOpts tunes one cell execution beyond the (spec, policy, ticks) key.
@@ -108,6 +123,10 @@ type RunOpts struct {
 	// some other policy in the matrix happened to train one; ML-gated
 	// admission is an explicit opt-in.
 	Admission *core.AdmissionPolicy
+	// Degraded overrides the graceful-degradation policy of fault
+	// scenarios (nil = core defaults: nominal surviving capacity, never
+	// shed).
+	Degraded *core.DegradedPolicy
 }
 
 // timedScheduler wraps a scheduler and accumulates the wall-clock time
@@ -233,13 +252,21 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 			mgrCfg.Admission = *opts.Admission
 		}
 	}
+	var faults *lifecycle.FaultRunner
+	if sc.Faults != nil {
+		faults = lifecycle.NewFaultRunner(sc.Faults)
+		mgrCfg.Faults = faults
+		if opts.Degraded != nil {
+			mgrCfg.Degraded = *opts.Degraded
+		}
+	}
 	mgr, err := core.NewManager(mgrCfg)
 	if err != nil {
 		return nil, err
 	}
 	run := &PolicyRun{
 		Policy: pol.Name, Scenario: spec.Name, Seed: spec.Seed,
-		Ticks: ticks, MinSLA: 1, AdmissionRate: 1,
+		Ticks: ticks, MinSLA: 1, AdmissionRate: 1, Availability: 1,
 	}
 	if run.Policy == "" {
 		run.Policy = s.Name()
@@ -292,6 +319,18 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 		run.DepartedVMs = st.Departed
 		run.AdmissionRate = st.AdmissionRate()
 		run.MeanPlaceTicks = st.MeanPlacementTicks()
+	}
+	if faults != nil {
+		st := faults.Stats()
+		run.Crashes = st.Crashes
+		run.ForcedEvictions = st.ForcedEvictions
+		run.Interruptions = st.Interruptions
+		run.RehomedVMs = st.Rehomed
+		run.ShedVMs = st.Shed
+		run.DegradedTicks = st.DegradedTicks
+		run.MeanRehomeTicks = st.MeanRehomeTicks()
+		run.MaxRehomeTicks = st.MaxRehomeTicks
+		run.Availability = st.Availability()
 	}
 	return run, nil
 }

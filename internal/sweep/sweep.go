@@ -67,6 +67,16 @@ type Cell struct {
 	DepartedVMs    int     `json:"departed_vms"`
 	AdmissionRate  float64 `json:"admission_rate"`
 	MeanPlaceTicks float64 `json:"mean_place_ticks"`
+	// Fault-layer columns (zero, availability 1, for immortal fleets).
+	Crashes         int     `json:"crashes"`
+	ForcedEvictions int     `json:"forced_evictions"`
+	Interruptions   int     `json:"interruptions"`
+	RehomedVMs      int     `json:"rehomed_vms"`
+	ShedVMs         int     `json:"shed_vms"`
+	DegradedTicks   int     `json:"degraded_ticks"`
+	MeanRehomeTicks float64 `json:"mean_rehome_ticks"`
+	MaxRehomeTicks  int     `json:"max_rehome_ticks"`
+	Availability    float64 `json:"availability"`
 	// Delta-round row counters: (VM, DC)-table rows served from the memo
 	// vs re-estimated, summed over the cell's rounds. Pure counters —
 	// deterministic, so they are real JSON/CSV columns (zero for
@@ -112,6 +122,9 @@ type Aggregate struct {
 	AdmissionRate  Stat    `json:"admission_rate"`
 	RejectedVMs    Stat    `json:"rejected_vms"`
 	MeanPlaceTicks Stat    `json:"mean_place_ticks"`
+	Availability   Stat    `json:"availability"`
+	Interruptions  Stat    `json:"interruptions"`
+	ForcedEvict    Stat    `json:"forced_evictions"`
 	RowsReused     Stat    `json:"rows_reused"`
 	RowsRecomputed Stat    `json:"rows_recomputed"`
 	RoundMS        float64 `json:"-"` // mean wall latency, reporting only
@@ -209,7 +222,12 @@ func Run(m Matrix) (*Result, error) {
 			OfferedVMs: run.OfferedVMs, AdmittedVMs: run.AdmittedVMs,
 			RejectedVMs: run.RejectedVMs, DepartedVMs: run.DepartedVMs,
 			AdmissionRate: run.AdmissionRate, MeanPlaceTicks: run.MeanPlaceTicks,
-			RowsReused: run.RowsReused, RowsRecomputed: run.RowsRecomputed,
+			Crashes: run.Crashes, ForcedEvictions: run.ForcedEvictions,
+			Interruptions: run.Interruptions, RehomedVMs: run.RehomedVMs,
+			ShedVMs: run.ShedVMs, DegradedTicks: run.DegradedTicks,
+			MeanRehomeTicks: run.MeanRehomeTicks, MaxRehomeTicks: run.MaxRehomeTicks,
+			Availability: run.Availability,
+			RowsReused:   run.RowsReused, RowsRecomputed: run.RowsRecomputed,
 			RoundMS: run.RoundMS,
 			FillMS:  run.FillMS, ScoreMS: run.ScoreMS, ReduceMS: run.ReduceMS,
 		}
@@ -248,6 +266,9 @@ func Run(m Matrix) (*Result, error) {
 				AdmissionRate:  metric(si, pi, func(c *Cell) float64 { return c.AdmissionRate }),
 				RejectedVMs:    metric(si, pi, func(c *Cell) float64 { return float64(c.RejectedVMs) }),
 				MeanPlaceTicks: metric(si, pi, func(c *Cell) float64 { return c.MeanPlaceTicks }),
+				Availability:   metric(si, pi, func(c *Cell) float64 { return c.Availability }),
+				Interruptions:  metric(si, pi, func(c *Cell) float64 { return float64(c.Interruptions) }),
+				ForcedEvict:    metric(si, pi, func(c *Cell) float64 { return float64(c.ForcedEvictions) }),
 				RowsReused:     metric(si, pi, func(c *Cell) float64 { return float64(c.RowsReused) }),
 				RowsRecomputed: metric(si, pi, func(c *Cell) float64 { return float64(c.RowsRecomputed) }),
 			}
@@ -282,7 +303,11 @@ func (r *Result) CellsTable() report.Table {
 			"avg_sla", "min_sla", "avg_watts", "profit_eur_h", "revenue_eur",
 			"energy_eur", "penalty_eur", "migrations", "avg_active_pms",
 			"offered_vms", "admitted_vms", "rejected_vms", "departed_vms",
-			"admission_rate", "mean_place_ticks", "rows_reused", "rows_recomputed"},
+			"admission_rate", "mean_place_ticks",
+			"crashes", "forced_evictions", "interruptions", "rehomed_vms",
+			"shed_vms", "degraded_ticks", "mean_rehome_ticks",
+			"max_rehome_ticks", "availability",
+			"rows_reused", "rows_recomputed"},
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
@@ -294,6 +319,11 @@ func (r *Result) CellsTable() report.Table {
 			strconv.Itoa(c.OfferedVMs), strconv.Itoa(c.AdmittedVMs),
 			strconv.Itoa(c.RejectedVMs), strconv.Itoa(c.DepartedVMs),
 			fmtF(c.AdmissionRate), fmtF(c.MeanPlaceTicks),
+			strconv.Itoa(c.Crashes), strconv.Itoa(c.ForcedEvictions),
+			strconv.Itoa(c.Interruptions), strconv.Itoa(c.RehomedVMs),
+			strconv.Itoa(c.ShedVMs), strconv.Itoa(c.DegradedTicks),
+			fmtF(c.MeanRehomeTicks), strconv.Itoa(c.MaxRehomeTicks),
+			fmtF(c.Availability),
 			strconv.Itoa(c.RowsReused), strconv.Itoa(c.RowsRecomputed))
 	}
 	return t
@@ -313,8 +343,8 @@ func (r *Result) AggregateTable() report.Table {
 		Caption: fmt.Sprintf("sweep — %d scenarios × %d policies × %d seeds, %d ticks",
 			len(r.Scenarios), len(r.Policies), len(r.Seeds), r.Ticks),
 		Headers: []string{"scenario", "policy", "avg SLA", "min SLA", "avg W",
-			"profit €/h", "migrations", "PMs on", "admit", "t→place", "reused",
-			"ms/round", "fill/score ms"},
+			"profit €/h", "migrations", "PMs on", "admit", "t→place", "avail",
+			"reused", "ms/round", "fill/score ms"},
 	}
 	ms := func(s Stat) string { return fmt.Sprintf("%.4f ±%.4f", s.Mean, s.StdDev) }
 	for _, a := range r.Aggregates {
@@ -326,6 +356,7 @@ func (r *Result) AggregateTable() report.Table {
 			fmt.Sprintf("%.2f ±%.2f", a.AvgActivePMs.Mean, a.AvgActivePMs.StdDev),
 			fmt.Sprintf("%.2f", a.AdmissionRate.Mean),
 			fmt.Sprintf("%.1f", a.MeanPlaceTicks.Mean),
+			fmt.Sprintf("%.4f", a.Availability.Mean),
 			fmt.Sprintf("%.0f", a.RowsReused.Mean),
 			fmt.Sprintf("%.2f", a.RoundMS),
 			fmt.Sprintf("%.2f/%.2f", a.FillMS, a.ScoreMS))

@@ -98,6 +98,52 @@ func TestSweepChurnDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepFaultDeterminism extends the determinism contract to the
+// fault-injection presets: cells replaying host crashes, a DC outage and
+// a rolling maintenance wave stay byte-identical across runs and worker
+// counts, and actually record fault activity.
+func TestSweepFaultDeterminism(t *testing.T) {
+	matrix := func(workers int) Matrix {
+		return Matrix{
+			Scenarios: []string{scenario.FailSparse, scenario.FailAZOutage, scenario.MaintRolling},
+			Policies:  []string{"bf-ob"},
+			Seeds:     []uint64{1, 2},
+			Ticks:     180,
+			Workers:   workers,
+		}
+	}
+	get := func(workers int) (*Result, []byte) {
+		res, err := Run(matrix(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, j
+	}
+	base, baseJSON := get(1)
+	faulted := false
+	for _, c := range base.Cells {
+		if c.Availability <= 0 || c.Availability > 1 {
+			t.Fatalf("cell %s/%s/%d availability %v out of (0,1]",
+				c.Scenario, c.Policy, c.Seed, c.Availability)
+		}
+		if c.Crashes > 0 || c.Interruptions > 0 {
+			faulted = true
+		}
+	}
+	if !faulted {
+		t.Fatal("fault cells reported no fault activity")
+	}
+	for _, workers := range []int{1, 4} {
+		if _, j := get(workers); !bytes.Equal(baseJSON, j) {
+			t.Errorf("fault sweep JSON differs at workers=%d", workers)
+		}
+	}
+}
+
 func TestSweepShape(t *testing.T) {
 	res, err := Run(fastMatrix(4))
 	if err != nil {
