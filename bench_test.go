@@ -239,7 +239,11 @@ func BenchmarkSimStep(b *testing.B) {
 }
 
 // BenchmarkEngineTick measures the allocation-free engine tick directly,
-// on a small (paper-sized) and a large (production-sized) fleet.
+// on a small (paper-sized) and a large (production-sized) fleet, plus the
+// hyperscale preset (20000 VMs over 5100 PMs in six DCs), whose tick runs
+// the per-DC resolution shards in parallel (TickWorkers 4) — the sharded
+// path pays a handful of goroutine-spawn allocations per tick, unlike the
+// serial ticks above.
 func BenchmarkEngineTick(b *testing.B) {
 	for _, size := range []struct {
 		name               string
@@ -268,6 +272,29 @@ func BenchmarkEngineTick(b *testing.B) {
 			}
 		})
 	}
+	b.Run("Hyperscale", func(b *testing.B) {
+		sc, err := scenario.Build(scenario.MustPreset(scenario.HyperscaleFleet, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sc.World.PlaceInitial(sc.HomePlacement()); err != nil {
+			b.Fatal(err)
+		}
+		eng := sc.World.Engine
+		// Warm-up ticks: monitor/report buffers grow lazily over the first
+		// few ticks, and allocs/op must reflect the steady state benchgate
+		// compares against (the remaining per-tick allocations are the
+		// sharded phase's goroutine spawns).
+		for i := 0; i < 3; i++ {
+			eng.Step()
+		}
+		b.ReportMetric(float64(eng.TickWorkers()), "workers")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Step()
+		}
+	})
 }
 
 // BenchmarkBestFitRound measures one full scheduling decision, serial vs
@@ -306,22 +333,32 @@ func BenchmarkScheduleRound(b *testing.B) {
 	}
 	paperCost := sched.NewCostModel(network.PaperTopology(), power.Atom{}, 1.0/6)
 	for _, size := range []struct {
-		name  string
-		setup func(b *testing.B) (*sched.Problem, sched.CostModel)
+		name   string
+		setup  func(b *testing.B) (*sched.Problem, sched.CostModel)
+		prune  bool
+		pruneK int
 	}{
-		{"Small", func(b *testing.B) (*sched.Problem, sched.CostModel) {
+		{name: "Small", setup: func(b *testing.B) (*sched.Problem, sched.CostModel) {
 			return syntheticProblem(24, 16), paperCost
 		}},
-		{"Large", func(b *testing.B) (*sched.Problem, sched.CostModel) {
+		{name: "Large", setup: func(b *testing.B) (*sched.Problem, sched.CostModel) {
 			return syntheticProblem(200, 80), paperCost
 		}},
-		{"XLarge", func(b *testing.B) (*sched.Problem, sched.CostModel) {
+		{name: "XLarge", setup: func(b *testing.B) (*sched.Problem, sched.CostModel) {
 			return scenarioProblem(b, scenario.XLargeFleet)
 		}},
+		// Hyperscale is the sharded-fleet round: 20000 VMs over 5100 hosts
+		// in six DCs. An exhaustive scan is ~100M profit calls per round, so
+		// this size runs the candidate shortlist with a bounded per-DC
+		// window — the configuration the preset is meant to be driven with.
+		{name: "Hyperscale", setup: func(b *testing.B) (*sched.Problem, sched.CostModel) {
+			return scenarioProblem(b, scenario.HyperscaleFleet)
+		}, prune: true, pruneK: 32},
 	} {
 		b.Run(size.name, func(b *testing.B) {
 			problem, cost := size.setup(b)
 			bf := sched.NewBestFit(cost, sched.NewML(bundle))
+			bf.Prune, bf.PruneK = size.prune, size.pruneK
 			// One warmup round so the reusable Round session is grown
 			// before measurement: allocs/op is then the steady state the
 			// benchgate CI job compares against BENCH_sched.json, stable

@@ -1,0 +1,188 @@
+// Command doccheck guards the prose against code drift: every
+// backtick-quoted Go symbol in the given markdown files must name an
+// identifier that is actually declared somewhere in this repository.
+// A rename that strands README.md or DESIGN.md fails CI instead of
+// silently rotting the documentation.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck README.md DESIGN.md
+//
+// What counts as a symbol: inside a `backtick span`, dot-separated
+// components that look like exported Go identifiers (leading capital
+// followed by at least one lowercase letter, e.g. `BestFit`,
+// `Round.Assign`, `sched.RoundStats.CandidatesScored`, test and
+// benchmark names). Lowercase components (package qualifiers, variable
+// receivers), all-caps acronyms (`CPU`, `SLA`), spans with spaces or
+// punctuation (`go test ./...`, `O(n)`) and file names (`BENCH_sched.json`)
+// are ignored — the check is deliberately one-sided so it can never
+// block honest prose, only dangling references.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	docs := os.Args[1:]
+	if len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	declared, err := declaredIdents(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	bad := 0
+	for _, doc := range docs {
+		missing, err := checkDoc(doc, declared)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Printf("%s: `%s` names no declared identifier (component %q)\n", m.pos, m.span, m.ident)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("doccheck: %d dangling reference(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: ok (%d files, %d declared identifiers)\n", len(docs), len(declared))
+}
+
+// declaredIdents parses every .go file under root and returns the set of
+// declared names: functions, methods, types, consts, vars, struct fields
+// and interface methods. Unexported names are included too — the docs may
+// legitimately describe internals like `pruneIndex`.
+func declaredIdents(root string) (map[string]bool, error) {
+	set := make(map[string]bool, 4096)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		set[f.Name.Name] = true
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				set[n.Name.Name] = true
+			case *ast.TypeSpec:
+				set[n.Name.Name] = true
+			case *ast.ValueSpec:
+				for _, id := range n.Names {
+					set[id.Name] = true
+				}
+			case *ast.Field:
+				for _, id := range n.Names {
+					set[id.Name] = true
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	return set, err
+}
+
+type missingRef struct {
+	pos   string // file:line
+	span  string // full backtick span
+	ident string // the component that failed to resolve
+}
+
+var (
+	backtickRe = regexp.MustCompile("`([^`\n]+)`")
+	// symbolRe admits dot-separated identifier chains only — anything with
+	// spaces, slashes, dashes, parens or other punctuation is prose or a
+	// command line, not a symbol reference.
+	symbolRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$`)
+	// checkable components: exported-looking CamelCase. Requires a
+	// lowercase letter so acronyms (CPU, SLA, M5P) pass unchecked.
+	checkableRe = regexp.MustCompile(`^[A-Z][A-Za-z0-9]*[a-z][A-Za-z0-9]*$`)
+)
+
+// fileExts are spans that are file names, not symbols (`doc.go` would
+// otherwise parse as package doc, selector go).
+var fileExts = map[string]bool{
+	"go": true, "md": true, "json": true, "yml": true, "yaml": true,
+	"txt": true, "csv": true, "prof": true, "mod": true, "sum": true,
+}
+
+func checkDoc(path string, declared map[string]bool) ([]missingRef, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var missing []missingRef
+	line := 0
+	inFence := false
+	for _, text := range strings.Split(string(data), "\n") {
+		line++
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			// Fenced blocks are code excerpts or shell transcripts; the
+			// inline-backtick convention does not apply there.
+			continue
+		}
+		for _, m := range backtickRe.FindAllStringSubmatch(text, -1) {
+			span := m[1]
+			if !symbolRe.MatchString(span) {
+				continue
+			}
+			parts := strings.Split(span, ".")
+			if len(parts) > 1 && fileExts[parts[len(parts)-1]] {
+				continue
+			}
+			// A lowercase qualifier that is not a package of this repo
+			// marks an external reference (`testing.AllocsPerRun`,
+			// `runtime.GOMAXPROCS`) — out of scope for the drift check.
+			if first := parts[0]; len(parts) > 1 &&
+				first[0] >= 'a' && first[0] <= 'z' && !declared[first] {
+				continue
+			}
+			for _, p := range parts {
+				if !checkableRe.MatchString(p) {
+					continue
+				}
+				if !declared[p] {
+					missing = append(missing, missingRef{
+						pos:   fmt.Sprintf("%s:%d", path, line),
+						span:  span,
+						ident: p,
+					})
+					break
+				}
+			}
+		}
+	}
+	sort.SliceStable(missing, func(i, j int) bool { return missing[i].pos < missing[j].pos })
+	return missing, nil
+}

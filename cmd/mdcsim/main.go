@@ -234,9 +234,18 @@ func runScenario(name string, seed uint64, ticks int, admitAll bool) error {
 		return err
 	}
 	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	bf := sched.NewBestFit(cost, sched.NewOverbooked())
+	// Fleet-scale presets (hyperscale: 20000 VMs x 5100 PMs) cannot run
+	// the exhaustive scoring matrix interactively; bound the round with
+	// the truncated candidate shortlist. Truncation is disclosed, and
+	// smaller fleets keep the exact exhaustive scan.
+	if pairs := len(sc.Inventory.PMs()) * len(sc.Inventory.VMs()); pairs > 1<<22 {
+		bf.Prune, bf.PruneK = true, 32
+		fmt.Printf("fleet-scale run (%d VM x PM pairs): candidate pruning on, PruneK 32\n", pairs)
+	}
 	mgrCfg := core.ManagerConfig{
 		World:      sc.World,
-		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
+		Scheduler:  bf,
 		RoundTicks: 10,
 		Admission:  core.AdmissionPolicy{Disabled: admitAll},
 	}

@@ -41,6 +41,11 @@ type Hierarchical struct {
 	// never mix.
 	Delta        bool
 	DeltaEpsilon float64
+	// Prune and PruneK propagate candidate pruning to the local and global
+	// Best-Fit layers (see sched.BestFit.Prune): each layer's Round keeps
+	// its own host-state shortlist index over its own candidate set.
+	Prune  bool
+	PruneK int
 
 	// Reused per-DC local schedulers plus the global-round scheduler: each
 	// owns a Round whose storage (and memoized estimates) survive across
@@ -113,6 +118,7 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 		}
 		bf := h.localBF[dc]
 		bf.Delta, bf.DeltaEpsilon = h.Delta, h.DeltaEpsilon
+		bf.Prune, bf.PruneK = h.Prune, h.PruneK
 		placement, err := bf.Schedule(local)
 		if err != nil {
 			return localResult{err: err}
@@ -173,6 +179,7 @@ func (h *Hierarchical) Schedule(p *sched.Problem) (model.Placement, error) {
 			h.globalBF = sched.NewBestFit(h.Cost, h.Est)
 		}
 		h.globalBF.Delta, h.globalBF.DeltaEpsilon = h.Delta, h.DeltaEpsilon
+		h.globalBF.Prune, h.globalBF.PruneK = h.Prune, h.PruneK
 		gPlacement, err := h.globalBF.Schedule(&sched.Problem{VMs: globalVMs, Hosts: globalHosts, Tick: p.Tick})
 		if err != nil {
 			return nil, err

@@ -53,6 +53,12 @@ const (
 	// from Names(), so "all"-preset sweeps and parity suites stay at
 	// interactive cost.
 	XLargeFleet = "xlarge"
+	// HyperscaleFleet is the fleet-scale stress preset: 20000 VMs over
+	// 5100 hosts in six DCs. Like xlarge it is *heavy* — resolvable by
+	// name, excluded from Names() — and it is the home of the PR 8
+	// machinery: candidate-pruned scheduling rounds and per-DC sharded
+	// engine ticks (Spec.TickWorkers) are what make it tractable.
+	HyperscaleFleet = "hyperscale"
 	// ChurnPoisson is the steady-churn scenario: a multi-DC fleet whose
 	// VM population turns over continuously — independent Poisson
 	// sign-ups with ~3-hour exponential lifetimes riding on a small
@@ -256,6 +262,12 @@ var heavyPresets = map[string]Spec{
 		Name: XLargeFleet,
 		DCs:  6, PMsPerDC: 67, VMs: 1000,
 		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.6,
+	},
+	HyperscaleFleet: {
+		Name: HyperscaleFleet,
+		DCs:  6, PMsPerDC: 850, VMs: 20000,
+		LoadScale: 1.0, NoiseSD: 0.2, HomeBias: 0.6,
+		TickWorkers: 4,
 	},
 }
 

@@ -112,6 +112,12 @@ type Spec struct {
 	// process) need this to admit anything at all.
 	ExtraVMSlots int
 
+	// TickWorkers sets the engine's per-DC parallel tick resolution width
+	// (sim.Config.TickWorkers). Ticks are byte-identical at any worker
+	// count; <= 1 runs serially (the allocation-free path). Heavy presets
+	// set this so fleet-scale ticks use the cores they are given.
+	TickWorkers int
+
 	// Params overrides the world's ground-truth constants when non-nil.
 	Params *sim.Params
 }
@@ -337,6 +343,7 @@ func Build(spec Spec) (*Scenario, error) {
 		simCfg.ExtraVMSlots = script.SlotBound(lifecycle.DefaultMaxDeferTicks)
 	}
 	simCfg.ExtraVMSlots += spec.ExtraVMSlots
+	simCfg.TickWorkers = spec.TickWorkers
 	if spec.Params != nil {
 		simCfg.Params = *spec.Params
 	}

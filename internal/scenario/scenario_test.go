@@ -57,15 +57,17 @@ func TestPresetUnknown(t *testing.T) {
 // contract: xlarge resolves by name (so mdcsim/sweep can address it
 // explicitly) while Names() — the "run everything" list — excludes it.
 func TestHeavyPresetsResolvableButNotEnumerated(t *testing.T) {
-	if _, err := Preset(XLargeFleet, 1); err != nil {
-		t.Fatalf("heavy preset not resolvable: %v", err)
-	}
-	for _, name := range Names() {
-		if name == XLargeFleet {
-			t.Fatal("heavy preset leaked into Names()")
+	for _, heavy := range []string{XLargeFleet, HyperscaleFleet} {
+		if _, err := Preset(heavy, 1); err != nil {
+			t.Fatalf("heavy preset not resolvable: %v", err)
+		}
+		for _, name := range Names() {
+			if name == heavy {
+				t.Fatalf("heavy preset %q leaked into Names()", heavy)
+			}
 		}
 	}
-	if hn := HeavyNames(); len(hn) != 1 || hn[0] != XLargeFleet {
+	if hn := HeavyNames(); len(hn) != 2 || hn[0] != HyperscaleFleet || hn[1] != XLargeFleet {
 		t.Fatalf("HeavyNames = %v", hn)
 	}
 }

@@ -38,30 +38,57 @@ type BestFit struct {
 	// 0 demands bit-exact equality, making delta rounds placement-identical
 	// to full rounds.
 	DeltaEpsilon float64
+	// Prune scores only the Round's candidate shortlist per VM instead of
+	// every host: one representative per distinct tentative host state,
+	// plus the VM's current host (see prune.go). With PruneK <= 0 the
+	// resulting placement is bit-identical to the exhaustive scan.
+	Prune bool
+	// PruneK truncates each DC's shortlist to the K tightest feasible host
+	// states (plus the emptiest and the first infeasible one). 0 is the
+	// safe bound — every distinct state, provably placement-identical;
+	// K > 0 trades disclosed divergence (RoundStats.ShortlistTruncated)
+	// for bounded per-VM scoring work at fleet scale.
+	PruneK int
 	// label overrides the reported name (e.g. "bestfit-ml").
 	label string
 
 	// Reused session state.
-	round     Round
-	order     []int
-	demand    []float64
-	scores    []float64
-	scratches []Scratch
-	sorter    demandSorter
-	curVM     int
-	evalFn    func(worker, j int)
-	stats     RoundStats
+	round      Round
+	order      []int
+	demand     []float64
+	scores     []float64
+	scratches  []Scratch
+	sorter     demandSorter
+	curVM      int
+	evalFn     func(worker, j int)
+	cands      []int32
+	candScores []float64
+	evalCandFn func(worker, p int)
+	stats      RoundStats
 }
 
 // RoundStats is the phase instrumentation of one scheduling round: where
 // the wall-clock went (table fill, candidate scoring, reduction — argmax,
-// hysteresis and commit) and how much work the delta memo saved.
+// hysteresis and commit), how much work the delta memo saved, and what the
+// candidate shortlist did. The candidate counters are deterministic
+// functions of the problem — unlike the wall-clock fields they are safe to
+// publish in reproducible sweep output.
 type RoundStats struct {
 	FillNS         int64
 	ScoreNS        int64
 	ReduceNS       int64
 	RowsReused     int
 	RowsRecomputed int
+	// CandidatesScored is the number of profit evaluations performed
+	// (VMs × hosts without pruning; the summed shortlist sizes with it).
+	CandidatesScored int
+	// ShortlistRebuilds counts full prune-index rebuilds (one per Reset
+	// with pruning on; 0 with pruning off).
+	ShortlistRebuilds int
+	// ShortlistTruncated counts live host-state classes dropped by PruneK
+	// truncation — the disclosed divergence from the exhaustive scan.
+	// Always 0 when PruneK <= 0.
+	ShortlistTruncated int
 }
 
 // RoundStatsReporter is implemented by schedulers exposing per-round phase
@@ -131,9 +158,16 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 				b.scores[j] = b.round.ProfitScratch(b.curVM, j, &b.scratches[worker])
 			}
 		}
+		if b.evalCandFn == nil {
+			b.evalCandFn = func(worker, p int) {
+				b.candScores[p] = b.round.ProfitScratch(b.curVM, int(b.cands[p]), &b.scratches[worker])
+			}
+		}
 	}
 	r := &b.round
 	r.SetDelta(b.Delta, b.DeltaEpsilon)
+	r.SetPrune(b.Prune)
+	rebuilds0 := r.PruneRebuilds()
 	start := time.Now()
 	if err := r.ResetParallel(p, b.Cost, b.Est, workers, b.scratches); err != nil {
 		return err
@@ -157,28 +191,73 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 		workers = nh
 	}
 	var scoreNS int64
+	var scored, truncated int
 	for _, i := range b.order {
 		t0 := time.Now()
-		if workers > 1 {
-			b.curVM = i
-			par.ForEachWorker(nh, workers, b.evalFn)
+		var best int
+		if b.Prune {
+			var curPos, trunc int
+			b.cands, curPos, trunc = r.AppendCandidates(i, b.PruneK, b.cands[:0])
+			truncated += trunc
+			nc := len(b.cands)
+			scored += nc
+			b.candScores = grown(b.candScores, nc)
+			if w := workers; w > 1 {
+				if w > nc {
+					w = nc
+				}
+				b.curVM = i
+				if w > 1 {
+					par.ForEachWorker(nc, w, b.evalCandFn)
+				} else {
+					for q := 0; q < nc; q++ {
+						b.candScores[q] = r.Profit(i, int(b.cands[q]))
+					}
+				}
+			} else {
+				for q := 0; q < nc; q++ {
+					b.candScores[q] = r.Profit(i, int(b.cands[q]))
+				}
+			}
+			scoreNS += time.Since(t0).Nanoseconds()
+			// Argmax with the explicit lower-host-index tie-break — the
+			// order-independent equivalent of the exhaustive left-to-right
+			// strict-greater scan.
+			bp := 0
+			for q := 1; q < nc; q++ {
+				if b.candScores[q] > b.candScores[bp] ||
+					(b.candScores[q] == b.candScores[bp] && b.cands[q] < b.cands[bp]) {
+					bp = q
+				}
+			}
+			best = int(b.cands[bp])
+			if curPos >= 0 && bp != curPos &&
+				b.candScores[bp] < b.candScores[curPos]+b.MinGainEUR {
+				best = int(b.cands[curPos])
+			}
 		} else {
-			for j := 0; j < nh; j++ {
-				b.scores[j] = r.Profit(i, j)
+			if workers > 1 {
+				b.curVM = i
+				par.ForEachWorker(nh, workers, b.evalFn)
+			} else {
+				for j := 0; j < nh; j++ {
+					b.scores[j] = r.Profit(i, j)
+				}
 			}
-		}
-		scoreNS += time.Since(t0).Nanoseconds()
-		best := 0
-		for j := 1; j < nh; j++ {
-			if b.scores[j] > b.scores[best] {
-				best = j
+			scored += nh
+			scoreNS += time.Since(t0).Nanoseconds()
+			best = 0
+			for j := 1; j < nh; j++ {
+				if b.scores[j] > b.scores[best] {
+					best = j
+				}
 			}
-		}
-		// Hysteresis: prefer the current host unless the winner clearly
-		// beats it.
-		if cur, ok := r.HostIndex(p.VMs[i].Current); ok && best != cur &&
-			b.scores[best] < b.scores[cur]+b.MinGainEUR {
-			best = cur
+			// Hysteresis: prefer the current host unless the winner clearly
+			// beats it.
+			if cur, ok := r.HostIndex(p.VMs[i].Current); ok && best != cur &&
+				b.scores[best] < b.scores[cur]+b.MinGainEUR {
+				best = cur
+			}
 		}
 		r.Assign(i, best)
 		placement[p.VMs[i].Spec.ID] = r.HostID(best)
@@ -192,6 +271,9 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 	b.stats = RoundStats{
 		FillNS: fillNS, ScoreNS: scoreNS, ReduceNS: reduceNS,
 		RowsReused: reused, RowsRecomputed: recomputed,
+		CandidatesScored:   scored,
+		ShortlistRebuilds:  r.PruneRebuilds() - rebuilds0,
+		ShortlistTruncated: truncated,
 	}
 	return nil
 }

@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"repro/internal/model"
+)
+
+// Candidate pruning: the O(VMs × hosts) scoring matrix is the round's
+// scalability wall, and most of those profit calls are redundant —
+// Profit(i, j) depends on host j only through its tentative state
+// (DC, capacity, availability, guest count, CPU/RPS sums; the baseline
+// watts derive from those), plus the identity test against the VM's
+// current host. Hosts in identical state are therefore interchangeable:
+// scoring one representative per *state equivalence class* — always the
+// lowest-indexed member — plus the VM's current host reproduces the
+// exhaustive argmax bit-for-bit (see the proof sketch on
+// AppendCandidates). The index maintains those classes incrementally:
+// rebuilt once per Reset, re-keyed per Assign/Unassign, so churn and
+// fault-driven candidate-set changes never stale it.
+//
+// PruneK > 0 additionally truncates each DC's shortlist to a bounded
+// window around the VM's feasibility boundary — no longer provably
+// identical (the safe bound is "every class"), so truncation is
+// disclosed per round via RoundStats.ShortlistTruncated.
+
+// hostClassKey is the exact tentative host state Profit depends on.
+// Two hosts with equal keys in the same DC produce bit-identical
+// profits for every VM whose current host is neither of them.
+type hostClassKey struct {
+	dc     model.DCID
+	capCPU float64
+	avail  model.Resources
+	guests int
+	sumCPU float64
+	sumRPS float64
+}
+
+// classKeyLess orders a DC's classes: emptiest first (available CPU
+// descending — the axis requirements are checked against), with a full
+// deterministic tie-break so shortlist windows are stable across runs.
+func classKeyLess(a, b *hostClassKey) bool {
+	if a.avail.CPUPct != b.avail.CPUPct {
+		return a.avail.CPUPct > b.avail.CPUPct
+	}
+	if a.avail.MemMB != b.avail.MemMB {
+		return a.avail.MemMB > b.avail.MemMB
+	}
+	if a.avail.BWMbps != b.avail.BWMbps {
+		return a.avail.BWMbps > b.avail.BWMbps
+	}
+	if a.capCPU != b.capCPU {
+		return a.capCPU < b.capCPU
+	}
+	if a.guests != b.guests {
+		return a.guests < b.guests
+	}
+	if a.sumCPU != b.sumCPU {
+		return a.sumCPU < b.sumCPU
+	}
+	return a.sumRPS < b.sumRPS
+}
+
+// hostClass is one equivalence class: its key and its member hosts in
+// ascending index order (members[0] is the representative).
+type hostClass struct {
+	key     hostClassKey
+	members []int32
+}
+
+// pruneIndex is the incremental class index of a Round. Class records
+// live in an arena so Reset-time rebuilds reuse member storage; perDC
+// holds each DC's live class ids sorted by classKeyLess.
+type pruneIndex struct {
+	valid    bool
+	classes  []hostClass
+	nArena   int // arena high-water mark
+	free     []int32
+	byKey    map[hostClassKey]int32
+	classOf  []int32
+	perDC    [][]int32
+	rebuilds int // lifetime rebuild count
+}
+
+// keyOf reads host j's current tentative state out of the round columns.
+func (r *Round) keyOf(j int) hostClassKey {
+	return hostClassKey{
+		dc:     r.hDC[j],
+		capCPU: r.hCapCPU[j],
+		avail:  r.hAvail[j],
+		guests: r.hGuests[j],
+		sumCPU: r.hSumCPU[j],
+		sumRPS: r.hSumRPS[j],
+	}
+}
+
+// SetPrune switches shortlist maintenance on or off for subsequent
+// Resets. The index itself is (re)built by Reset, never here.
+func (r *Round) SetPrune(on bool) {
+	r.pruneOn = on
+	if !on {
+		r.pruneIdx.valid = false
+	}
+}
+
+// PruneRebuilds returns the lifetime shortlist rebuild count (one per
+// Reset with pruning enabled).
+func (r *Round) PruneRebuilds() int { return r.pruneIdx.rebuilds }
+
+// rebuildPrune reconstructs the class index from the current host
+// columns: O(hosts) hashing plus sorted per-DC class insertion. Hosts
+// arrive in index order, so member lists are born sorted.
+func (px *pruneIndex) rebuildPrune(r *Round) {
+	nH := len(r.hID)
+	px.classOf = grown(px.classOf, nH)
+	if px.byKey == nil {
+		px.byKey = make(map[hostClassKey]int32, nH)
+	} else {
+		clear(px.byKey)
+	}
+	px.free = px.free[:0]
+	px.nArena = 0
+	px.perDC = growKeep(px.perDC, r.nDC)
+	for dc := range px.perDC {
+		px.perDC[dc] = px.perDC[dc][:0]
+	}
+	for j := 0; j < nH; j++ {
+		px.classOf[j] = px.addHost(r, j)
+	}
+	px.rebuilds++
+	px.valid = true
+}
+
+// allocClass hands out a class record, reusing freed ids and arena
+// capacity before growing.
+func (px *pruneIndex) allocClass() int32 {
+	if n := len(px.free); n > 0 {
+		id := px.free[n-1]
+		px.free = px.free[:n-1]
+		return id
+	}
+	id := int32(px.nArena)
+	px.nArena++
+	if px.nArena > len(px.classes) {
+		px.classes = growKeep(px.classes, px.nArena)
+	}
+	return id
+}
+
+// addHost files host j under its current key, creating the class (and
+// its sorted per-DC slot) when the state is new. Returns the class id.
+func (px *pruneIndex) addHost(r *Round, j int) int32 {
+	key := r.keyOf(j)
+	if id, ok := px.byKey[key]; ok {
+		c := &px.classes[id]
+		c.members = memberInsert(c.members, int32(j))
+		return id
+	}
+	id := px.allocClass()
+	c := &px.classes[id]
+	c.key = key
+	c.members = append(c.members[:0], int32(j))
+	px.byKey[key] = id
+	list := px.perDC[key.dc]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if classKeyLess(&px.classes[list[mid]].key, &key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	list = append(list, 0)
+	copy(list[lo+1:], list[lo:])
+	list[lo] = id
+	px.perDC[key.dc] = list
+	return id
+}
+
+// removeHost unfiles host j from its class, retiring the class (and its
+// per-DC slot) when j was the last member.
+func (px *pruneIndex) removeHost(j int) {
+	id := px.classOf[j]
+	c := &px.classes[id]
+	c.members = memberRemove(c.members, int32(j))
+	if len(c.members) > 0 {
+		return
+	}
+	delete(px.byKey, c.key)
+	list := px.perDC[c.key.dc]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if classKeyLess(&px.classes[list[mid]].key, &c.key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first slot not-less than the key; the class is live in
+	// the list, so list[lo] == id.
+	copy(list[lo:], list[lo+1:])
+	px.perDC[c.key.dc] = list[:len(list)-1]
+	px.free = append(px.free, id)
+}
+
+// rekeyHost moves host j between classes after its tentative state
+// changed (the Assign/Unassign hook).
+func (px *pruneIndex) rekeyHost(r *Round, j int) {
+	px.removeHost(j)
+	px.classOf[j] = px.addHost(r, j)
+}
+
+// memberInsert inserts v into an ascending member list.
+func memberInsert(s []int32, v int32) []int32 {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// memberRemove removes v from an ascending member list.
+func memberRemove(s []int32, v int32) []int32 {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	copy(s[lo:], s[lo+1:])
+	return s[:len(s)-1]
+}
+
+// AppendCandidates appends VM i's candidate shortlist to dst and returns
+// the extended slice, the position of the VM's current host within it
+// (-1 when the VM is unplaced or its host is not a candidate), and the
+// number of live classes truncated away.
+//
+// k <= 0 is the safe bound: one representative per class plus the
+// current host. The pruned argmax then equals the exhaustive scan
+// bit-for-bit, by three observations: (1) equal-state hosts score
+// equally for every host that is not the VM's current one, so the
+// minimum-index host among the exhaustive maximum scorers is always its
+// class representative (a lower-indexed classmate would score the same
+// and win the scan first); (2) the current host — whose profit skips
+// the migration penalty and may exceed its classmates' — is explicitly
+// a candidate; (3) the reduction over candidates breaks score ties
+// toward the lower host index, exactly like the exhaustive left-to-right
+// strict-greater scan. The hysteresis comparison runs on the same two
+// scores it would see exhaustively.
+//
+// k > 0 truncates each DC's sorted class list to a window of the k
+// tightest CPU-feasible states plus the emptiest state and the first
+// infeasible one — the bounded-divergence mode for fleet-scale rounds.
+func (r *Round) AppendCandidates(i, k int, dst []int32) ([]int32, int, int) {
+	px := &r.pruneIdx
+	truncated := 0
+	reqCPU := r.req[i].CPUPct
+	for _, dc := range r.dcs {
+		list := px.perDC[dc]
+		if k <= 0 || len(list) <= k+2 {
+			for _, id := range list {
+				dst = append(dst, px.classes[id].members[0])
+			}
+			continue
+		}
+		// Feasibility boundary: available CPU is non-increasing along the
+		// sorted list, so the CPU-feasible states form the prefix [0, b).
+		lo, hi := 0, len(list)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if px.classes[list[mid]].key.avail.CPUPct >= reqCPU {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b := lo
+		start := b - k
+		if start < 0 {
+			start = 0
+		}
+		if start > 0 {
+			// The emptiest state: the fallback when the tight window fails
+			// on memory or bandwidth.
+			dst = append(dst, px.classes[list[0]].members[0])
+		}
+		for p := start; p < b; p++ {
+			dst = append(dst, px.classes[list[p]].members[0])
+		}
+		if b < len(list) {
+			// The least-congested infeasible state: what the exhaustive
+			// scan would consider when nothing fits.
+			dst = append(dst, px.classes[list[b]].members[0])
+		}
+		kept := b - start + 1 // window plus boundary class
+		if start > 0 {
+			kept++
+		}
+		truncated += len(list) - kept
+	}
+	curPos := -1
+	if cur, ok := r.HostIndex(r.vms[i].Current); ok {
+		cj := int32(cur)
+		for p, j := range dst {
+			if j == cj {
+				curPos = p
+				break
+			}
+		}
+		if curPos < 0 {
+			curPos = len(dst)
+			dst = append(dst, cj)
+		}
+	}
+	return dst, curPos, truncated
+}

@@ -199,6 +199,12 @@ type Round struct {
 	// Instrumentation of the last Reset.
 	fillNS                     int64
 	rowsReused, rowsRecomputed int
+
+	// Candidate-pruning shortlist index (enabled via SetPrune): the
+	// equivalence classes of tentative host state, rebuilt by Reset and
+	// re-keyed by Assign/Unassign. See prune.go.
+	pruneOn  bool
+	pruneIdx pruneIndex
 }
 
 // deltaCtx is the table-fill context outside the per-VM inputs: any change
@@ -429,6 +435,9 @@ func (r *Round) ResetParallel(p *Problem, cost CostModel, est Estimator, workers
 		for j := 0; j < nH; j++ {
 			r.recomputeWattsBefore(j)
 		}
+	}
+	if r.pruneOn {
+		r.pruneIdx.rebuildPrune(r)
 	}
 	r.fillNS = time.Since(fillStart).Nanoseconds()
 	return nil
@@ -818,6 +827,9 @@ func (r *Round) Assign(i, j int) {
 	if r.needWatts {
 		r.recomputeWattsBefore(j)
 	}
+	if r.pruneOn && r.pruneIdx.valid {
+		r.pruneIdx.rekeyHost(r, j)
+	}
 }
 
 // Unassign reverses Assign (used by the branch-and-bound solver). The
@@ -833,6 +845,9 @@ func (r *Round) Unassign(i, j int) {
 	r.hAssigned[j]--
 	if r.needWatts {
 		r.recomputeWattsBefore(j)
+	}
+	if r.pruneOn && r.pruneIdx.valid {
+		r.pruneIdx.rekeyHost(r, j)
 	}
 }
 

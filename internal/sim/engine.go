@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/network"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/queueing"
 	"repro/internal/rng"
@@ -102,6 +103,17 @@ type Engine struct {
 
 	perDCWatts  []float64
 	perDCActive []int
+
+	// Per-DC tick sharding (Config.TickWorkers > 1). pmByDC holds the PM
+	// indices of each DC (inventory order within a DC); shardFn is the
+	// worker closure, built once so the parallel tick path does not
+	// allocate a fresh closure per Step. rtNoise carries the per-guest RT
+	// noise draws from the serial pre-pass into the parallel resolution
+	// phase, preserving the legacy single-stream draw order exactly.
+	workers int
+	pmByDC  [][]int32
+	shardFn func(w, shard int)
+	rtNoise []float64
 }
 
 // TickSummary is the allocation-free per-tick report of the Engine. The
@@ -199,6 +211,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 		perDCWatts:  make([]float64, nLoc),
 		perDCActive: make([]int, nLoc),
+
+		workers: cfg.TickWorkers,
+		rtNoise: make([]float64, capVM),
+	}
+	if e.workers < 1 {
+		e.workers = 1
 	}
 	copy(e.vmSpecs, inv.VMs())
 	rows := make(model.LoadVector, capVM*nLoc) // one backing array for all rows
@@ -212,9 +230,35 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.gens[i] = 1
 		e.vmByID[e.vmIDs[i]] = i
 	}
+	// DC shards for the parallel resolution phase: PM indices grouped by
+	// DC, inventory order within each group. The PM fleet is immutable, so
+	// this is built once.
+	e.pmByDC = make([][]int32, nLoc)
+	for j := range e.pmSpecs {
+		dc := e.pmSpecs[j].DC
+		e.pmByDC[dc] = append(e.pmByDC[dc], int32(j))
+	}
+	e.shardFn = func(_, shard int) {
+		for _, j := range e.pmByDC[shard] {
+			e.resolvePM(int(j))
+		}
+	}
 	e.rebuildFill()
 	return e, nil
 }
+
+// SetTickWorkers sets the worker count for the per-DC parallel resolution
+// phase of Step. n <= 1 runs the tick serially (the zero-alloc path);
+// results are byte-identical at any worker count.
+func (e *Engine) SetTickWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// TickWorkers returns the current tick worker count.
+func (e *Engine) TickWorkers() int { return e.workers }
 
 // --- static views -----------------------------------------------------------
 
@@ -618,52 +662,39 @@ func (e *Engine) Step() TickSummary {
 		e.totals[i] = e.loadRows[i].Total()
 	}
 
-	// Per-PM resolution, in inventory order; guests in VMID order.
+	// RT-noise pre-pass, serial: the single "sim/rt" stream is consumed in
+	// the legacy order (PMs in inventory order, guests in VMID order) so
+	// the parallel resolution phase below never touches the RNG and stays
+	// byte-identical to the serial tick at any worker count.
+	if p.RTNoiseSD > 0 {
+		for j := 0; j < e.nPM; j++ {
+			for _, vi := range e.guests[j] {
+				e.rtNoise[vi] = e.rt.LogNormal(-p.RTNoiseSD*p.RTNoiseSD/2, p.RTNoiseSD)
+			}
+		}
+	}
+
+	// Per-PM resolution. Every write is indexed by the PM or by one of its
+	// guests (each VM has exactly one host), there are no accumulators and
+	// no RNG draws, so the DC shards are independent: with TickWorkers > 1
+	// they run on parallel workers, otherwise inline (the zero-alloc path).
+	if e.workers > 1 {
+		par.ForEachWorker(len(e.pmByDC), e.workers, e.shardFn)
+	} else {
+		for j := 0; j < e.nPM; j++ {
+			e.resolvePM(j)
+		}
+	}
+
+	// Accumulation, serial, in inventory order: per-DC splits, money and
+	// monitoring consume the resolved per-PM state in the same order as the
+	// legacy interleaved loop, so floating-point sums, ledger entries and
+	// "sim/monitor" stream draws are unchanged to the last bit.
 	for j := 0; j < e.nPM; j++ {
-		gs := e.guests[j]
-		e.pmGuestN[j] = len(gs)
-		if len(gs) == 0 {
-			e.pmOn[j] = false
-			e.pmUsage[j] = model.Resources{}
-			e.pmITWatts[j] = 0
-			e.pmFacWatts[j] = 0
+		if !e.pmOn[j] {
 			continue
 		}
-		e.pmOn[j] = true
-		pmSpec := &e.pmSpecs[j]
-
-		// Requirements of every guest under its current load, then the
-		// proportional-sharing grant — fOccupation (constraint 5.2).
-		var reqSum model.Resources
-		for _, vi := range gs {
-			e.required[vi] = e.RequiredResources(e.vmSpecs[vi], e.totals[vi])
-			reqSum = reqSum.Add(e.required[vi])
-		}
-		shCPU, shMem, shBW := cluster.ShareFactors(pmSpec.Capacity, reqSum)
-		var sumUsedCPU, sumMem, sumBW float64
-		for _, vi := range gs {
-			r := e.required[vi]
-			e.granted[vi] = model.Resources{
-				CPUPct: r.CPUPct * shCPU,
-				MemMB:  r.MemMB * shMem,
-				BWMbps: r.BWMbps * shBW,
-			}
-			e.resolveVM(int(vi), pmSpec)
-			sumUsedCPU += e.used[vi].CPUPct
-			sumMem += e.used[vi].MemMB
-			sumBW += e.used[vi].BWMbps
-		}
-		// PM aggregate: guests plus hypervisor overhead (the reason the
-		// paper learns PM CPU separately from the VM sum).
-		pmCPU := sumUsedCPU + p.VirtBasePct + p.VirtPerVMPct*float64(len(gs)) + p.VirtFrac*sumUsedCPU
-		if pmCPU > pmSpec.Capacity.CPUPct {
-			pmCPU = pmSpec.Capacity.CPUPct
-		}
-		e.pmUsage[j] = model.Resources{CPUPct: pmCPU, MemMB: sumMem, BWMbps: sumBW}
-		e.pmITWatts[j] = e.cfg.Power.Watts(pmCPU)
-		e.pmFacWatts[j] = power.FacilityWatts(e.cfg.Power, pmCPU)
-
-		dc := pmSpec.DC
+		dc := e.pmSpecs[j].DC
 		e.perDCWatts[dc] += e.pmFacWatts[j]
 		e.perDCActive[dc]++
 		sum.FacilityWatts += e.pmFacWatts[j]
@@ -671,7 +702,7 @@ func (e *Engine) Step() TickSummary {
 		priceKWh := e.cfg.Topology.EnergyPriceAt(dc, e.tick)
 		e.ledger.AddEnergy(power.EnergyEUR(e.pmFacWatts[j], TickHours, priceKWh))
 		e.energy.Observe(e.pmFacWatts[j], priceKWh, TickHours)
-		e.obs.ObservePM(e.tick, pmSpec.ID, e.pmUsage[j])
+		e.obs.ObservePM(e.tick, e.pmSpecs[j].ID, e.pmUsage[j])
 	}
 
 	sum.FailedPMs = e.nFailed
@@ -739,6 +770,56 @@ func (e *Engine) Step() TickSummary {
 	return sum
 }
 
+// resolvePM resolves resource occupation, queueing, SLA and power for one
+// PM and its guests. It writes only PM-indexed and guest-indexed state and
+// draws no randomness (RT noise is pre-drawn into rtNoise), so distinct
+// PMs may resolve concurrently.
+func (e *Engine) resolvePM(j int) {
+	p := e.cfg.Params
+	gs := e.guests[j]
+	e.pmGuestN[j] = len(gs)
+	if len(gs) == 0 {
+		e.pmOn[j] = false
+		e.pmUsage[j] = model.Resources{}
+		e.pmITWatts[j] = 0
+		e.pmFacWatts[j] = 0
+		return
+	}
+	e.pmOn[j] = true
+	pmSpec := &e.pmSpecs[j]
+
+	// Requirements of every guest under its current load, then the
+	// proportional-sharing grant — fOccupation (constraint 5.2).
+	var reqSum model.Resources
+	for _, vi := range gs {
+		e.required[vi] = e.RequiredResources(e.vmSpecs[vi], e.totals[vi])
+		reqSum = reqSum.Add(e.required[vi])
+	}
+	shCPU, shMem, shBW := cluster.ShareFactors(pmSpec.Capacity, reqSum)
+	var sumUsedCPU, sumMem, sumBW float64
+	for _, vi := range gs {
+		r := e.required[vi]
+		e.granted[vi] = model.Resources{
+			CPUPct: r.CPUPct * shCPU,
+			MemMB:  r.MemMB * shMem,
+			BWMbps: r.BWMbps * shBW,
+		}
+		e.resolveVM(int(vi), pmSpec)
+		sumUsedCPU += e.used[vi].CPUPct
+		sumMem += e.used[vi].MemMB
+		sumBW += e.used[vi].BWMbps
+	}
+	// PM aggregate: guests plus hypervisor overhead (the reason the
+	// paper learns PM CPU separately from the VM sum).
+	pmCPU := sumUsedCPU + p.VirtBasePct + p.VirtPerVMPct*float64(len(gs)) + p.VirtFrac*sumUsedCPU
+	if pmCPU > pmSpec.Capacity.CPUPct {
+		pmCPU = pmSpec.Capacity.CPUPct
+	}
+	e.pmUsage[j] = model.Resources{CPUPct: pmCPU, MemMB: sumMem, BWMbps: sumBW}
+	e.pmITWatts[j] = e.cfg.Power.Watts(pmCPU)
+	e.pmFacWatts[j] = power.FacilityWatts(e.cfg.Power, pmCPU)
+}
+
 // resolveVM computes the hidden behaviour of one hosted VM for this tick.
 func (e *Engine) resolveVM(i int, pmSpec *model.PMSpec) {
 	total := e.totals[i]
@@ -786,7 +867,7 @@ func (e *Engine) resolveVM(i int, pmSpec *model.PMSpec) {
 		rt += wait
 	}
 	if p.RTNoiseSD > 0 {
-		rt *= e.rt.LogNormal(-p.RTNoiseSD*p.RTNoiseSD/2, p.RTNoiseSD)
+		rt *= e.rtNoise[i] // pre-drawn in Step's serial noise pass
 	}
 	if rt > queueing.MaxRT {
 		rt = queueing.MaxRT

@@ -109,6 +109,11 @@ type Config struct {
 	// keeps the engine fixed-population, bit-identical to its pre-churn
 	// behaviour.
 	ExtraVMSlots int
+	// TickWorkers sets the worker count for the tick's per-DC parallel
+	// resolution phase (Engine.Step). Results are byte-identical at any
+	// worker count; <= 1 (the default) runs serially, which is also the
+	// allocation-free path — parallel ticks pay goroutine spawns.
+	TickWorkers int
 }
 
 // VMTruth is the hidden per-VM state of one tick.

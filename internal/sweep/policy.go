@@ -105,6 +105,21 @@ var policies = map[string]Policy{
 			return bf, nil
 		},
 	},
+	// bf-ml-prune scores only one candidate host per distinct tentative
+	// host state (plus each VM's current host) instead of the whole fleet.
+	// At the safe bound (PruneK 0, used here) placements are bit-identical
+	// to bf-ml — asserted by TestPruneParityAllPresets — while the
+	// candidates_scored sweep column shows the scoring-matrix cut. Fleet-
+	// scale runs (hyperscale) set PruneK > 0 on top for bounded rounds,
+	// trading disclosed truncation (shortlist_truncated) for work.
+	"bf-ml-prune": {
+		Name: "bf-ml-prune", NeedsBundle: true,
+		Make: func(sc *scenario.Scenario, b *predict.Bundle) (sched.Scheduler, error) {
+			bf := sched.NewBestFit(CostModel(sc), sched.NewML(b))
+			bf.Prune = true
+			return bf, nil
+		},
+	},
 	// bf-ml-par spins up GOMAXPROCS candidate-evaluation workers inside
 	// every cell, so it is meant for single-cell or -workers 1 studies of
 	// large fleets; combined with a wide matrix fan-out it oversubscribes

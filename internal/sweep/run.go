@@ -70,6 +70,13 @@ type PolicyRun struct {
 	ReduceMS       float64
 	RowsReused     int
 	RowsRecomputed int
+	// Candidate-shortlist counters (see sched.RoundStats): profit
+	// evaluations performed, prune-index rebuilds, and truncated host-state
+	// classes, summed over the cell's rounds. Deterministic counters, like
+	// the row counters above.
+	CandidatesScored   int
+	ShortlistRebuilds  int
+	ShortlistTruncated int
 
 	SLASeries   []float64
 	WattsSeries []float64
@@ -144,6 +151,9 @@ type timedScheduler struct {
 	fillNS, scoreNS, reduceNS int64
 	rowsReused                int
 	rowsRecomputed            int
+	candidatesScored          int
+	shortlistRebuilds         int
+	shortlistTruncated        int
 }
 
 // fold accumulates the phase breakdown of the round that just ran.
@@ -158,6 +168,9 @@ func (t *timedScheduler) fold() {
 	t.reduceNS += st.ReduceNS
 	t.rowsReused += st.RowsReused
 	t.rowsRecomputed += st.RowsRecomputed
+	t.candidatesScored += st.CandidatesScored
+	t.shortlistRebuilds += st.ShortlistRebuilds
+	t.shortlistTruncated += st.ShortlistTruncated
 }
 
 // intoScheduler mirrors core's optional allocation-free contract.
@@ -310,6 +323,9 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 	}
 	run.RowsReused = timed.rowsReused
 	run.RowsRecomputed = timed.rowsRecomputed
+	run.CandidatesScored = timed.candidatesScored
+	run.ShortlistRebuilds = timed.shortlistRebuilds
+	run.ShortlistTruncated = timed.shortlistTruncated
 	if runner != nil {
 		st := runner.Stats()
 		run.OfferedVMs = st.Offered

@@ -81,9 +81,16 @@ type Cell struct {
 	// vs re-estimated, summed over the cell's rounds. Pure counters —
 	// deterministic, so they are real JSON/CSV columns (zero for
 	// schedulers that do not report round stats).
-	RowsReused     int     `json:"rows_reused"`
-	RowsRecomputed int     `json:"rows_recomputed"`
-	RoundMS        float64 `json:"-"` // mean scheduling-round wall latency
+	RowsReused     int `json:"rows_reused"`
+	RowsRecomputed int `json:"rows_recomputed"`
+	// Candidate-shortlist counters, summed over rounds: profit evaluations
+	// performed, prune-index rebuilds and truncated host-state classes.
+	// Deterministic like the row counters — truncation discloses exactly
+	// how far a PruneK policy may diverge from the exhaustive scan.
+	CandidatesScored   int     `json:"candidates_scored"`
+	ShortlistRebuilds  int     `json:"shortlist_rebuilds"`
+	ShortlistTruncated int     `json:"shortlist_truncated"`
+	RoundMS            float64 `json:"-"` // mean scheduling-round wall latency
 	// Phase breakdown of RoundMS (table fill, candidate scoring,
 	// everything else); wall-clock like RoundMS, so excluded from the
 	// machine-readable output.
@@ -127,6 +134,8 @@ type Aggregate struct {
 	ForcedEvict    Stat    `json:"forced_evictions"`
 	RowsReused     Stat    `json:"rows_reused"`
 	RowsRecomputed Stat    `json:"rows_recomputed"`
+	CandScored     Stat    `json:"candidates_scored"`
+	ShortRebuilds  Stat    `json:"shortlist_rebuilds"`
 	RoundMS        float64 `json:"-"` // mean wall latency, reporting only
 	FillMS         float64 `json:"-"` // mean table-fill latency, reporting only
 	ScoreMS        float64 `json:"-"` // mean scoring latency, reporting only
@@ -179,17 +188,31 @@ func Run(m Matrix) (*Result, error) {
 		return nil, fmt.Errorf("sweep: ticks must be positive, got %d", m.Ticks)
 	}
 
+	// Bundles are trained only when some selected policy actually consumes
+	// predictors — an observed-only matrix never pays for training. Distinct
+	// seeds train concurrently (training is per-seed pure and the cache is
+	// concurrency-safe), so a wide-seed matrix is not serialized on its
+	// most expensive prologue.
 	bundles := make(map[uint64]*predict.Bundle, len(m.Seeds))
 	if needBundle {
+		seeds := make([]uint64, 0, len(m.Seeds))
 		for _, seed := range m.Seeds {
 			if _, ok := bundles[seed]; ok {
 				continue
 			}
-			b, err := TrainedBundle(seed)
+			bundles[seed] = nil
+			seeds = append(seeds, seed)
+		}
+		trained := make([]*predict.Bundle, len(seeds))
+		terrs := make([]error, len(seeds))
+		par.ForEach(len(seeds), m.Workers, func(i int) {
+			trained[i], terrs[i] = TrainedBundle(seeds[i])
+		})
+		for i, err := range terrs {
 			if err != nil {
-				return nil, fmt.Errorf("sweep: training bundle for seed %d: %w", seed, err)
+				return nil, fmt.Errorf("sweep: training bundle for seed %d: %w", seeds[i], err)
 			}
-			bundles[seed] = b
+			bundles[seeds[i]] = trained[i]
 		}
 	}
 
@@ -228,6 +251,8 @@ func Run(m Matrix) (*Result, error) {
 			MeanRehomeTicks: run.MeanRehomeTicks, MaxRehomeTicks: run.MaxRehomeTicks,
 			Availability: run.Availability,
 			RowsReused:   run.RowsReused, RowsRecomputed: run.RowsRecomputed,
+			CandidatesScored:  run.CandidatesScored,
+			ShortlistRebuilds: run.ShortlistRebuilds, ShortlistTruncated: run.ShortlistTruncated,
 			RoundMS: run.RoundMS,
 			FillMS:  run.FillMS, ScoreMS: run.ScoreMS, ReduceMS: run.ReduceMS,
 		}
@@ -271,6 +296,8 @@ func Run(m Matrix) (*Result, error) {
 				ForcedEvict:    metric(si, pi, func(c *Cell) float64 { return float64(c.ForcedEvictions) }),
 				RowsReused:     metric(si, pi, func(c *Cell) float64 { return float64(c.RowsReused) }),
 				RowsRecomputed: metric(si, pi, func(c *Cell) float64 { return float64(c.RowsRecomputed) }),
+				CandScored:     metric(si, pi, func(c *Cell) float64 { return float64(c.CandidatesScored) }),
+				ShortRebuilds:  metric(si, pi, func(c *Cell) float64 { return float64(c.ShortlistRebuilds) }),
 			}
 			agg.RoundMS = metric(si, pi, func(c *Cell) float64 { return c.RoundMS }).Mean
 			agg.FillMS = metric(si, pi, func(c *Cell) float64 { return c.FillMS }).Mean
@@ -307,7 +334,8 @@ func (r *Result) CellsTable() report.Table {
 			"crashes", "forced_evictions", "interruptions", "rehomed_vms",
 			"shed_vms", "degraded_ticks", "mean_rehome_ticks",
 			"max_rehome_ticks", "availability",
-			"rows_reused", "rows_recomputed"},
+			"rows_reused", "rows_recomputed",
+			"candidates_scored", "shortlist_rebuilds", "shortlist_truncated"},
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
@@ -324,7 +352,9 @@ func (r *Result) CellsTable() report.Table {
 			strconv.Itoa(c.ShedVMs), strconv.Itoa(c.DegradedTicks),
 			fmtF(c.MeanRehomeTicks), strconv.Itoa(c.MaxRehomeTicks),
 			fmtF(c.Availability),
-			strconv.Itoa(c.RowsReused), strconv.Itoa(c.RowsRecomputed))
+			strconv.Itoa(c.RowsReused), strconv.Itoa(c.RowsRecomputed),
+			strconv.Itoa(c.CandidatesScored), strconv.Itoa(c.ShortlistRebuilds),
+			strconv.Itoa(c.ShortlistTruncated))
 	}
 	return t
 }

@@ -3,10 +3,13 @@ package sweep
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/predict"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 )
 
 // fastMatrix is a cheap all-deterministic matrix: no ML training, two
@@ -369,6 +372,71 @@ func TestSweepDeltaReuse(t *testing.T) {
 	}
 }
 
+// TestObservedOnlySweepSkipsTraining pins the training gate: a matrix
+// whose policies never consume predictors must not train (or cache) a
+// bundle for any of its seeds — training is the sweep's most expensive
+// prologue and observed-only studies should never pay it.
+func TestObservedOnlySweepSkipsTraining(t *testing.T) {
+	const seed = uint64(987654321001) // unique to this test: never trained elsewhere
+	m := Matrix{
+		Scenarios: []string{scenario.IntraDC},
+		Policies:  []string{"bf", "bf-ob", "static", "roundrobin", "hier-ob"},
+		Seeds:     []uint64{seed},
+		Ticks:     30,
+		Workers:   2,
+	}
+	if _, err := Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, trained := bundleCache.Load(seed); trained {
+		t.Fatal("observed-only sweep trained a predictor bundle")
+	}
+}
+
+// TestSweepPruneCounters drives bf-ml-prune through a live sweep cell
+// next to plain bf-ml: identical decisions and economics (safe-bound
+// pruning is placement-identical), fewer profit evaluations, and one
+// shortlist rebuild per round — all visible through the deterministic
+// candidate columns.
+func TestSweepPruneCounters(t *testing.T) {
+	m := Matrix{
+		Scenarios: []string{scenario.IntraDC},
+		Policies:  []string{"bf-ml", "bf-ml-prune"},
+		Seeds:     []uint64{42},
+		Ticks:     120,
+		Workers:   1,
+	}
+	res, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, pruned := res.Cells[0], res.Cells[1]
+	if plain.Policy != "bf-ml" || pruned.Policy != "bf-ml-prune" {
+		t.Fatalf("unexpected cell order: %q, %q", plain.Policy, pruned.Policy)
+	}
+	if plain.AvgSLA != pruned.AvgSLA || plain.ProfitEURh != pruned.ProfitEURh ||
+		plain.Migrations != pruned.Migrations || plain.AvgWatts != pruned.AvgWatts {
+		t.Fatalf("safe-bound pruning changed outcomes: %+v vs %+v", plain, pruned)
+	}
+	if plain.ShortlistRebuilds != 0 || plain.ShortlistTruncated != 0 {
+		t.Fatalf("plain bf-ml reported shortlist activity: %+v", plain)
+	}
+	if pruned.ShortlistRebuilds != pruned.Rounds {
+		t.Fatalf("prune rebuilds %d, rounds %d", pruned.ShortlistRebuilds, pruned.Rounds)
+	}
+	if pruned.ShortlistTruncated != 0 {
+		t.Fatalf("safe bound truncated %d classes", pruned.ShortlistTruncated)
+	}
+	if plain.CandidatesScored == 0 || pruned.CandidatesScored == 0 {
+		t.Fatalf("candidate counters missing: plain %d, pruned %d",
+			plain.CandidatesScored, pruned.CandidatesScored)
+	}
+	if pruned.CandidatesScored > plain.CandidatesScored {
+		t.Fatalf("pruning scored more candidates (%d) than exhaustive (%d)",
+			pruned.CandidatesScored, plain.CandidatesScored)
+	}
+}
+
 // TestRunSpecAutoTrainsBundle covers the single-cell convenience path:
 // an ML policy with a nil bundle pulls from the per-seed cache.
 func TestRunSpecAutoTrainsBundle(t *testing.T) {
@@ -382,5 +450,53 @@ func TestRunSpecAutoTrainsBundle(t *testing.T) {
 	}
 	if run.Policy != "bf-ml" || run.Rounds == 0 {
 		t.Fatalf("auto-bundle run wrong: %+v", run)
+	}
+}
+
+// TestHyperscaleSweepDeterminism is the hyperscale acceptance smoke: the
+// 20000-VM / 5100-PM preset completes scheduling rounds through the
+// sweep cell-runner, and the cell is bit-deterministic across reruns and
+// engine tick-worker counts (sharded vs serial ticks). The policy is a
+// truncated-shortlist Best-Fit (PruneK 32, like the benchmark) over the
+// Observed estimator — no bundle training, and the exhaustive scoring
+// matrix (~10^8 profit calls) never materializes.
+func TestHyperscaleSweepDeterminism(t *testing.T) {
+	pol := Policy{
+		Name: "bf-prune32",
+		Make: func(sc *scenario.Scenario, _ *predict.Bundle) (sched.Scheduler, error) {
+			bf := sched.NewBestFit(CostModel(sc), sched.NewObserved())
+			bf.Prune = true
+			bf.PruneK = 32
+			return bf, nil
+		},
+	}
+	cell := func(tickWorkers int) PolicyRun {
+		spec := scenario.MustPreset(scenario.HyperscaleFleet, 7)
+		spec.TickWorkers = tickWorkers
+		pr, err := RunSpecOpts(spec, pol, nil, 12, RunOpts{DefaultInitial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := *pr
+		// Wall-clock fields are the only legitimately non-deterministic
+		// outputs; everything else must match bit-for-bit.
+		got.RoundMS, got.FillMS, got.ScoreMS, got.ReduceMS = 0, 0, 0, 0
+		return got
+	}
+	base := cell(4)
+	if base.Rounds == 0 || base.CandidatesScored == 0 {
+		t.Fatalf("hyperscale cell ran no rounds: rounds %d, scored %d",
+			base.Rounds, base.CandidatesScored)
+	}
+	if base.ShortlistRebuilds != base.Rounds {
+		t.Fatalf("rebuilds %d, rounds %d", base.ShortlistRebuilds, base.Rounds)
+	}
+	for name, got := range map[string]PolicyRun{
+		"rerun sharded": cell(4),
+		"serial ticks":  cell(1),
+	} {
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: hyperscale cell diverged from the sharded baseline", name)
+		}
 	}
 }
