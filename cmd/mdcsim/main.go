@@ -1,8 +1,9 @@
 // Command mdcsim runs the reproduction's experiments — one per table or
 // figure of the paper — and prints their tables and terminal charts. It
-// can also drive any named scenario preset under a managed scheduler, or
+// can also drive any named scenario preset under a managed scheduler,
 // sweep the whole scenario × policy × seed matrix in parallel with
-// machine-readable output.
+// machine-readable output, or run the manager as a long-lived HTTP
+// placement service with crash-safe journaling and deterministic replay.
 //
 // Usage:
 //
@@ -12,6 +13,9 @@
 //	mdcsim -scenarios
 //	mdcsim -scenario hetero-fleet -ticks 720
 //	mdcsim sweep -scenarios all -policies bf,bf-ob,bf-ml -seeds 1,2,3 -ticks 240 -out sweep-out
+//	mdcsim serve -addr :8080 -dir state/ -tick-every 1s
+//	mdcsim serve -replay script.json
+//	mdcsim serve -report -addr :8080
 package main
 
 import (
@@ -36,6 +40,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		if err := runSweep(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "mdcsim sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "mdcsim serve: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -73,7 +84,7 @@ func main() {
 
 	names := flag.Args()
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mdcsim [-seed N] <experiment>... | all | sweep [flags] | -list | -scenarios | -scenario NAME")
+		fmt.Fprintln(os.Stderr, "usage: mdcsim [-seed N] <experiment>... | all | sweep [flags] | serve [flags] | -list | -scenarios | -scenario NAME")
 		os.Exit(2)
 	}
 	if len(names) == 1 && names[0] == "all" {

@@ -36,6 +36,11 @@ type AdmissionPolicy struct {
 	// queue before it is finally rejected (0 =
 	// lifecycle.DefaultMaxDeferTicks).
 	MaxDeferTicks int
+	// Rate is the optional token-bucket stage in front of every other
+	// gate (including Disabled's bypass): arrivals beyond the bucket are
+	// deferred — never dropped — until tokens refill or the deferral
+	// deadline passes. nil disables rate limiting.
+	Rate *RateLimit
 }
 
 // targetUtil returns the effective capacity ceiling.
@@ -116,6 +121,13 @@ func fleetCommitmentOf(w *sim.World) fleetCommitment {
 // on one fleet reading. It returns the decision and the arrival's
 // estimated requirement (for the caller's pending-commitment ledger).
 func (p *AdmissionPolicy) decide(w *sim.World, tick int, o *lifecycle.Offer, fleet fleetCommitment, pending model.Resources) (lifecycle.Decision, model.Resources) {
+	// Token bucket first — it shapes the intake rate regardless of what
+	// the gates behind it would say, so a storm cannot even burn fleet
+	// readings. Out of tokens means defer (retry when the bucket refills),
+	// not drop.
+	if p.Rate != nil && !p.Rate.Take() {
+		return p.deferOrReject(tick, o), model.Resources{}
+	}
 	if p.Disabled {
 		return lifecycle.Admit, model.Resources{}
 	}

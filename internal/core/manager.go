@@ -123,6 +123,18 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 // Rounds returns how many scheduling rounds have executed.
 func (m *Manager) Rounds() int { return m.rounds }
 
+// Degraded reports the last fault-step verdict: committed requirements
+// exceed the surviving capacity (always false without a fault runner).
+func (m *Manager) Degraded() bool { return m.degraded }
+
+// PendingAdmits is the number of admitted-but-unplaced VMs whose
+// requirements the admission ledger currently reserves.
+func (m *Manager) PendingAdmits() int { return len(m.pendingCommits) }
+
+// PendingRehomes is the number of fault-evicted VMs awaiting re-placement
+// whose requirements the re-home ledger currently reserves.
+func (m *Manager) PendingRehomes() int { return len(m.rehomes) }
+
 // BuildProblem assembles the scheduler's view of the world from monitored
 // data: gateway load characteristics (with per-source split), queue
 // backlogs, window-averaged usage and the current placement. It walks the
@@ -470,6 +482,11 @@ func (m *Manager) stepLifecycle(tick int) error {
 			// downtime; it is not a re-home.
 			m.cfg.Faults.Drop(d.ID)
 		}
+	}
+	if m.cfg.Admission.Rate != nil {
+		// Refill the token bucket once per tick, before any decision —
+		// including ticks with no offers, so idle periods accumulate burst.
+		m.cfg.Admission.Rate.Advance(tick)
 	}
 	offers := lc.Due(tick)
 	if len(offers) == 0 {

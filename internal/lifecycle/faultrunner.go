@@ -74,6 +74,11 @@ type FaultRunner struct {
 	due   []FaultEvent // reused buffer returned by Due
 	queue []rehome     // evicted VMs awaiting re-home, eviction order
 
+	// pushed holds externally injected fault events (serve mode: faults
+	// reported over the wire instead of scripted), in push order; Due
+	// drains the due ones after the script's.
+	pushed []FaultEvent
+
 	stats FaultStats
 }
 
@@ -86,28 +91,52 @@ func NewFaultRunner(script *FaultScript) *FaultRunner {
 	return &FaultRunner{script: script}
 }
 
-// Due returns the events scheduled at or before tick, in script order,
-// advancing the cursor. The returned slice is reused by the next call.
+// Due returns the events scheduled at or before tick — script events in
+// script order, then injected events in push order — advancing both
+// cursors. The returned slice is reused by the next call.
 func (r *FaultRunner) Due(tick int) []FaultEvent {
 	r.due = r.due[:0]
 	for r.next < len(r.script.Events) && r.script.Events[r.next].Tick <= tick {
 		ev := r.script.Events[r.next]
 		r.next++
-		switch ev.Kind {
-		case FaultCrash:
-			r.stats.Crashes++
-		case FaultRepair:
-			r.stats.Repairs++
-		case FaultDrainStart:
-			r.stats.DrainsStarted++
-		case FaultTakedown:
-			r.stats.Takedowns++
-		case FaultOutageStart:
-			r.stats.OutageStarts++
-		}
+		r.countEvent(ev)
 		r.due = append(r.due, ev)
 	}
+	kept := r.pushed[:0]
+	for _, ev := range r.pushed {
+		if ev.Tick <= tick {
+			r.countEvent(ev)
+			r.due = append(r.due, ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	r.pushed = kept
 	return r.due
+}
+
+// countEvent folds one due event into the per-kind counters.
+func (r *FaultRunner) countEvent(ev FaultEvent) {
+	switch ev.Kind {
+	case FaultCrash:
+		r.stats.Crashes++
+	case FaultRepair:
+		r.stats.Repairs++
+	case FaultDrainStart:
+		r.stats.DrainsStarted++
+	case FaultTakedown:
+		r.stats.Takedowns++
+	case FaultOutageStart:
+		r.stats.OutageStarts++
+	}
+}
+
+// Push injects one externally reported fault event outside the script —
+// the serve-mode intake path. The event fires at the first Due call whose
+// tick reaches ev.Tick, after any script events due that tick. Pushes
+// must happen in a deterministic order for runs to stay bit-identical.
+func (r *FaultRunner) Push(ev FaultEvent) {
+	r.pushed = append(r.pushed, ev)
 }
 
 // RecordEvictions enqueues VMs evicted by a fault at tick for re-home

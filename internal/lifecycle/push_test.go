@@ -1,0 +1,105 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestRunnerPush proves injected arrivals flow through Due exactly like
+// scripted ones: not offered before their tick, offered in push order
+// after scripted arrivals, counted in Offered, and departures scheduled
+// from the admission tick.
+func TestRunnerPush(t *testing.T) {
+	script := &Script{Arrivals: []Arrival{{
+		Spec: model.VMSpec{ID: 100, Name: "scripted"}, ArriveTick: 5,
+	}}}
+	r := NewRunner(script)
+	r.Push(Arrival{Spec: model.VMSpec{ID: 200, Name: "pushed-late"}, ArriveTick: 6, LifetimeTicks: 10})
+	r.Push(Arrival{Spec: model.VMSpec{ID: 201, Name: "pushed-now"}, ArriveTick: 5})
+	if got := r.PendingPushed(); got != 2 {
+		t.Fatalf("PendingPushed = %d, want 2", got)
+	}
+
+	if due := r.Due(4); len(due) != 0 {
+		t.Fatalf("tick 4: %d offers due, want 0", len(due))
+	}
+	due := r.Due(5)
+	if len(due) != 2 {
+		t.Fatalf("tick 5: %d offers due, want 2 (scripted + pushed-now)", len(due))
+	}
+	if due[0].Arrival.Spec.ID != 100 || due[1].Arrival.Spec.ID != 201 {
+		t.Fatalf("tick 5 order = [%v %v], want scripted first then push order",
+			due[0].Arrival.Spec.ID, due[1].Arrival.Spec.ID)
+	}
+	r.Resolve(5, due[0], Admit, sim.VMHandle{})
+	r.Resolve(5, due[1], Reject, sim.VMHandle{})
+
+	due = r.Due(6)
+	if len(due) != 1 || due[0].Arrival.Spec.ID != 200 {
+		t.Fatalf("tick 6: due = %v, want the deferred-to-tick-6 push", due)
+	}
+	r.Resolve(6, due[0], Admit, sim.VMHandle{})
+	if r.PendingPushed() != 0 {
+		t.Fatalf("PendingPushed = %d after all pushes offered, want 0", r.PendingPushed())
+	}
+
+	st := r.Stats()
+	if st.Offered != 3 || st.Admitted != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want offered 3 admitted 2 rejected 1", st)
+	}
+	// The admitted push's departure is scheduled from its admission tick.
+	if deps := r.DeparturesDue(15); len(deps) != 0 {
+		t.Fatalf("departures at 15: %v, want none (due at 16)", deps)
+	}
+	deps := r.DeparturesDue(16)
+	if len(deps) != 1 || deps[0].ID != 200 {
+		t.Fatalf("departures at 16 = %v, want vm200", deps)
+	}
+}
+
+// TestRunnerPushDeferral proves a pushed arrival that the controller
+// defers retries ahead of fresh arrivals, like any deferred offer.
+func TestRunnerPushDeferral(t *testing.T) {
+	r := NewRunner(&Script{})
+	r.Push(Arrival{Spec: model.VMSpec{ID: 1}, ArriveTick: 0})
+	r.Push(Arrival{Spec: model.VMSpec{ID: 2}, ArriveTick: 1})
+	due := r.Due(0)
+	if len(due) != 1 {
+		t.Fatalf("tick 0: %d due, want 1", len(due))
+	}
+	r.Resolve(0, due[0], Defer, sim.VMHandle{})
+	due = r.Due(1)
+	if len(due) != 2 || due[0].Arrival.Spec.ID != 1 || due[1].Arrival.Spec.ID != 2 {
+		t.Fatalf("tick 1: deferred push must retry before the fresh push, got %v", due)
+	}
+	if due[0].Deferrals != 1 {
+		t.Fatalf("deferred push Deferrals = %d, want 1", due[0].Deferrals)
+	}
+}
+
+// TestFaultRunnerPush proves injected fault events fire at their tick,
+// after script events, and count in the per-kind stats.
+func TestFaultRunnerPush(t *testing.T) {
+	script := &FaultScript{Events: []FaultEvent{{Tick: 3, Kind: FaultCrash, PM: 0}}}
+	r := NewFaultRunner(script)
+	r.Push(FaultEvent{Tick: 3, Kind: FaultDrainStart, PM: 1})
+	r.Push(FaultEvent{Tick: 7, Kind: FaultRepair, PM: 0})
+
+	if due := r.Due(2); len(due) != 0 {
+		t.Fatalf("tick 2: %d events due, want 0", len(due))
+	}
+	due := r.Due(3)
+	if len(due) != 2 || due[0].Kind != FaultCrash || due[1].Kind != FaultDrainStart {
+		t.Fatalf("tick 3: due = %v, want script crash then pushed drain", due)
+	}
+	due = r.Due(7)
+	if len(due) != 1 || due[0].Kind != FaultRepair {
+		t.Fatalf("tick 7: due = %v, want the pushed repair", due)
+	}
+	st := r.Stats()
+	if st.Crashes != 1 || st.DrainsStarted != 1 || st.Repairs != 1 {
+		t.Fatalf("stats = %+v, want one crash, one drain, one repair", st)
+	}
+}

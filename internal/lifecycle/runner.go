@@ -74,6 +74,12 @@ func (s Stats) MeanPlacementTicks() float64 {
 // know), and tracks time-to-placement. All queues are ordered slices; a
 // Runner is single-goroutine, like the manager that owns it.
 type Runner struct {
+	// OnResolve, when set, observes every admission resolution the moment
+	// it is recorded — the serve layer uses it to expose per-VM decisions
+	// without a second bookkeeping path. It runs on the owning goroutine;
+	// it must not call back into the Runner.
+	OnResolve func(tick int, a *Arrival, d Decision)
+
 	script   *Script
 	next     int
 	deferred []*Offer
@@ -83,6 +89,12 @@ type Runner struct {
 	seq      int
 	waiting  []placeWait
 	stats    Stats
+	// pushed holds externally injected arrivals (serve mode: VM offers
+	// arriving over the wire instead of from the pre-generated script),
+	// in push order. Due drains the ones whose tick has come after the
+	// script's, so scripted and pushed workloads compose deterministically
+	// as long as pushes happen in a deterministic order.
+	pushed []*Offer
 }
 
 type departure struct {
@@ -113,6 +125,23 @@ func (r *Runner) Stats() Stats { return r.stats }
 // queue.
 func (r *Runner) PendingDeferred() int { return len(r.deferred) }
 
+// PendingPushed returns how many injected arrivals have not been offered
+// yet (their ArriveTick has not come, or Due has not run since the push).
+func (r *Runner) PendingPushed() int { return len(r.pushed) }
+
+// Push injects one externally arriving VM into the runner outside the
+// pre-generated script — the serve-mode intake path, where offers arrive
+// over the wire. The arrival is offered for admission at the first Due
+// call whose tick reaches a.ArriveTick, after deferred retries and
+// scripted arrivals. Pushes must happen in a deterministic order (the
+// serve layer sorts each tick's intake batch canonically) for runs to
+// stay bit-identical. The arrival is counted in Stats.Offered when it is
+// first offered, exactly like a scripted one.
+func (r *Runner) Push(a Arrival) {
+	ac := a
+	r.pushed = append(r.pushed, &Offer{Arrival: &ac})
+}
+
 // Due returns the offers awaiting an admission decision at tick:
 // previously deferred VMs first (oldest arrivals retry before fresh
 // ones), then new arrivals whose tick has come. Every returned offer must
@@ -127,6 +156,18 @@ func (r *Runner) Due(tick int) []*Offer {
 		r.stats.Offered++
 		r.offers = append(r.offers, &Offer{Arrival: a})
 	}
+	// Injected arrivals whose tick has come, in push order. The queue is
+	// compacted in place so not-yet-due pushes keep their order.
+	kept := r.pushed[:0]
+	for _, o := range r.pushed {
+		if o.Arrival.ArriveTick <= tick {
+			r.stats.Offered++
+			r.offers = append(r.offers, o)
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	r.pushed = kept
 	return r.offers
 }
 
@@ -152,6 +193,9 @@ func (r *Runner) Resolve(tick int, o *Offer, d Decision, h sim.VMHandle) {
 		r.deferred = append(r.deferred, o)
 	case Reject:
 		r.stats.Rejected++
+	}
+	if r.OnResolve != nil {
+		r.OnResolve(tick, o.Arrival, d)
 	}
 }
 

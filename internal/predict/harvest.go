@@ -206,6 +206,22 @@ func splitTraffic(bwMbps float64, load model.Load) (inKB, outKB float64) {
 	return inKB, outKB
 }
 
+// Clone returns a harvest whose datasets hold the same rows but share no
+// slice spines with the original: the clone is safe to train from on
+// another goroutine while the original keeps growing. Individual rows
+// ARE shared — a recorded row is immutable (RecordTick appends fresh
+// slices, tail only re-slices), so sharing them is sound and cheap.
+func (h *Harvest) Clone() *Harvest {
+	out := NewHarvest()
+	src := h.datasets()
+	dst := out.datasets()
+	for i := range src {
+		dst[i].X = append(dst[i].X, src[i].X...)
+		dst[i].Y = append(dst[i].Y, src[i].Y...)
+	}
+	return out
+}
+
 // Sizes reports the dataset sizes in Table I order.
 func (h *Harvest) Sizes() map[string]int {
 	return map[string]int{

@@ -3,6 +3,7 @@ package predict
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ml"
@@ -17,9 +18,14 @@ import (
 // It keeps a sliding window of recent monitored observations and
 // periodically refits the whole bundle *in place*, so every decision maker
 // holding the same *Bundle pointer picks up the new models at the next
-// round. All calls must come from the single management-loop goroutine.
+// round. Observe/MaybeRetrain and reads of o.Bundle must come from the
+// single management-loop goroutine; concurrent readers (serve-mode query
+// handlers, background scorers) must go through Current instead, which
+// hands out an immutable snapshot that a retrain atomically replaces
+// rather than mutates.
 type Online struct {
-	// Bundle is the live model set being kept fresh.
+	// Bundle is the live model set being kept fresh. Its fields are
+	// swapped in place on retrain, so it is owner-goroutine-only state.
 	Bundle *Bundle
 	// Window is the sliding observation store.
 	Window *Harvest
@@ -29,6 +35,12 @@ type Online struct {
 	RetrainEvery int
 	// Train configures the refits.
 	Train TrainConfig
+
+	// cur is the published read-only snapshot: a *Bundle whose fields are
+	// never written after the Store, safe to use from any goroutine while
+	// a retrain runs. Individual models are shared with o.Bundle — that is
+	// sound because a fitted ml.Regressor is immutable at inference time.
+	cur atomic.Pointer[Bundle]
 
 	retrains        int
 	lastRetrainTick int
@@ -49,15 +61,28 @@ func NewOnline(b *Bundle, cfg TrainConfig, maxRows, retrainEvery int) (*Online, 
 	if retrainEvery <= 0 {
 		retrainEvery = 60
 	}
-	return &Online{
+	o := &Online{
 		Bundle:          clone,
 		Window:          NewHarvest(),
 		MaxRows:         maxRows,
 		RetrainEvery:    retrainEvery,
 		Train:           cfg,
 		lastRetrainTick: -1,
-	}, nil
+	}
+	// Publish a snapshot that is a distinct struct from o.Bundle: the
+	// in-place field swap on retrain must never touch a struct a reader
+	// may be traversing.
+	snap := *clone
+	o.cur.Store(&snap)
+	return o, nil
 }
+
+// Current returns the latest immutable bundle snapshot. Unlike o.Bundle,
+// it is safe to call from any goroutine at any time — including while the
+// owner goroutine is mid-retrain — and the returned bundle's fields never
+// change. Hold the pointer for the duration of one decision (a scheduling
+// round, an HTTP request) so the decision sees one consistent model set.
+func (o *Online) Current() *Bundle { return o.cur.Load() }
 
 // Retrains returns how many refits have happened.
 func (o *Online) Retrains() int { return o.retrains }
@@ -124,7 +149,12 @@ func (o *Online) MaybeRetrain(tick int) (bool, error) {
 	}
 	o.lastRetrainWall = time.Since(start)
 	o.lastRetrainTick = tick
-	// Swap models in place so existing estimators see the refit.
+	// Publish the fresh bundle for concurrent readers first — fresh is
+	// complete and never mutated after this point, so Current callers flip
+	// from the old snapshot to the new one atomically.
+	o.cur.Store(fresh)
+	// Then swap models in place so existing estimators holding o.Bundle
+	// (single-goroutine callers like the experiment loops) see the refit.
 	o.Bundle.VMCPU = fresh.VMCPU
 	o.Bundle.VMMem = fresh.VMMem
 	o.Bundle.VMIn = fresh.VMIn
@@ -135,6 +165,41 @@ func (o *Online) MaybeRetrain(tick int) (bool, error) {
 	o.Bundle.Reports = fresh.Reports
 	o.retrains++
 	return true, nil
+}
+
+// ShouldRetrain reports whether a refit is due at this tick under the
+// learner's period and data floor — MaybeRetrain's precondition, exposed
+// so callers that train elsewhere (a background retrainer working on a
+// window snapshot) gate their kicks identically.
+func (o *Online) ShouldRetrain(tick int) bool {
+	if o.RetrainEvery <= 0 || tick == 0 || tick%o.RetrainEvery != 0 {
+		return false
+	}
+	for _, d := range o.Window.datasets() {
+		if d.Len() < 50 {
+			return false
+		}
+	}
+	return true
+}
+
+// Adopt installs an externally trained bundle — a background retrainer's
+// result — with the same publication order as MaybeRetrain: the snapshot
+// first (fresh must not be mutated after this call), then the in-place
+// field swap for single-goroutine holders of o.Bundle. Call it from the
+// owner goroutine only.
+func (o *Online) Adopt(fresh *Bundle, tick int) {
+	o.lastRetrainTick = tick
+	o.cur.Store(fresh)
+	o.Bundle.VMCPU = fresh.VMCPU
+	o.Bundle.VMMem = fresh.VMMem
+	o.Bundle.VMIn = fresh.VMIn
+	o.Bundle.VMOut = fresh.VMOut
+	o.Bundle.PMCPU = fresh.PMCPU
+	o.Bundle.VMRT = fresh.VMRT
+	o.Bundle.VMSLA = fresh.VMSLA
+	o.Bundle.Reports = fresh.Reports
+	o.retrains++
 }
 
 // datasets lists the harvest's datasets for uniform windowing.

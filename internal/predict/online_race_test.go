@@ -1,0 +1,113 @@
+package predict
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/scenario"
+)
+
+// TestOnlineCurrentRace pins the retrain-vs-predict concurrency contract:
+// reader goroutines hammer Current() and run predictions against the
+// snapshot while the owner goroutine loops Observe + MaybeRetrain.
+// Run under -race this proves the published snapshot is never the struct
+// being mutated in place. Readers also watch the snapshot pointer change,
+// so the test fails if retrains stop publishing.
+func TestOnlineCurrentRace(t *testing.T) {
+	base := trainedBundle(t)
+	// Short period so many retrains land inside the hammer window.
+	o, err := NewOnline(base, DefaultTrainConfig(5), 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Build(scenario.Spec{
+		Name: "online-race", Seed: 5,
+		DCs: 2, PMsPerDC: 2, VMs: 4, LoadScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Placement{}
+	for _, vm := range sc.VMs {
+		p[vm.ID] = 0
+	}
+	if err := sc.World.PlaceInitial(p); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the window past the 50-row retrain floor before racing, so the
+	// owner loop below retrains on (nearly) every period boundary.
+	for tick := 0; tick < 60; tick++ {
+		sc.World.Step()
+		o.Observe(sc.World)
+	}
+
+	stop := make(chan struct{})
+	var swapsSeen, iters atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := model.Load{RPS: 30, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01}
+			last := o.Current()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				iters.Add(1)
+				b := o.Current()
+				if b != last {
+					swapsSeen.Add(1)
+					last = b
+				}
+				r := b.PredictVMResources(l, 0)
+				if !r.NonNegative() {
+					t.Error("snapshot predicted negative resources")
+					return
+				}
+				b.PredictSLA(model.SLATerms{RT0: 0.2, Alpha: 10},
+					l, r.CPUPct, 0, 0, 5)
+			}
+		}()
+	}
+
+	// Keep retraining until a reader has demonstrably observed a swap:
+	// on a single-P machine the reader goroutines may not be scheduled
+	// until several retrains have already landed, and a reader that
+	// starts late captures the then-latest snapshot as its baseline —
+	// only a retrain published *after* that baseline can register as a
+	// swap. Five retrains is the floor; the deadline is the flake guard.
+	retrains := 0
+	deadline := time.Now().Add(20 * time.Second)
+	for tick := 0; (retrains < 5 || swapsSeen.Load() == 0) && time.Now().Before(deadline); tick++ {
+		sc.World.Step()
+		o.Observe(sc.World)
+		did, err := o.MaybeRetrain(sc.World.Tick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if did {
+			retrains++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if retrains < 5 {
+		t.Fatalf("only %d retrains fired while racing, want 5", retrains)
+	}
+	if swapsSeen.Load() == 0 {
+		t.Fatalf("readers never observed a snapshot swap across %d retrains (%d reader iterations)",
+			retrains, iters.Load())
+	}
+	// The legacy in-place contract still holds for the owner goroutine:
+	// o.Bundle and the published snapshot agree after the dust settles.
+	l := model.Load{RPS: 30, BytesInReq: 500, BytesOutRq: 20000, CPUTimeReq: 0.01}
+	if o.Bundle.PredictVMResources(l, 0) != o.Current().PredictVMResources(l, 0) {
+		t.Fatal("o.Bundle and Current() diverged after retrain")
+	}
+}

@@ -84,6 +84,11 @@ const (
 	// wave over every host, each given three full scheduling rounds to be
 	// migrated empty before its takedown.
 	MaintRolling = "maint-rolling"
+	// ServeBase is the placement-service scenario (`mdcsim serve`): a
+	// quiet multi-DC fleet with no scripted churn — every VM beyond the
+	// small static base arrives over the service's HTTP intake — and slot
+	// headroom reserved for those dynamic admissions.
+	ServeBase = "serve-base"
 )
 
 // presets maps names to spec literals. Seeds are zero: callers set them.
@@ -252,6 +257,15 @@ var presets = map[string]Spec{
 				OfflineTicks:       20,
 			},
 		},
+	},
+	ServeBase: {
+		Name: ServeBase,
+		DCs:  4, PMsPerDC: 2, VMs: 4,
+		LoadScale: 0.8, NoiseSD: 0.2, HomeBias: 0.6,
+		// Headroom for HTTP-admitted VMs; the intake queue bound (serve's
+		// -queue-depth) must stay under this so AdmitVM cannot run out of
+		// engine slots for accepted offers.
+		ExtraVMSlots: 64,
 	},
 }
 

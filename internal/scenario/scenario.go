@@ -120,6 +120,13 @@ type Spec struct {
 
 	// Params overrides the world's ground-truth constants when non-nil.
 	Params *sim.Params
+
+	// WrapWorkload, when non-nil, wraps the built trace generator before
+	// the world is assembled, letting a caller layer extra load sources on
+	// top of the scripted shape (serve mode overlays per-VM load reported
+	// by clients this way). The wrapper must preserve the Workload
+	// determinism contract: same tick + roster in, same vectors out.
+	WrapWorkload func(sim.Workload) sim.Workload
 }
 
 // Scenario bundles the pieces of a ready-to-run experiment setup.
@@ -329,10 +336,14 @@ func Build(spec Spec) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	var workload sim.Workload = gen
+	if spec.WrapWorkload != nil {
+		workload = spec.WrapWorkload(gen)
+	}
 	simCfg := sim.Config{
 		Inventory: inv,
 		Topology:  top,
-		Generator: gen,
+		Generator: workload,
 		Seed:      spec.Seed,
 	}
 	if script != nil {

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// minMAPEDenom floors the MAPE denominator: observed SLA sits in [0, 1]
+// and regularly touches 0 under overload, where a literal percentage
+// error diverges. Errors against near-zero observations are measured
+// against this floor instead.
+const minMAPEDenom = 0.05
+
+// Calibration is the accountability window of the SLA predictor: every
+// tick the engine loop records, per served VM, the model's predicted
+// fulfilment next to the fulfilment the simulated gateway then measured.
+// Report summarises the last N pairs as MAPE and Pearson correlation —
+// the same two numbers the paper's Table I uses to argue the models are
+// trustworthy, now computed continuously against live traffic.
+//
+// Owned by the engine-loop goroutine; queries read it through the
+// published snapshot, never directly.
+type Calibration struct {
+	window int
+	pred   []float64
+	obs    []float64
+	next   int // ring cursor
+	full   bool
+	total  int // lifetime pairs recorded
+}
+
+// NewCalibration builds a sliding window of n pairs (n <= 0 = 512).
+func NewCalibration(n int) *Calibration {
+	if n <= 0 {
+		n = 512
+	}
+	return &Calibration{
+		window: n,
+		pred:   make([]float64, 0, n),
+		obs:    make([]float64, 0, n),
+	}
+}
+
+// Record appends one predicted/observed fulfilment pair, evicting the
+// oldest once the window is full.
+func (c *Calibration) Record(pred, obs float64) {
+	c.total++
+	if len(c.pred) < c.window {
+		c.pred = append(c.pred, pred)
+		c.obs = append(c.obs, obs)
+		return
+	}
+	c.full = true
+	c.pred[c.next] = pred
+	c.obs[c.next] = obs
+	c.next = (c.next + 1) % c.window
+}
+
+// CalibrationReport is the point-in-time calibration summary.
+type CalibrationReport struct {
+	// Pairs is how many prediction/observation pairs the window holds;
+	// Total counts every pair ever recorded.
+	Pairs int `json:"pairs"`
+	Total int `json:"total"`
+	// MAPE is the mean absolute percentage error of predicted vs observed
+	// SLA over the window (denominator floored at 0.05).
+	MAPE float64 `json:"mape"`
+	// PearsonR is the linear correlation of predicted vs observed SLA
+	// (0 with fewer than two pairs or zero variance).
+	PearsonR float64 `json:"pearson_r"`
+}
+
+// Report summarises the current window.
+func (c *Calibration) Report() CalibrationReport {
+	r := CalibrationReport{Pairs: len(c.pred), Total: c.total}
+	if len(c.pred) == 0 {
+		return r
+	}
+	var sum float64
+	for i := range c.pred {
+		den := math.Abs(c.obs[i])
+		if den < minMAPEDenom {
+			den = minMAPEDenom
+		}
+		sum += math.Abs(c.pred[i]-c.obs[i]) / den
+	}
+	r.MAPE = sum / float64(len(c.pred))
+	r.PearsonR = stats.Correlation(c.pred, c.obs)
+	return r
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationWindow pins the sliding-window mechanics: pairs
+// accumulate to the window size, then evict oldest-first while the
+// lifetime total keeps counting.
+func TestCalibrationWindow(t *testing.T) {
+	c := NewCalibration(3)
+	if r := c.Report(); r.Pairs != 0 || r.MAPE != 0 || r.PearsonR != 0 {
+		t.Fatalf("empty report %+v", r)
+	}
+	for i := 0; i < 5; i++ {
+		c.Record(float64(i), float64(i))
+	}
+	r := c.Report()
+	if r.Pairs != 3 || r.Total != 5 {
+		t.Fatalf("pairs=%d total=%d, want 3/5", r.Pairs, r.Total)
+	}
+	// Perfect predictions: zero error, perfect correlation.
+	if r.MAPE != 0 {
+		t.Fatalf("MAPE %v for perfect predictions", r.MAPE)
+	}
+	if math.Abs(r.PearsonR-1) > 1e-12 {
+		t.Fatalf("PearsonR %v for perfect predictions", r.PearsonR)
+	}
+}
+
+// TestCalibrationMAPEFloor pins the near-zero-denominator guard: an
+// observed SLA of 0 is measured against the 0.05 floor instead of
+// dividing by zero.
+func TestCalibrationMAPEFloor(t *testing.T) {
+	c := NewCalibration(4)
+	c.Record(0.5, 0)
+	r := c.Report()
+	want := 0.5 / minMAPEDenom
+	if math.Abs(r.MAPE-want) > 1e-12 {
+		t.Fatalf("MAPE %v, want %v (floored denominator)", r.MAPE, want)
+	}
+	if math.IsInf(r.MAPE, 0) || math.IsNaN(r.MAPE) {
+		t.Fatalf("MAPE diverged: %v", r.MAPE)
+	}
+}
+
+// TestCalibrationAnticorrelated sanity-checks the correlation sign: a
+// predictor that moves against reality reports negative r.
+func TestCalibrationAnticorrelated(t *testing.T) {
+	c := NewCalibration(8)
+	for i := 0; i < 8; i++ {
+		c.Record(float64(i)/8, 1-float64(i)/8)
+	}
+	if r := c.Report(); r.PearsonR >= 0 {
+		t.Fatalf("PearsonR %v for anticorrelated pairs, want < 0", r.PearsonR)
+	}
+}

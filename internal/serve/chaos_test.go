@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaos is the everything-at-once robustness drill: concurrent
+// offer spam (with deliberate duplicates), telemetry floods, fault
+// injections, garbage requests, oversized bodies and clients that hang
+// up mid-request, all against a small queue while ticks keep running.
+// The service must neither deadlock nor lose work: the queue stays
+// bounded, the drain completes, and every offer that got a 202 ends in
+// a terminal state. Run under -race in CI.
+func TestChaos(t *testing.T) {
+	const (
+		spammers  = 4
+		offersPer = 8
+	)
+	s, c := newTestServer(t, Config{Seed: 13, QueueDepth: 16})
+
+	var (
+		wg       sync.WaitGroup
+		accepted sync.Map // offer name -> true, recorded on 202
+	)
+
+	// Offer spammers: unique names, each sent twice (the second is a
+	// deliberate duplicate the engine must count, not choke on).
+	for w := 0; w < spammers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < offersPer; i++ {
+				name := fmt.Sprintf("chaos-%d-%d", w, i)
+				for rep := 0; rep < 2; rep++ {
+					if err := c.Send(offerEv(0, name, w%4)); err == nil {
+						accepted.Store(name, true)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Telemetry flood, mostly for VMs that do not exist.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			c.Send(telemEv(0, fmt.Sprintf("chaos-0-%d", i%10), float64(i))) //nolint:errcheck
+		}
+	}()
+
+	// Fault injector: crash and repair hosts while placements happen.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			c.Send(faultEv(0, "crash", i%4))  //nolint:errcheck
+			c.Send(faultEv(0, "repair", i%4)) //nolint:errcheck
+		}
+	}()
+
+	// Garbage clients: wrong paths, wrong methods, broken JSON, a body
+	// past the 1 MiB bound — all must bounce without side effects.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			http.Get(c.Base + "/v1/nope")                                                                     //nolint:errcheck
+			http.Post(c.Base+"/healthz", "application/json", strings.NewReader("{}"))                         //nolint:errcheck
+			http.Post(c.Base+"/v1/offers", "application/json", strings.NewReader("{{{{"))                     //nolint:errcheck
+			http.Post(c.Base+"/v1/offers", "application/json", bytes.NewReader(make([]byte, maxBodyBytes+1))) //nolint:errcheck
+		}
+	}()
+
+	// Disconnectors: requests whose clients give up almost immediately.
+	// A dead requester must never wedge the engine loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/tick", strings.NewReader(`{"n":1}`))
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+			cancel()
+		}
+	}()
+
+	// Readers: health and log polling throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if h, err := c.Health(); err == nil && h.QueueLen > h.QueueCap {
+				t.Errorf("queue %d over cap %d", h.QueueLen, h.QueueCap)
+			}
+			c.Log(0) //nolint:errcheck
+		}
+	}()
+
+	// The clock: keep ticking until every agitator is done.
+	doneAgitating := make(chan struct{})
+	go func() { wg.Wait(); close(doneAgitating) }()
+	for ticking := true; ticking; {
+		select {
+		case <-doneAgitating:
+			ticking = false
+		default:
+			if _, err := c.Tick(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Graceful drain: every accepted offer gets its ruling.
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Snapshot()
+	if snap.Err != "" {
+		t.Fatalf("engine died during chaos: %s", snap.Err)
+	}
+	if snap.PendingAdmits != 0 || snap.PendingDeferred != 0 {
+		t.Fatalf("drain left pending work: admits=%d deferred=%d",
+			snap.PendingAdmits, snap.PendingDeferred)
+	}
+	if snap.DuplicateOffers == 0 {
+		t.Fatal("duplicate offers were sent but none counted")
+	}
+
+	// Zero lost accepted offers: each 202'd name has a terminal status.
+	accepted.Range(func(k, _ any) bool {
+		name := k.(string)
+		vs, ok := snap.VMs[name]
+		if !ok {
+			t.Errorf("offer %q was 202-accepted but has no status", name)
+			return true
+		}
+		switch vs.Status {
+		case StatusPlaced, StatusRejected, StatusDeparted:
+		default:
+			t.Errorf("offer %q ended in non-terminal status %q", name, vs.Status)
+		}
+		return true
+	})
+}

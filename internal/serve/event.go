@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lifecycle"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Event is one externally supplied input to the placement service: a VM
+// offer, a telemetry report or a fault notification. Events are the only
+// way the outside world mutates the engine — everything else is a read —
+// which is what makes the service replayable: the run's state is a pure
+// function of (scenario seed, ordered event stream).
+//
+// Seq is the event's position in the canonical order. Replay clients
+// assign it explicitly (so a tick's batch sorts the same way no matter
+// how the HTTP requests interleave); live clients may omit it and the
+// server stamps arrival order instead.
+type Event struct {
+	Seq       int64          `json:"seq"`
+	Kind      string         `json:"kind"`
+	Offer     *OfferReq      `json:"offer,omitempty"`
+	Telemetry *TelemetryReq  `json:"telemetry,omitempty"`
+	Fault     *FaultEventReq `json:"fault,omitempty"`
+}
+
+// Event kinds.
+const (
+	KindOffer     = "offer"
+	KindTelemetry = "telemetry"
+	KindFault     = "fault"
+)
+
+// OfferReq asks the service to admit one VM. Names are the client-facing
+// identity: the service assigns the numeric VM ID deterministically at
+// the tick barrier, so concurrent clients cannot race IDs.
+type OfferReq struct {
+	// Name uniquely identifies the VM to its owner; placement queries use
+	// it. Duplicate names are rejected at apply time.
+	Name string `json:"name"`
+	// Class selects the service class ("file-hosting", "image-gallery",
+	// "dynamic-web"; empty = dynamic-web).
+	Class string `json:"class,omitempty"`
+	// HomeDC homes the VM (and its client load) in one datacenter.
+	HomeDC int `json:"home_dc"`
+	// LifetimeTicks retires the VM that many ticks after admission
+	// (0 = stays until shut down).
+	LifetimeTicks int `json:"lifetime_ticks,omitempty"`
+	// RPS is the offered request rate the admission controller sizes
+	// against (0 = the class's base rate).
+	RPS float64 `json:"rps,omitempty"`
+	// PriceEURh prices the VM-hour (0 = the paper's 0.17).
+	PriceEURh float64 `json:"price_eur_h,omitempty"`
+}
+
+// TelemetryReq updates the client-reported load of a served VM: from the
+// next tick on, the VM's gateway sees this request stream instead of the
+// one reported before. Unknown names are counted and dropped — telemetry
+// is advisory, never an error that could wedge a client's pipeline.
+type TelemetryReq struct {
+	Name string  `json:"name"`
+	RPS  float64 `json:"rps"`
+	// BytesInReq/BytesOutReq/CPUTimeReq refine the per-request shape
+	// (0 = keep the VM's class profile).
+	BytesInReq  float64 `json:"bytes_in_req,omitempty"`
+	BytesOutReq float64 `json:"bytes_out_req,omitempty"`
+	CPUTimeReq  float64 `json:"cpu_time_req,omitempty"`
+}
+
+// FaultEventReq reports an infrastructure fault for the engine to apply
+// at the next tick: a host crash or repair, a maintenance drain, or a
+// whole-DC outage transition.
+type FaultEventReq struct {
+	// Kind is "crash", "repair", "drain", "takedown", "outage-start" or
+	// "outage-end".
+	Kind string `json:"kind"`
+	PM   int    `json:"pm,omitempty"`
+	DC   int    `json:"dc,omitempty"`
+}
+
+// faultKinds maps wire names to lifecycle fault kinds.
+var faultKinds = map[string]lifecycle.FaultKind{
+	"crash":        lifecycle.FaultCrash,
+	"repair":       lifecycle.FaultRepair,
+	"drain":        lifecycle.FaultDrainStart,
+	"takedown":     lifecycle.FaultTakedown,
+	"outage-start": lifecycle.FaultOutageStart,
+	"outage-end":   lifecycle.FaultOutageEnd,
+}
+
+// classByName resolves a service-class wire name (empty = dynamic-web).
+func classByName(name string) (trace.ServiceClass, error) {
+	if name == "" {
+		return trace.DynamicWeb, nil
+	}
+	for _, c := range trace.Classes() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return trace.ServiceClass{}, fmt.Errorf("unknown service class %q", name)
+}
+
+// Validate rejects malformed events before they are accepted into the
+// intake queue, so the journal only ever records applicable events.
+func (e *Event) Validate(dcs, pms int) error {
+	switch e.Kind {
+	case KindOffer:
+		o := e.Offer
+		if o == nil {
+			return fmt.Errorf("offer event without offer body")
+		}
+		if o.Name == "" {
+			return fmt.Errorf("offer needs a name")
+		}
+		if o.HomeDC < 0 || o.HomeDC >= dcs {
+			return fmt.Errorf("offer home_dc %d out of range [0,%d)", o.HomeDC, dcs)
+		}
+		if o.LifetimeTicks < 0 {
+			return fmt.Errorf("offer lifetime_ticks must be >= 0")
+		}
+		if o.RPS < 0 {
+			return fmt.Errorf("offer rps must be >= 0")
+		}
+		if _, err := classByName(o.Class); err != nil {
+			return err
+		}
+	case KindTelemetry:
+		t := e.Telemetry
+		if t == nil {
+			return fmt.Errorf("telemetry event without telemetry body")
+		}
+		if t.Name == "" {
+			return fmt.Errorf("telemetry needs a name")
+		}
+		if t.RPS < 0 {
+			return fmt.Errorf("telemetry rps must be >= 0")
+		}
+	case KindFault:
+		f := e.Fault
+		if f == nil {
+			return fmt.Errorf("fault event without fault body")
+		}
+		kind, ok := faultKinds[f.Kind]
+		if !ok {
+			return fmt.Errorf("unknown fault kind %q", f.Kind)
+		}
+		switch kind {
+		case lifecycle.FaultOutageStart, lifecycle.FaultOutageEnd:
+			if f.DC < 0 || f.DC >= dcs {
+				return fmt.Errorf("fault dc %d out of range [0,%d)", f.DC, dcs)
+			}
+		default:
+			if f.PM < 0 || f.PM >= pms {
+				return fmt.Errorf("fault pm %d out of range [0,%d)", f.PM, pms)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// arrival expands an accepted offer into the lifecycle arrival pushed at
+// the tick barrier. The VM ID is assigned there, not here.
+func (o *OfferReq) arrival(id model.VMID, tick int) lifecycle.Arrival {
+	class, _ := classByName(o.Class) // validated at accept time
+	price := o.PriceEURh
+	if price <= 0 {
+		price = 0.17
+	}
+	rps := o.RPS
+	if rps <= 0 {
+		rps = class.BaseRPS
+	}
+	return lifecycle.Arrival{
+		Spec: model.VMSpec{
+			ID:          id,
+			Name:        o.Name,
+			ImageSizeGB: 4,
+			BaseMemMB:   256,
+			MaxMemMB:    1024,
+			Terms:       model.DefaultSLATerms,
+			PriceEURh:   price,
+			HomeDC:      model.DCID(o.HomeDC),
+		},
+		Class:         class,
+		ArriveTick:    tick,
+		LifetimeTicks: o.LifetimeTicks,
+		Offered: model.Load{
+			RPS:        rps,
+			BytesInReq: class.BytesInReq,
+			BytesOutRq: class.BytesOutReq,
+			CPUTimeReq: class.CPUTimeReq,
+		},
+	}
+}
+
+// load is the telemetry report as a gateway load, with zero per-request
+// fields backfilled from the VM's class profile.
+func (t *TelemetryReq) load(class trace.ServiceClass) model.Load {
+	l := model.Load{
+		RPS:        t.RPS,
+		BytesInReq: t.BytesInReq,
+		BytesOutRq: t.BytesOutReq,
+		CPUTimeReq: t.CPUTimeReq,
+	}
+	if l.BytesInReq <= 0 {
+		l.BytesInReq = class.BytesInReq
+	}
+	if l.BytesOutRq <= 0 {
+		l.BytesOutRq = class.BytesOutReq
+	}
+	if l.CPUTimeReq <= 0 {
+		l.CPUTimeReq = class.CPUTimeReq
+	}
+	return l
+}
+
+// sortEvents orders a tick's intake batch canonically: by Seq, ties (two
+// live clients racing the same server-stamped instant cannot happen, but
+// a malformed replay script could) broken by kind then name so the order
+// is still total. This sort is THE determinism barrier — after it, the
+// batch is applied serially by the single engine goroutine.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Seq != evs[j].Seq {
+			return evs[i].Seq < evs[j].Seq
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		return eventName(&evs[i]) < eventName(&evs[j])
+	})
+}
+
+// eventName is the tie-break identity of an event.
+func eventName(e *Event) string {
+	switch e.Kind {
+	case KindOffer:
+		return e.Offer.Name
+	case KindTelemetry:
+		return e.Telemetry.Name
+	case KindFault:
+		return fmt.Sprintf("%s/%d/%d", e.Fault.Kind, e.Fault.PM, e.Fault.DC)
+	}
+	return ""
+}

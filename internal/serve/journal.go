@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The service's crash safety is event sourcing: the journal is a
+// write-ahead log of every accepted external event plus every executed
+// tick barrier, and the engine state is a pure function of (scenario
+// spec, journal). Nothing else is persisted — a restore rebuilds the
+// scenario and replays the journal through the exact apply path the live
+// server used, which is also what makes restored runs bit-identical.
+//
+// Durability rule: a tick's batch is appended and flushed BEFORE it is
+// applied ("apply only what is durable"), so a crash can lose accepted-
+// but-unapplied events only while they still sit in the intake queue —
+// never an event the engine acted on.
+
+// JournalName and CheckpointName are the fixed file names inside a
+// service's state directory.
+const (
+	JournalName    = "journal.jsonl"
+	CheckpointName = "checkpoint.json"
+)
+
+// entry is one journal line: an accepted event, or a tick barrier.
+// Events between two tick entries belong to the LATER tick — they were
+// accepted after the earlier tick executed — and are recorded in their
+// canonical (sorted) apply order.
+type entry struct {
+	Kind  string `json:"k"` // "ev" or "tick"
+	Tick  int    `json:"t,omitempty"`
+	Event *Event `json:"e,omitempty"`
+}
+
+// Journal appends entries to the WAL and keeps a running FNV-1a digest
+// of every byte written, so a checkpoint can certify the prefix it
+// covers and a restore can verify it replayed the same history.
+type Journal struct {
+	f       *os.File
+	w       *bufio.Writer
+	digest  uint64
+	entries int
+}
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit constants (hash/fnv does not
+// export a resumable state, and the digest must be recomputable from a
+// plain read of the file).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvAdd(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// OpenJournal opens (creating or appending) the journal in dir. When the
+// file already holds entries, prior holds them (the restore path) and
+// the digest resumes over the existing bytes.
+//
+// Crash hygiene: a torn final line (the process died mid-write) and any
+// trailing event entries past the last tick barrier (flushed, but their
+// tick never executed) are truncated away, not replayed — by the
+// durability rule those events were still in the intake path, which is
+// exactly the loss window the 202 contract grants. Keeping them would
+// corrupt the canonical order of the next live tick's batch.
+func OpenJournal(dir string) (*Journal, []entry, error) {
+	path := filepath.Join(dir, JournalName)
+	prior, digest, validLen, err := readJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: truncating journal tail: %w", err)
+		}
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), digest: digest, entries: len(prior)}, prior, nil
+}
+
+// readJournal loads the valid prefix of an existing journal (absent =
+// empty): every entry up to and including the last tick barrier. It
+// returns the entries, the digest over their bytes, and the prefix's
+// exact byte length (for truncation). A malformed line followed by more
+// lines is real corruption and errors out; only a torn tail is forgiven.
+func readJournal(path string) ([]entry, uint64, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, fnvOffset, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var out []entry
+	var offset, validLen int64
+	digest, validDigest := fnvOffset, fnvOffset
+	valid := 0
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		nl := -1
+		for i, c := range data {
+			if c == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // torn tail: no newline, the write never completed
+		}
+		line := data[:nl+1]
+		var e entry
+		if err := json.Unmarshal(line[:nl], &e); err != nil {
+			if int64(len(line)) == int64(len(data)) {
+				break // torn tail: malformed final line
+			}
+			return nil, 0, 0, fmt.Errorf("serve: corrupt journal line %d: %w", lineNo, err)
+		}
+		offset += int64(len(line))
+		digest = fnvAdd(digest, line)
+		out = append(out, e)
+		if e.Kind == "tick" {
+			valid = len(out)
+			validLen = offset
+			validDigest = digest
+		}
+		data = data[nl+1:]
+	}
+	return out[:valid], validDigest, validLen, nil
+}
+
+// Append writes one entry (buffered; call Flush before acting on it).
+func (j *Journal) Append(e entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	j.digest = fnvAdd(j.digest, line)
+	j.entries++
+	return nil
+}
+
+// Flush pushes buffered entries to the OS — the durability barrier the
+// engine loop crosses before applying a batch.
+func (j *Journal) Flush() error { return j.w.Flush() }
+
+// Digest returns the running FNV-1a digest over all bytes written.
+func (j *Journal) Digest() uint64 { return j.digest }
+
+// Entries returns how many entries the journal holds.
+func (j *Journal) Entries() int { return j.entries }
+
+// Close flushes and closes the file.
+func (j *Journal) Close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Checkpoint is the periodic snapshot's metadata: which configuration
+// the journal belongs to and how far it certifiably reached. The journal
+// is the state; the checkpoint exists to refuse incompatible restores
+// (compatibility rule: Scenario, Seed and RoundTicks must match, because
+// any of them changes the placement history — TickWorkers is recorded
+// for information but deliberately NOT checked, since engine ticks are
+// byte-identical at any worker count) and to verify the replayed prefix
+// digest.
+type Checkpoint struct {
+	Scenario    string `json:"scenario"`
+	Seed        uint64 `json:"seed"`
+	RoundTicks  int    `json:"round_ticks"`
+	TickWorkers int    `json:"tick_workers"`
+
+	// Tick is the next tick the engine would execute; Entries/Digest
+	// certify the journal prefix producing that state; LogLines/LogDigest
+	// pin the placement log the replay must regenerate.
+	Tick      int    `json:"tick"`
+	Entries   int    `json:"entries"`
+	Digest    uint64 `json:"digest"`
+	LogLines  int    `json:"log_lines"`
+	LogDigest uint64 `json:"log_digest"`
+}
+
+// WriteCheckpoint atomically replaces the checkpoint file in dir.
+func WriteCheckpoint(dir string, cp Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, CheckpointName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, CheckpointName))
+}
+
+// ReadCheckpoint loads the checkpoint from dir; ok is false when none
+// exists (a fresh directory).
+func ReadCheckpoint(dir string) (Checkpoint, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CheckpointName))
+	if os.IsNotExist(err) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("serve: corrupt checkpoint: %w", err)
+	}
+	return cp, true, nil
+}
+
+// Compatible checks the restore compatibility rule against a running
+// configuration, returning a descriptive error on the first mismatch.
+func (cp Checkpoint) Compatible(scenario string, seed uint64, roundTicks int) error {
+	if cp.Scenario != scenario {
+		return fmt.Errorf("serve: checkpoint is for scenario %q, server runs %q", cp.Scenario, scenario)
+	}
+	if cp.Seed != seed {
+		return fmt.Errorf("serve: checkpoint seed %d != server seed %d", cp.Seed, seed)
+	}
+	if cp.RoundTicks != roundTicks {
+		return fmt.Errorf("serve: checkpoint round period %d != server %d", cp.RoundTicks, roundTicks)
+	}
+	return nil
+}

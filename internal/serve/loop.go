@@ -1,0 +1,851 @@
+// Package serve turns the simulated multi-DC manager into a long-running
+// placement service: an HTTP front door accepts VM offers, telemetry and
+// fault reports, a single engine goroutine folds them into scheduling
+// rounds, and every accepted event is journaled so a crashed service
+// restores bit-identically.
+//
+// Concurrency model — the single-writer rule: exactly one goroutine (the
+// loop) owns the engine, the lifecycle runner, the online learner and
+// every other piece of mutable simulation state. HTTP handlers never
+// touch any of it; they communicate through two bounded channels (events
+// for data, ctl for commands) and read the immutable Snapshot the loop
+// publishes after every tick. Backpressure is structural: the events
+// channel's capacity IS the intake memory bound, and a full channel
+// turns into an HTTP 429 at the front door, never into unbounded growth.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config assembles a placement service.
+type Config struct {
+	// Scenario names the preset fleet to serve on (default ServeBase).
+	Scenario string
+	Seed     uint64
+	// QueueDepth bounds the intake queue; a full queue answers 429
+	// (default 64). Events stay in the queue until the next tick barrier.
+	QueueDepth int
+	// RoundTicks is the scheduling period (default 10, the paper's value).
+	RoundTicks int
+	// RatePerTick/Burst put a token-bucket rate limiter in front of the
+	// admission gates (0 = unlimited).
+	RatePerTick float64
+	Burst       float64
+	// TickWorkers sets the engine's parallel tick width (ticks are
+	// byte-identical at any count).
+	TickWorkers int
+	// TickEvery drives ticks from the wall clock; 0 means virtual time —
+	// the replay mode, where POST /v1/tick is the only clock and every
+	// run is bit-reproducible.
+	TickEvery time.Duration
+	// Dir is the state directory for the journal and checkpoints
+	// ("" = no persistence).
+	Dir string
+	// Restore replays an existing journal in Dir before serving.
+	Restore bool
+	// CheckpointEvery writes a checkpoint every n ticks (0 = only on
+	// demand and at shutdown).
+	CheckpointEvery int
+	// Bundle supplies the learned predictors for admission and
+	// calibration (nil = capacity gate only, no calibration).
+	Bundle *predict.Bundle
+	// MinPredictedSLA enables the predicted-SLA admission gate.
+	MinPredictedSLA float64
+	// OnlineRetrainEvery enables online learning with that refit period in
+	// ticks (0 = frozen models). Requires Bundle.
+	OnlineRetrainEvery int
+	// RetrainBudget bounds background refits (wall-clock mode only; in
+	// virtual time refits run synchronously at tick barriers so runs stay
+	// deterministic).
+	RetrainBudget RetrainBudget
+	// CalibWindow sizes the predicted-vs-observed SLA window (0 = 512).
+	CalibWindow int
+	// RequestTimeout bounds every control-plane request (tick, checkpoint,
+	// shutdown) waiting on the engine loop (0 = 30s): a busy engine turns
+	// into a timely 503, never a hung client.
+	RequestTimeout time.Duration
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills the config's zero values.
+func (c Config) withDefaults() Config {
+	if c.Scenario == "" {
+		c.Scenario = scenario.ServeBase
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RoundTicks <= 0 {
+		c.RoundTicks = 10
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// vmState is the loop's bookkeeping for one served VM.
+type vmState struct {
+	name      string
+	id        model.VMID
+	status    string
+	admitTick int
+	deferrals int
+	host      model.PMID
+	dc        model.DCID
+	home      model.DCID
+	class     trace.ServiceClass
+	lastLoad  model.Load
+	hasLoad   bool
+}
+
+// decision is one admission verdict of the current tick, in resolve
+// order, for the placement log.
+type decision struct {
+	name    string
+	verdict string
+}
+
+// ctl commands.
+type ctlKind int
+
+const (
+	ctlTick ctlKind = iota
+	ctlCheckpoint
+	ctlShutdown
+)
+
+// ctlMsg is one control command. resp must be buffered (cap 1) so the
+// loop can answer and move on even if the requester's context died.
+type ctlMsg struct {
+	kind ctlKind
+	n    int
+	resp chan ctlResp
+}
+
+type ctlResp struct {
+	tick int
+	err  error
+}
+
+// loop is the engine-owning goroutine's state. Only run() and the
+// functions it calls may touch the non-atomic fields after Start.
+type loop struct {
+	cfg           Config
+	deterministic bool // virtual time: ticks only via ctl, retrains sync
+
+	sc      *scenario.Scenario
+	world   *sim.World
+	mgr     *core.Manager
+	runner  *lifecycle.Runner
+	faults  *lifecycle.FaultRunner
+	overlay *Overlay
+	online  *predict.Online
+	bundle  *predict.Bundle // admission/calibration models (nil = none)
+	calib   *Calibration
+	retr    *Retrainer // wall-clock mode only
+	journal *Journal
+
+	events chan Event
+	ctl    chan ctlMsg
+	done   chan struct{}
+
+	snap     atomic.Pointer[Snapshot]
+	draining atomic.Bool
+	seq      atomic.Int64 // server-side stamp for clients that omit Seq
+
+	// Owner-goroutine state.
+	vms        map[string]*vmState
+	byID       map[model.VMID]*vmState
+	nextID     int
+	decisions  []decision
+	batch      []Event
+	prevRounds int
+	dropTelem  int
+	dupOffers  int
+	restoring  bool
+	fatalErr   error
+
+	sinceCheckpoint int
+	logDigest       uint64
+
+	// lines is the placement log; the loop appends, /v1/log reads.
+	linesMu sync.Mutex
+	lines   []string
+
+	calScratch predict.Scratch
+}
+
+// newLoop builds the whole service stack (scenario, manager, learner,
+// journal) and, when restoring, replays the journal through the same
+// apply path live ticks use. It does not start the goroutine.
+func newLoop(cfg Config) (*loop, error) {
+	cfg = cfg.withDefaults()
+	if cfg.OnlineRetrainEvery > 0 && cfg.Bundle == nil {
+		return nil, fmt.Errorf("serve: OnlineRetrainEvery requires Bundle")
+	}
+	spec, err := scenario.Preset(cfg.Scenario, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	spec.TickWorkers = cfg.TickWorkers
+
+	l := &loop{
+		cfg:           cfg,
+		deterministic: cfg.TickEvery <= 0,
+		events:        make(chan Event, cfg.QueueDepth),
+		ctl:           make(chan ctlMsg),
+		done:          make(chan struct{}),
+		vms:           make(map[string]*vmState),
+		byID:          make(map[model.VMID]*vmState),
+		nextID:        spec.VMs,
+		logDigest:     fnvOffset,
+	}
+	spec.WrapWorkload = func(base sim.Workload) sim.Workload {
+		sources := spec.DCs
+		if g, ok := base.(*trace.Generator); ok {
+			sources = g.Sources()
+		}
+		l.overlay = NewOverlay(base, sources)
+		return l.overlay
+	}
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	l.sc = sc
+	l.world = sc.World
+
+	if cfg.OnlineRetrainEvery > 0 {
+		l.online, err = predict.NewOnline(cfg.Bundle, predict.DefaultTrainConfig(cfg.Seed), 0, cfg.OnlineRetrainEvery)
+		if err != nil {
+			return nil, err
+		}
+		l.bundle = l.online.Bundle
+		if !l.deterministic {
+			l.retr = NewRetrainer(cfg.RetrainBudget)
+		}
+	} else {
+		l.bundle = cfg.Bundle
+	}
+	l.calib = NewCalibration(cfg.CalibWindow)
+
+	pol := core.AdmissionPolicy{
+		Bundle:          l.bundle,
+		MinPredictedSLA: cfg.MinPredictedSLA,
+	}
+	if cfg.RatePerTick > 0 {
+		pol.Rate = &core.RateLimit{RatePerTick: cfg.RatePerTick, Burst: cfg.Burst}
+	}
+	script := sc.Script
+	if script == nil {
+		script = &lifecycle.Script{}
+	}
+	l.runner = lifecycle.NewRunner(script)
+	l.runner.OnResolve = l.onResolve
+	l.faults = lifecycle.NewFaultRunner(sc.Faults)
+
+	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	l.mgr, err = core.NewManager(core.ManagerConfig{
+		World:      sc.World,
+		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
+		RoundTicks: cfg.RoundTicks,
+		Lifecycle:  l.runner,
+		Admission:  pol,
+		Faults:     l.faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := l.world.PlaceInitial(sc.HomePlacement()); err != nil {
+		return nil, err
+	}
+
+	if cfg.Dir != "" {
+		journal, prior, err := OpenJournal(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		l.journal = journal
+		if len(prior) > 0 && !cfg.Restore {
+			journal.Close()
+			return nil, fmt.Errorf("serve: %s already holds a journal (%d entries); pass Restore to resume it", cfg.Dir, len(prior))
+		}
+		if cfg.Restore {
+			if err := l.restore(prior); err != nil {
+				journal.Close()
+				return nil, err
+			}
+		}
+	} else if cfg.Restore {
+		return nil, fmt.Errorf("serve: Restore requires Dir")
+	}
+
+	l.publish()
+	return l, nil
+}
+
+// start launches the engine goroutine.
+func (l *loop) start() { go l.run() }
+
+// run is the engine goroutine: control commands always, wall-clock ticks
+// when configured. Events are deliberately NOT selected on — they wait in
+// the bounded queue until a tick barrier drains them, which is what makes
+// the queue a real memory bound and the apply order canonical.
+func (l *loop) run() {
+	defer close(l.done)
+	var tickC <-chan time.Time
+	if l.cfg.TickEvery > 0 {
+		tk := time.NewTicker(l.cfg.TickEvery)
+		defer tk.Stop()
+		tickC = tk.C
+	}
+	for {
+		select {
+		case m := <-l.ctl:
+			switch m.kind {
+			case ctlTick:
+				var err error
+				for i := 0; i < m.n && err == nil; i++ {
+					err = l.tickOnce()
+				}
+				m.resp <- ctlResp{tick: l.world.Tick(), err: err}
+			case ctlCheckpoint:
+				m.resp <- ctlResp{tick: l.world.Tick(), err: l.checkpointNow()}
+			case ctlShutdown:
+				err := l.drainAndStop()
+				m.resp <- ctlResp{tick: l.world.Tick(), err: err}
+				return
+			}
+		case <-tickC:
+			if err := l.tickOnce(); err != nil {
+				l.cfg.Logf("serve: engine stopped: %v", err)
+				tickC = nil // keep answering control; stop the clock
+			}
+		}
+	}
+}
+
+// tickOnce is the tick barrier: drain the intake queue, sort the batch
+// into canonical order, journal it durably, then execute. The drain takes
+// len(events) — events racing in after the snapshot wait for the next
+// barrier, so concurrent senders can never stretch a batch unboundedly.
+func (l *loop) tickOnce() error {
+	if l.fatalErr != nil {
+		return l.fatalErr
+	}
+	n := len(l.events)
+	l.batch = l.batch[:0]
+	for i := 0; i < n; i++ {
+		l.batch = append(l.batch, <-l.events)
+	}
+	sortEvents(l.batch)
+	if l.journal != nil {
+		for i := range l.batch {
+			if err := l.journal.Append(entry{Kind: "ev", Event: &l.batch[i]}); err != nil {
+				return l.fatal(err)
+			}
+		}
+		if err := l.journal.Append(entry{Kind: "tick", Tick: l.world.Tick()}); err != nil {
+			return l.fatal(err)
+		}
+		// Durability barrier: apply only what is journaled.
+		if err := l.journal.Flush(); err != nil {
+			return l.fatal(err)
+		}
+	}
+	if err := l.execTick(l.batch); err != nil {
+		return l.fatal(err)
+	}
+	return nil
+}
+
+// execTick executes one tick over an already-canonical batch. It is the
+// single code path shared by live ticks and journal restore — which is
+// the whole crash-safety argument: a restored run re-executes the exact
+// function the live run executed.
+func (l *loop) execTick(batch []Event) error {
+	t := l.world.Tick()
+	l.decisions = l.decisions[:0]
+	for i := range batch {
+		l.applyEvent(t, &batch[i])
+	}
+	st, err := l.mgr.Step()
+	if err != nil {
+		return err
+	}
+	if err := l.observe(t); err != nil {
+		return err
+	}
+	l.refreshVMs()
+	l.appendLog(t, &st)
+	l.publishTick(&st)
+	l.sinceCheckpoint++
+	if l.journal != nil && l.cfg.CheckpointEvery > 0 && l.sinceCheckpoint >= l.cfg.CheckpointEvery {
+		if err := l.checkpointNow(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEvent folds one accepted event into the engine's input state.
+// Events were validated at the front door; pathologies that only show up
+// at apply time (duplicate names, telemetry for the departed) are counted
+// and skipped, never errors — the journal must replay cleanly.
+func (l *loop) applyEvent(tick int, e *Event) {
+	switch e.Kind {
+	case KindOffer:
+		o := e.Offer
+		if _, exists := l.vms[o.Name]; exists {
+			l.dupOffers++
+			return
+		}
+		id := model.VMID(l.nextID)
+		l.nextID++
+		class, _ := classByName(o.Class)
+		vs := &vmState{
+			name:      o.Name,
+			id:        id,
+			status:    StatusPending,
+			admitTick: -1,
+			host:      model.NoPM,
+			dc:        -1,
+			home:      model.DCID(o.HomeDC),
+			class:     class,
+		}
+		l.vms[o.Name] = vs
+		l.byID[id] = vs
+		l.runner.Push(o.arrival(id, tick))
+	case KindTelemetry:
+		vs, ok := l.vms[e.Telemetry.Name]
+		if !ok || vs.status == StatusRejected || vs.status == StatusDeparted {
+			l.dropTelem++
+			return
+		}
+		vs.lastLoad = e.Telemetry.load(vs.class)
+		vs.hasLoad = true
+		if l.overlay.Registered(vs.id) {
+			l.overlay.SetLoad(vs.id, model.LocationID(vs.home), vs.lastLoad)
+		}
+	case KindFault:
+		f := e.Fault
+		l.faults.Push(lifecycle.FaultEvent{
+			Tick: tick,
+			Kind: faultKinds[f.Kind],
+			PM:   model.PMID(f.PM),
+			DC:   model.DCID(f.DC),
+		})
+	}
+}
+
+// onResolve is the lifecycle runner's admission hook: it keeps per-VM
+// status current and registers admitted VMs' client load with the
+// workload overlay. It runs on the loop goroutine, inside mgr.Step.
+func (l *loop) onResolve(tick int, a *lifecycle.Arrival, d lifecycle.Decision) {
+	vs := l.byID[a.Spec.ID]
+	if vs == nil {
+		return // a scripted arrival, not one of ours
+	}
+	switch d {
+	case lifecycle.Admit:
+		vs.status = StatusAdmitted
+		vs.admitTick = tick
+		load := a.Offered
+		if vs.hasLoad {
+			load = vs.lastLoad
+		}
+		l.overlay.Register(vs.id, model.LocationID(vs.home), load)
+		l.decisions = append(l.decisions, decision{vs.name, "admit"})
+	case lifecycle.Defer:
+		vs.deferrals++
+		l.decisions = append(l.decisions, decision{vs.name, "defer"})
+	case lifecycle.Reject:
+		vs.status = StatusRejected
+		l.decisions = append(l.decisions, decision{vs.name, "reject"})
+	}
+}
+
+// observe runs the tick's learning duties: fold the fresh observations
+// into the online window, retrain per mode, and record SLA calibration
+// pairs. In virtual time (and during restore) retrains are synchronous so
+// the run stays a pure function of the event stream; in wall-clock mode
+// the retrainer works on a window snapshot in the background under the
+// retry/backoff budget, and the loop adopts results at tick barriers.
+func (l *loop) observe(tick int) error {
+	if l.online != nil {
+		l.online.Observe(l.world)
+		if l.deterministic || l.restoring {
+			if _, err := l.online.MaybeRetrain(tick); err != nil {
+				return err
+			}
+		} else {
+			if res := l.retr.Poll(); res != nil {
+				if res.err != nil {
+					l.cfg.Logf("serve: retrain cycle failed, keeping previous models: %v", res.err)
+				} else {
+					l.online.Adopt(res.bundle, tick)
+				}
+			}
+			if l.online.ShouldRetrain(tick) {
+				// Clone on THIS goroutine: the training data snapshot must
+				// not race the window Observe keeps growing.
+				win := l.online.Window.Clone()
+				train := l.online.Train
+				l.retr.Kick(tick, func(context.Context) (*predict.Bundle, error) {
+					return predict.Train(win, train)
+				})
+			}
+		}
+	}
+	l.recordCalibration()
+	return nil
+}
+
+// recordCalibration logs one predicted-vs-observed SLA pair per placed
+// VM: what the current models would have predicted for the load the
+// gateway actually saw, against the fulfilment the gateway measured. Both
+// sides are the processing component (transport is deterministic and
+// would only flatter the correlation).
+func (l *loop) recordCalibration() {
+	if l.bundle == nil {
+		return
+	}
+	b := l.bundle
+	if l.online != nil {
+		b = l.online.Current()
+	}
+	obs := l.world.Observer()
+	for i := 0; i < l.world.NumVMs(); i++ {
+		if !l.world.ActiveVM(i) {
+			continue
+		}
+		spec := l.world.VMSpecAt(i)
+		truth, ok := l.world.VMTruthAt(spec.ID)
+		if !ok || truth.Host == model.NoPM || truth.Migrating {
+			continue
+		}
+		sample, ok := obs.LastVM(spec.ID)
+		if !ok {
+			continue
+		}
+		memDef := predict.MemDeficitFrac(truth.Granted.MemMB, truth.Required.MemMB)
+		pred, _ := b.PredictSLAProcBuf(&l.calScratch, sample.Load, truth.Granted.CPUPct, memDef, sample.QueueLen)
+		l.calib.Record(pred, spec.Terms.Fulfilment(sample.RT))
+	}
+}
+
+// refreshVMs reconciles per-VM status with the engine after the tick:
+// placements, fault evictions (back to admitted, awaiting re-home) and
+// departures. Map iteration order is irrelevant here — every entry is
+// updated independently from engine state.
+func (l *loop) refreshVMs() {
+	st := l.world.State()
+	for _, vs := range l.byID {
+		switch vs.status {
+		case StatusAdmitted, StatusPlaced:
+		default:
+			continue
+		}
+		if _, live := l.world.LookupVM(vs.id); !live {
+			vs.status = StatusDeparted
+			vs.host, vs.dc = model.NoPM, -1
+			l.overlay.Remove(vs.id)
+			continue
+		}
+		host := st.HostOf(vs.id)
+		if host == model.NoPM {
+			vs.status = StatusAdmitted
+			vs.host, vs.dc = model.NoPM, -1
+			continue
+		}
+		vs.status = StatusPlaced
+		vs.host = host
+		if j, ok := l.world.PMIndex(host); ok {
+			vs.dc = l.world.PMSpecAt(j).DC
+		}
+	}
+}
+
+// appendLog emits the tick's deterministic placement-log line. The log is
+// the replay oracle: two runs are "the same run" exactly when their logs
+// are byte-identical, so everything on the line must be a pure function
+// of the event stream — admission decisions in resolve order, and on
+// round ticks the full placement sorted by VM ID.
+func (l *loop) appendLog(tick int, st *sim.TickStats) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d act=%d unp=%d rounds=%d deg=%t sla=%.6f profit=%.6f",
+		tick, l.world.NumActiveVMs(), st.UnplacedVMs, l.mgr.Rounds(), l.mgr.Degraded(),
+		st.AvgSLA, st.ProfitEUR)
+	if len(l.decisions) > 0 {
+		b.WriteString(" dec=[")
+		for i, d := range l.decisions {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(d.name)
+			b.WriteByte(':')
+			b.WriteString(d.verdict)
+		}
+		b.WriteByte(']')
+	}
+	if l.mgr.Rounds() > l.prevRounds {
+		l.prevRounds = l.mgr.Rounds()
+		ids := make([]int, 0, len(st.Placement))
+		for id := range st.Placement {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		b.WriteString(" place=[")
+		for i, id := range ids {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%d", id, int(st.Placement[model.VMID(id)]))
+		}
+		b.WriteByte(']')
+	}
+	line := b.String()
+	l.linesMu.Lock()
+	l.lines = append(l.lines, line)
+	l.linesMu.Unlock()
+	l.logDigest = fnvAdd(fnvAdd(l.logDigest, []byte(line)), []byte{'\n'})
+}
+
+// logTail returns the log lines from index from (for /v1/log).
+func (l *loop) logTail(from int) []string {
+	l.linesMu.Lock()
+	defer l.linesMu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(l.lines) {
+		return nil
+	}
+	out := make([]string, len(l.lines)-from)
+	copy(out, l.lines[from:])
+	return out
+}
+
+func (l *loop) logLen() int {
+	l.linesMu.Lock()
+	defer l.linesMu.Unlock()
+	return len(l.lines)
+}
+
+// publishTick publishes the post-tick snapshot.
+func (l *loop) publishTick(st *sim.TickStats) {
+	s := l.baseSnapshot()
+	s.UnplacedVMs = st.UnplacedVMs
+	s.AvgSLA = st.AvgSLA
+	s.RevenueEUR = st.RevenueEUR
+	s.EnergyEUR = st.EnergyEUR
+	s.PenaltyEUR = st.PenaltyEUR
+	s.ProfitEUR = st.ProfitEUR
+	l.snap.Store(s)
+}
+
+// publish publishes a snapshot outside a tick (startup, fatal error).
+func (l *loop) publish() { l.snap.Store(l.baseSnapshot()) }
+
+// baseSnapshot assembles the snapshot fields that do not come from
+// TickStats. The returned value is immutable once stored.
+func (l *loop) baseSnapshot() *Snapshot {
+	s := &Snapshot{
+		Tick:             l.world.Tick(),
+		Rounds:           l.mgr.Rounds(),
+		ActiveVMs:        l.world.NumActiveVMs(),
+		Degraded:         l.mgr.Degraded(),
+		Draining:         l.draining.Load(),
+		PendingAdmits:    l.mgr.PendingAdmits(),
+		PendingRehomes:   l.mgr.PendingRehomes(),
+		PendingDeferred:  l.runner.PendingDeferred() + l.runner.PendingPushed(),
+		DroppedTelemetry: l.dropTelem,
+		DuplicateOffers:  l.dupOffers,
+		Churn:            l.runner.Stats(),
+		Faults:           l.faults.Stats(),
+		LogLines:         l.logLen(),
+		LogDigest:        digestString(l.logDigest),
+		VMs:              make(map[string]VMStatus, len(l.vms)),
+	}
+	for name, vs := range l.vms {
+		s.VMs[name] = VMStatus{
+			Name:      name,
+			ID:        int(vs.id),
+			Status:    vs.status,
+			Host:      int(vs.host),
+			DC:        int(vs.dc),
+			AdmitTick: vs.admitTick,
+			Deferrals: vs.deferrals,
+		}
+	}
+	if l.online != nil {
+		os := l.online.Stats()
+		s.Online = &os
+	}
+	if l.retr != nil {
+		rs := l.retr.Stats()
+		s.Retrain = &rs
+	}
+	if l.bundle != nil {
+		cr := l.calib.Report()
+		s.Calibration = &cr
+	}
+	if l.fatalErr != nil {
+		s.Err = l.fatalErr.Error()
+	}
+	return s
+}
+
+// fatal latches the first engine error: the service stops ticking but
+// keeps answering queries (with Err set) and control commands, so an
+// operator can still inspect and shut it down cleanly.
+func (l *loop) fatal(err error) error {
+	if l.fatalErr == nil {
+		l.fatalErr = err
+		l.publish()
+	}
+	return err
+}
+
+// checkpointNow writes a checkpoint certifying the current journal
+// prefix and placement-log position.
+func (l *loop) checkpointNow() error {
+	if l.journal == nil {
+		return fmt.Errorf("serve: no state directory configured")
+	}
+	if err := l.journal.Flush(); err != nil {
+		return l.fatal(err)
+	}
+	cp := Checkpoint{
+		Scenario:    l.cfg.Scenario,
+		Seed:        l.cfg.Seed,
+		RoundTicks:  l.cfg.RoundTicks,
+		TickWorkers: l.cfg.TickWorkers,
+		Tick:        l.world.Tick(),
+		Entries:     l.journal.Entries(),
+		Digest:      l.journal.Digest(),
+		LogLines:    l.logLen(),
+		LogDigest:   l.logDigest,
+	}
+	if err := WriteCheckpoint(l.cfg.Dir, cp); err != nil {
+		return l.fatal(err)
+	}
+	l.sinceCheckpoint = 0
+	return nil
+}
+
+// drainAndStop is graceful shutdown: refuse new offers (the draining
+// flag), then keep ticking until the intake queue, the pushed/deferred
+// offer queues and the admitted-but-unplaced ledger are all empty — every
+// accepted offer gets its admission ruling and placed VMs their final
+// round — bounded by the deferral deadline plus two round periods, so a
+// wedged fleet cannot hold shutdown hostage. Ends with a final checkpoint
+// and journal close.
+func (l *loop) drainAndStop() error {
+	l.draining.Store(true)
+	l.publish() // make the flag visible to health checks immediately
+	maxTicks := lifecycle.DefaultMaxDeferTicks + 2*l.cfg.RoundTicks + 2
+	for i := 0; i < maxTicks; i++ {
+		if l.fatalErr != nil {
+			break
+		}
+		if len(l.events) == 0 && l.runner.PendingPushed() == 0 &&
+			l.runner.PendingDeferred() == 0 && l.mgr.PendingAdmits() == 0 {
+			break
+		}
+		if err := l.tickOnce(); err != nil {
+			break
+		}
+	}
+	var err error
+	if l.journal != nil {
+		if l.fatalErr == nil {
+			err = l.checkpointNow()
+		}
+		if cerr := l.journal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	l.publish()
+	return err
+}
+
+// restore replays a journal through execTick — the exact live code path.
+// The checkpoint, when present, gates compatibility (scenario, seed,
+// round period; deliberately not TickWorkers) and cross-checks the
+// replayed placement log against the digest the crashed run certified.
+func (l *loop) restore(prior []entry) error {
+	cp, hasCP, err := ReadCheckpoint(l.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	if hasCP {
+		if err := cp.Compatible(l.cfg.Scenario, l.cfg.Seed, l.cfg.RoundTicks); err != nil {
+			return err
+		}
+	}
+	l.restoring = true
+	defer func() { l.restoring = false }()
+	var batch []Event
+	for i := range prior {
+		en := &prior[i]
+		switch en.Kind {
+		case "ev":
+			if en.Event == nil {
+				return fmt.Errorf("serve: journal entry %d: ev without event", i+1)
+			}
+			if en.Event.Seq > l.seq.Load() {
+				l.seq.Store(en.Event.Seq)
+			}
+			batch = append(batch, *en.Event)
+		case "tick":
+			if en.Tick != l.world.Tick() {
+				return fmt.Errorf("serve: journal entry %d: tick %d but world is at %d", i+1, en.Tick, l.world.Tick())
+			}
+			// The journal already holds the canonical order; no re-sort, no
+			// re-journal — execTick consumes the batch as recorded.
+			if err := l.execTick(batch); err != nil {
+				return fmt.Errorf("serve: replaying journal tick %d: %w", en.Tick, err)
+			}
+			batch = batch[:0]
+		default:
+			return fmt.Errorf("serve: journal entry %d: unknown kind %q", i+1, en.Kind)
+		}
+	}
+	if hasCP {
+		if len(l.lines) < cp.LogLines {
+			return fmt.Errorf("serve: restored log has %d lines, checkpoint certified %d", len(l.lines), cp.LogLines)
+		}
+		d := fnvOffset
+		for _, ln := range l.lines[:cp.LogLines] {
+			d = fnvAdd(fnvAdd(d, []byte(ln)), []byte{'\n'})
+		}
+		if d != cp.LogDigest {
+			return fmt.Errorf("serve: restored placement log diverges from checkpoint (digest %016x != %016x)", d, cp.LogDigest)
+		}
+	}
+	l.cfg.Logf("serve: restored %d journal entries to tick %d", len(prior), l.world.Tick())
+	return nil
+}

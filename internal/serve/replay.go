@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A replay script drives the service through real HTTP in virtual time:
+// each step's events are sent (possibly by many concurrent workers, in
+// any interleaving), acknowledged, and then one POST /v1/tick executes
+// the barrier. Because every event carries a client-assigned Seq and the
+// barrier sorts the batch canonically, the resulting placement log is
+// byte-identical across reruns, worker counts and server restarts — the
+// property the replay tests pin down.
+
+// ReplayStep is one tick's worth of scripted events.
+type ReplayStep struct {
+	// Tick is the virtual tick the events precede (events of step t are
+	// applied at the barrier that executes tick t).
+	Tick   int     `json:"tick"`
+	Events []Event `json:"events"`
+}
+
+// ReplayScript is a full scripted run.
+type ReplayScript struct {
+	// Ticks is how many ticks to execute in total (must cover every
+	// step's Tick).
+	Ticks int          `json:"ticks"`
+	Steps []ReplayStep `json:"steps"`
+}
+
+// Validate checks the script's internal consistency: steps ordered by
+// tick, within range, and every event carrying an explicit Seq.
+func (rs *ReplayScript) Validate() error {
+	if rs.Ticks <= 0 {
+		return fmt.Errorf("serve: replay script needs ticks > 0")
+	}
+	last := -1
+	for i, st := range rs.Steps {
+		if st.Tick < 0 || st.Tick >= rs.Ticks {
+			return fmt.Errorf("serve: step %d at tick %d outside [0,%d)", i, st.Tick, rs.Ticks)
+		}
+		if st.Tick < last {
+			return fmt.Errorf("serve: step %d at tick %d out of order", i, st.Tick)
+		}
+		last = st.Tick
+		for j := range st.Events {
+			if st.Events[j].Seq <= 0 {
+				return fmt.Errorf("serve: step %d event %d: replay events must carry seq > 0", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadReplayScript reads a JSON replay script from disk.
+func LoadReplayScript(path string) (*ReplayScript, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs ReplayScript
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("serve: parsing replay script %s: %w", path, err)
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return &rs, nil
+}
+
+// Client is a minimal HTTP client for the service, with the 429 retry
+// loop every well-behaved caller needs: backpressure is the server
+// telling the client to own the retry, and this client does.
+type Client struct {
+	Base string
+	HTTP *http.Client
+	// MaxRetries bounds 429 retries per send (0 = 50).
+	MaxRetries int
+	// RetryDelay is the pause between 429 retries (0 = 10ms).
+	RetryDelay time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends one JSON POST and decodes the response when out is non-nil.
+func (c *Client) post(path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, fmt.Errorf("serve: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Send delivers one event, retrying on 429 backpressure with a bounded
+// pause-and-retry loop. Any other failure is returned as-is.
+func (c *Client) Send(ev Event) error {
+	path, body := eventWire(ev)
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 50
+	}
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		code, err := c.post(path, body, nil)
+		if code != http.StatusTooManyRequests {
+			return err
+		}
+		if attempt >= retries {
+			return fmt.Errorf("serve: still backpressured after %d retries: %w", retries, err)
+		}
+		time.Sleep(delay)
+	}
+}
+
+// eventWire maps an event to its endpoint and wire body.
+func eventWire(ev Event) (string, any) {
+	switch ev.Kind {
+	case KindOffer:
+		return "/v1/offers", offerWire{Seq: ev.Seq, OfferReq: *ev.Offer}
+	case KindTelemetry:
+		return "/v1/telemetry", telemetryWire{Seq: ev.Seq, TelemetryReq: *ev.Telemetry}
+	default:
+		return "/v1/faults", faultWire{Seq: ev.Seq, FaultEventReq: *ev.Fault}
+	}
+}
+
+// Tick advances virtual time n ticks.
+func (c *Client) Tick(n int) (int, error) {
+	var out struct {
+		Tick int `json:"tick"`
+	}
+	if _, err := c.post("/v1/tick", map[string]int{"n": n}, &out); err != nil {
+		return 0, err
+	}
+	return out.Tick, nil
+}
+
+// Checkpoint asks the service to write a checkpoint now.
+func (c *Client) Checkpoint() error {
+	_, err := c.post("/v1/checkpoint", struct{}{}, nil)
+	return err
+}
+
+// Shutdown drains and stops the service.
+func (c *Client) Shutdown() error {
+	_, err := c.post("/v1/shutdown", struct{}{}, nil)
+	return err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (*healthResponse, error) {
+	resp, err := c.httpClient().Get(c.Base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Log fetches the placement log from line from.
+func (c *Client) Log(from int) ([]string, error) {
+	resp, err := c.httpClient().Get(fmt.Sprintf("%s/v1/log?from=%d", c.Base, from))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}
+
+// Replay drives a script against the service: each step's events are
+// sent by `workers` concurrent senders (proving order-independence),
+// then the tick barrier executes. Returns the final placement log.
+func (c *Client) Replay(rs *ReplayScript, workers int) ([]string, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	next := 0
+	for t := 0; t < rs.Ticks; t++ {
+		var batch []Event
+		for next < len(rs.Steps) && rs.Steps[next].Tick == t {
+			batch = append(batch, rs.Steps[next].Events...)
+			next++
+		}
+		if err := c.sendAll(batch, workers); err != nil {
+			return nil, fmt.Errorf("serve: replay tick %d: %w", t, err)
+		}
+		if _, err := c.Tick(1); err != nil {
+			return nil, fmt.Errorf("serve: replay tick %d: %w", t, err)
+		}
+	}
+	return c.Log(0)
+}
+
+// sendAll fans a batch across workers and waits for every ACK. Events
+// are distributed round-robin; because the server sorts each tick's
+// batch by Seq, the assignment (and any interleaving) is irrelevant to
+// the outcome — that is the point of the exercise.
+func (c *Client) sendAll(batch []Event, workers int) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(batch); i += workers {
+				if err := c.Send(batch[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

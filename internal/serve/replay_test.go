@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/predict"
+)
+
+// joinLog canonicalises a placement log for comparison.
+func joinLog(lines []string) string { return strings.Join(lines, "\n") }
+
+// runScript replays a script against a fresh server and returns its log.
+func runScript(t *testing.T, cfg Config, rs *ReplayScript, workers int) []string {
+	t.Helper()
+	_, c := newTestServer(t, cfg)
+	log, err := c.Replay(rs, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// drive sends every step with fromTick <= Tick < toTick and executes the
+// barriers for those ticks — a partial Client.Replay for restore tests.
+func drive(t *testing.T, c *Client, rs *ReplayScript, fromTick, toTick, workers int) {
+	t.Helper()
+	next := 0
+	for next < len(rs.Steps) && rs.Steps[next].Tick < fromTick {
+		next++
+	}
+	for tick := fromTick; tick < toTick; tick++ {
+		var batch []Event
+		for next < len(rs.Steps) && rs.Steps[next].Tick == tick {
+			batch = append(batch, rs.Steps[next].Events...)
+			next++
+		}
+		if err := c.sendAll(batch, workers); err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if _, err := c.Tick(1); err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+	}
+}
+
+// TestReplayDeterministicAcrossReruns is the core replay guarantee: the
+// same script against a fresh server yields a byte-identical placement
+// log, run after run.
+func TestReplayDeterministicAcrossReruns(t *testing.T) {
+	rs := smokeScript()
+	a := runScript(t, Config{Seed: 9}, rs, 1)
+	b := runScript(t, Config{Seed: 9}, rs, 1)
+	if joinLog(a) != joinLog(b) {
+		t.Fatal("two identical runs diverged")
+	}
+}
+
+// TestReplayDeterministicAcrossTickWorkers pins worker-count neutrality:
+// the engine's parallel tick width must not leak into placement.
+func TestReplayDeterministicAcrossTickWorkers(t *testing.T) {
+	rs := smokeScript()
+	ref := runScript(t, Config{Seed: 9, TickWorkers: 1}, rs, 2)
+	for _, w := range []int{2, 4} {
+		got := runScript(t, Config{Seed: 9, TickWorkers: w}, rs, 2)
+		if joinLog(got) != joinLog(ref) {
+			t.Fatalf("TickWorkers=%d diverged from TickWorkers=1", w)
+		}
+	}
+}
+
+// TestReplayDeterministicAcrossClientWorkers pins interleaving
+// neutrality: concurrent senders racing the intake queue in any order
+// produce the same run, because events carry Seq and the barrier sorts.
+func TestReplayDeterministicAcrossClientWorkers(t *testing.T) {
+	rs := smokeScript()
+	ref := runScript(t, Config{Seed: 9}, rs, 1)
+	for _, w := range []int{3, 8} {
+		got := runScript(t, Config{Seed: 9}, rs, w)
+		if joinLog(got) != joinLog(ref) {
+			t.Fatalf("client workers=%d diverged from workers=1", w)
+		}
+	}
+}
+
+// TestReplayThroughCheckpointRestore is the crash-safety headline: a run
+// interrupted mid-script (checkpoint, then the process "dies" without a
+// graceful shutdown) restores and finishes with a placement log
+// byte-identical to the uninterrupted run — even when the restored
+// server uses a different TickWorkers count.
+func TestReplayThroughCheckpointRestore(t *testing.T) {
+	rs := smokeScript()
+	full := runScript(t, Config{Seed: 9}, rs, 2)
+
+	const cut = 18 // mid-script: after the crash fault, before the repair
+	dir := t.TempDir()
+	_, c1 := newTestServer(t, Config{Seed: 9, Dir: dir})
+	drive(t, c1, rs, 0, cut, 2)
+	if err := c1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// No shutdown: the first server is simply abandoned, as a crash
+	// would leave it. The journal was flushed at every tick barrier.
+
+	s2, c2 := newTestServer(t, Config{Seed: 9, Dir: dir, Restore: true, TickWorkers: 4})
+	if got := s2.Snapshot().Tick; got != cut {
+		t.Fatalf("restored to tick %d, want %d", got, cut)
+	}
+	drive(t, c2, rs, cut, rs.Ticks, 2)
+
+	log, err := c2.Log(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joinLog(log) != joinLog(full) {
+		t.Fatal("restored run diverged from the uninterrupted run")
+	}
+}
+
+// TestRestoreRefusesIncompatibleCheckpoint pins the compatibility rule:
+// a journal taken under one (scenario, seed, round period) must not be
+// replayed under another.
+func TestRestoreRefusesIncompatibleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, c := newTestServer(t, Config{Seed: 9, Dir: dir})
+	drive(t, c, smokeScript(), 0, 5, 1)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(Config{Seed: 10, Dir: dir, Restore: true}); err == nil {
+		t.Fatal("restore with a different seed should fail")
+	}
+	if _, err := New(Config{Seed: 9, RoundTicks: 5, Dir: dir, Restore: true}); err == nil {
+		t.Fatal("restore with a different round period should fail")
+	}
+	if _, err := New(Config{Seed: 9, Dir: dir}); err == nil {
+		t.Fatal("reusing a journal directory without Restore should fail")
+	}
+}
+
+// testBundle trains one small prediction bundle for the whole package
+// (training is the expensive part; every test shares it).
+var (
+	bundleOnce sync.Once
+	bundleVal  *predict.Bundle
+	bundleErr  error
+)
+
+func testBundle(t *testing.T) *predict.Bundle {
+	t.Helper()
+	bundleOnce.Do(func() {
+		opts := predict.DefaultHarvestOpts(11)
+		opts.Ticks = 700
+		h, err := predict.Collect(opts)
+		if err != nil {
+			bundleErr = err
+			return
+		}
+		bundleVal, bundleErr = predict.Train(h, predict.DefaultTrainConfig(12))
+	})
+	if bundleErr != nil {
+		t.Fatal(bundleErr)
+	}
+	return bundleVal
+}
+
+// TestReplayDeterministicWithOnlineLearning closes the loop on the
+// virtual-time learning path: with a live bundle, the ML admission gate
+// and synchronous retrains enabled, replay is still byte-identical —
+// and the calibration window actually fills.
+func TestReplayDeterministicWithOnlineLearning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	cfg := Config{
+		Seed:               9,
+		Bundle:             testBundle(t),
+		MinPredictedSLA:    0.2,
+		OnlineRetrainEvery: 15,
+	}
+	rs := smokeScript()
+	a := runScript(t, cfg, rs, 2)
+	b := runScript(t, cfg, rs, 3)
+	if joinLog(a) != joinLog(b) {
+		t.Fatal("online-learning replay diverged across runs")
+	}
+
+	_, c := newTestServer(t, cfg)
+	if _, err := c.Replay(rs, 2); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Calibration == nil || h.Calibration.Pairs == 0 {
+		t.Fatal("calibration window empty despite a live bundle")
+	}
+	if h.Online == nil || h.Online.Retrains == 0 {
+		t.Fatalf("online stats %+v: expected at least one synchronous retrain", h.Online)
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/predict"
+)
+
+// RetrainBudget bounds how hard the background retrainer tries before a
+// refit cycle is declared failed: each attempt gets Timeout, failures
+// back off exponentially from Backoff up to MaxBackoff, and after
+// MaxRetries retries (MaxRetries+1 attempts) the cycle gives up — the
+// serving path keeps the previous bundle, it is never blocked on a
+// refit. The zero value gets defaults from DefaultRetrainBudget.
+type RetrainBudget struct {
+	Timeout    time.Duration
+	MaxRetries int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// DefaultRetrainBudget is the production default: 30s per attempt, three
+// retries, 250ms initial backoff capped at 5s.
+func DefaultRetrainBudget() RetrainBudget {
+	return RetrainBudget{
+		Timeout:    30 * time.Second,
+		MaxRetries: 3,
+		Backoff:    250 * time.Millisecond,
+		MaxBackoff: 5 * time.Second,
+	}
+}
+
+func (b RetrainBudget) withDefaults() RetrainBudget {
+	d := DefaultRetrainBudget()
+	if b.Timeout <= 0 {
+		b.Timeout = d.Timeout
+	}
+	if b.MaxRetries < 0 {
+		b.MaxRetries = 0
+	}
+	if b.Backoff <= 0 {
+		b.Backoff = d.Backoff
+	}
+	if b.MaxBackoff < b.Backoff {
+		b.MaxBackoff = b.Backoff
+	}
+	return b
+}
+
+// RetrainStats counts the retrainer's lifetime outcomes. Attempts counts
+// individual training calls; Cycles/Successes/GiveUps count whole kick
+// cycles.
+type RetrainStats struct {
+	Cycles    int64 `json:"cycles"`
+	Attempts  int64 `json:"attempts"`
+	Successes int64 `json:"successes"`
+	GiveUps   int64 `json:"give_ups"`
+}
+
+// retrainResult is one finished cycle.
+type retrainResult struct {
+	bundle *predict.Bundle
+	tick   int
+	err    error
+}
+
+// Retrainer runs model refits off the engine loop under a retry/backoff
+// budget. The contract with the loop: Kick starts at most one cycle at a
+// time (a kick while one is in flight is a no-op), Poll hands back the
+// finished bundle exactly once, and the loop decides when to adopt it
+// (round boundaries), so the serving models never change mid-decision.
+//
+// In deterministic replay mode the retrainer is not used at all —
+// retrains run synchronously at tick boundaries — because a background
+// goroutine's completion time is wall-clock state that would leak into
+// placement decisions.
+type Retrainer struct {
+	budget  RetrainBudget
+	sleep   func(time.Duration) // test seam
+	results chan retrainResult
+
+	inflight  atomic.Bool
+	cycles    atomic.Int64
+	attempts  atomic.Int64
+	successes atomic.Int64
+	giveUps   atomic.Int64
+}
+
+// NewRetrainer builds a retrainer with the given budget.
+func NewRetrainer(budget RetrainBudget) *Retrainer {
+	return &Retrainer{
+		budget:  budget.withDefaults(),
+		sleep:   time.Sleep,
+		results: make(chan retrainResult, 1),
+	}
+}
+
+// Kick starts a refit cycle for the given tick unless one is already in
+// flight or an unclaimed result is waiting; reports whether it started.
+// train must be self-contained — the caller snapshots its data (e.g.
+// Harvest.Clone) on the owning goroutine BEFORE Kick, because train runs
+// on a background goroutine.
+func (r *Retrainer) Kick(tick int, train func(ctx context.Context) (*predict.Bundle, error)) bool {
+	if !r.inflight.CompareAndSwap(false, true) {
+		return false
+	}
+	r.cycles.Add(1)
+	go r.run(tick, train)
+	return true
+}
+
+// run executes one cycle: attempts with per-attempt timeout, exponential
+// backoff between failures, a terminal give-up after the budget.
+func (r *Retrainer) run(tick int, train func(ctx context.Context) (*predict.Bundle, error)) {
+	backoff := r.budget.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= r.budget.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.sleep(backoff)
+			backoff *= 2
+			if backoff > r.budget.MaxBackoff {
+				backoff = r.budget.MaxBackoff
+			}
+		}
+		r.attempts.Add(1)
+		b, err := r.attempt(train)
+		if err == nil {
+			r.successes.Add(1)
+			r.results <- retrainResult{bundle: b, tick: tick}
+			return
+		}
+		lastErr = err
+	}
+	r.giveUps.Add(1)
+	r.results <- retrainResult{tick: tick, err: fmt.Errorf("serve: retrain gave up after %d attempts: %w", r.budget.MaxRetries+1, lastErr)}
+}
+
+// attempt runs one training call under the per-attempt timeout. The
+// training function may not honour ctx (predict.Train is oblivious); the
+// attempt is then abandoned at the deadline while the call finishes on
+// its goroutine — its result is discarded.
+func (r *Retrainer) attempt(train func(ctx context.Context) (*predict.Bundle, error)) (*predict.Bundle, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.budget.Timeout)
+	defer cancel()
+	type out struct {
+		b   *predict.Bundle
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		b, err := train(ctx)
+		done <- out{b, err}
+	}()
+	select {
+	case o := <-done:
+		return o.b, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: retrain attempt timed out after %s", r.budget.Timeout)
+	}
+}
+
+// Poll returns a finished cycle's result if one is ready, clearing the
+// in-flight latch so the next Kick can start. Returns nil when no cycle
+// has finished.
+func (r *Retrainer) Poll() *retrainResult {
+	select {
+	case res := <-r.results:
+		r.inflight.Store(false)
+		return &res
+	default:
+		return nil
+	}
+}
+
+// Stats snapshots the lifetime counters (safe from any goroutine).
+func (r *Retrainer) Stats() RetrainStats {
+	return RetrainStats{
+		Cycles:    r.cycles.Load(),
+		Attempts:  r.attempts.Load(),
+		Successes: r.successes.Load(),
+		GiveUps:   r.giveUps.Load(),
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/predict"
+)
+
+// pollWait spins until the retrainer hands back a result (cycles finish
+// on a background goroutine).
+func pollWait(t *testing.T, r *Retrainer) *retrainResult {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if res := r.Poll(); res != nil {
+			return res
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("retrain cycle never finished")
+	return nil
+}
+
+func testBudget() RetrainBudget {
+	return RetrainBudget{
+		Timeout:    time.Second,
+		MaxRetries: 2,
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond,
+	}
+}
+
+// TestRetrainerRetriesWithBackoff injects a trainer that fails twice
+// before succeeding and checks the whole budget mechanism: attempt
+// counting, exponential backoff between failures, and a clean success.
+func TestRetrainerRetriesWithBackoff(t *testing.T) {
+	r := NewRetrainer(testBudget())
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	want := &predict.Bundle{}
+	calls := 0
+	ok := r.Kick(7, func(context.Context) (*predict.Bundle, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("transient")
+		}
+		return want, nil
+	})
+	if !ok {
+		t.Fatal("first Kick refused")
+	}
+	res := pollWait(t, r)
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.bundle != want || res.tick != 7 {
+		t.Fatalf("result bundle=%p tick=%d, want %p/7", res.bundle, res.tick, want)
+	}
+	if calls != 3 {
+		t.Fatalf("trainer called %d times, want 3", calls)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("backoff sleeps %v, want [10ms 20ms]", slept)
+	}
+	st := r.Stats()
+	if st.Cycles != 1 || st.Attempts != 3 || st.Successes != 1 || st.GiveUps != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRetrainerGivesUpAfterBudget pins the terminal path: a trainer
+// that never succeeds exhausts MaxRetries+1 attempts, the cycle ends
+// with an error, and the retrainer is ready for the next kick.
+func TestRetrainerGivesUpAfterBudget(t *testing.T) {
+	r := NewRetrainer(testBudget())
+	r.sleep = func(time.Duration) {}
+
+	calls := 0
+	r.Kick(1, func(context.Context) (*predict.Bundle, error) {
+		calls++
+		return nil, errors.New("hopeless")
+	})
+	res := pollWait(t, r)
+	if res.err == nil {
+		t.Fatal("give-up cycle returned no error")
+	}
+	if calls != 3 { // MaxRetries=2 -> 3 attempts
+		t.Fatalf("trainer called %d times, want 3", calls)
+	}
+	if st := r.Stats(); st.GiveUps != 1 || st.Successes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// The latch is clear: the next cycle can start and recover.
+	if !r.Kick(2, func(context.Context) (*predict.Bundle, error) {
+		return &predict.Bundle{}, nil
+	}) {
+		t.Fatal("Kick refused after a give-up was polled")
+	}
+	if res := pollWait(t, r); res.err != nil {
+		t.Fatalf("recovery cycle failed: %v", res.err)
+	}
+}
+
+// TestRetrainerSingleFlight pins the at-most-one-cycle rule: a kick
+// while one is in flight is a no-op, and the serving path is never
+// blocked waiting for it.
+func TestRetrainerSingleFlight(t *testing.T) {
+	r := NewRetrainer(testBudget())
+	release := make(chan struct{})
+	r.Kick(1, func(context.Context) (*predict.Bundle, error) {
+		<-release
+		return &predict.Bundle{}, nil
+	})
+	if r.Kick(2, func(context.Context) (*predict.Bundle, error) {
+		t.Error("second trainer ran during the first cycle")
+		return nil, nil
+	}) {
+		t.Fatal("Kick started a second in-flight cycle")
+	}
+	if res := r.Poll(); res != nil {
+		t.Fatal("Poll returned a result before the cycle finished")
+	}
+	close(release)
+	pollWait(t, r)
+}
+
+// TestRetrainerAttemptTimeout pins the per-attempt deadline: a trainer
+// that hangs is abandoned at Timeout and the cycle proceeds to retry.
+func TestRetrainerAttemptTimeout(t *testing.T) {
+	b := testBudget()
+	b.Timeout = 10 * time.Millisecond
+	b.MaxRetries = 1
+	r := NewRetrainer(b)
+	r.sleep = func(time.Duration) {}
+
+	// Atomic: the abandoned first attempt's goroutine has no
+	// happens-before edge to the retry attempt that overlaps it.
+	var calls atomic.Int64
+	r.Kick(1, func(ctx context.Context) (*predict.Bundle, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // hang the first attempt past its deadline
+			return nil, ctx.Err()
+		}
+		return &predict.Bundle{}, nil
+	})
+	res := pollWait(t, r)
+	if res.err != nil {
+		t.Fatalf("cycle failed despite a good retry: %v", res.err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("trainer called %d times, want timeout then success", got)
+	}
+}

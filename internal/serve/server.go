@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// maxBodyBytes bounds every request body — a garbage or hostile client
+// cannot make the server buffer more than this per request.
+const maxBodyBytes = 1 << 20
+
+// errEngineStopped reports a control command against a loop that has
+// already shut down.
+var errEngineStopped = errors.New("serve: engine stopped")
+
+// Server is the HTTP placement service: the bounded-intake front door in
+// front of one engine loop.
+//
+//	POST /v1/offers      offer one VM          (202 queued / 429 backpressure)
+//	POST /v1/telemetry   report a VM's load
+//	POST /v1/faults      report an infrastructure fault
+//	POST /v1/tick        advance virtual time  (replay mode only)
+//	POST /v1/checkpoint  write a checkpoint
+//	POST /v1/shutdown    drain and stop
+//	GET  /healthz        snapshot + queue depth + calibration
+//	GET  /v1/placements  per-VM placement status (?name=)
+//	GET  /v1/log         placement log          (?from=N)
+//	GET  /v1/calibration predicted-vs-observed SLA report
+type Server struct {
+	cfg  Config
+	loop *loop
+	mux  *http.ServeMux
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds the service (restoring from Config.Dir if asked) and starts
+// its engine goroutine.
+func New(cfg Config) (*Server, error) {
+	l, err := newLoop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: l.cfg, loop: l, mux: http.NewServeMux()}
+	s.routes()
+	l.start()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the latest published engine snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.loop.snap.Load() }
+
+// Tick advances virtual time n ticks through the engine loop — the
+// programmatic form of POST /v1/tick.
+func (s *Server) Tick(ctx context.Context, n int) (int, error) {
+	if n <= 0 {
+		n = 1
+	}
+	r, err := s.control(ctx, ctlMsg{kind: ctlTick, n: n, resp: make(chan ctlResp, 1)})
+	if err != nil {
+		return 0, err
+	}
+	return r.tick, r.err
+}
+
+// Checkpoint writes a checkpoint now.
+func (s *Server) Checkpoint(ctx context.Context) error {
+	r, err := s.control(ctx, ctlMsg{kind: ctlCheckpoint, resp: make(chan ctlResp, 1)})
+	if err != nil {
+		return err
+	}
+	return r.err
+}
+
+// Shutdown drains and stops the engine (idempotent): in-flight offers
+// get their admission ruling and one final scheduling round, a last
+// checkpoint is written, and the journal is closed. The HTTP listener is
+// the caller's to close; handlers answer 503 for new offers meanwhile.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		r, err := s.control(ctx, ctlMsg{kind: ctlShutdown, resp: make(chan ctlResp, 1)})
+		if err != nil {
+			s.shutdownErr = err
+			return
+		}
+		s.shutdownErr = r.err
+	})
+	return s.shutdownErr
+}
+
+// control sends one command to the engine loop under the caller's
+// deadline. The loop never blocks on the (buffered) response channel, so
+// a client that gives up cannot wedge the engine.
+func (s *Server) control(ctx context.Context, m ctlMsg) (ctlResp, error) {
+	select {
+	case s.loop.ctl <- m:
+	case <-s.loop.done:
+		return ctlResp{}, errEngineStopped
+	case <-ctx.Done():
+		return ctlResp{}, ctx.Err()
+	}
+	select {
+	case r := <-m.resp:
+		return r, nil
+	case <-s.loop.done:
+		// Shutdown answers before closing done; a nil response here means
+		// the loop died without one.
+		select {
+		case r := <-m.resp:
+			return r, nil
+		default:
+			return ctlResp{}, errEngineStopped
+		}
+	case <-ctx.Done():
+		return ctlResp{}, ctx.Err()
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/offers", s.handleOffer)
+	s.mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("POST /v1/faults", s.handleFault)
+	s.mux.HandleFunc("POST /v1/tick", s.handleTick)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/placements", s.handlePlacements)
+	s.mux.HandleFunc("GET /v1/log", s.handleLog)
+	s.mux.HandleFunc("GET /v1/calibration", s.handleCalibration)
+}
+
+// Wire bodies: the event payloads plus the optional client-assigned
+// sequence number (0 = server stamps arrival order). Replay scripts
+// always assign Seq so a tick's batch orders identically no matter how
+// the HTTP requests interleave.
+type offerWire struct {
+	Seq int64 `json:"seq,omitempty"`
+	OfferReq
+}
+
+type telemetryWire struct {
+	Seq int64 `json:"seq,omitempty"`
+	TelemetryReq
+}
+
+type faultWire struct {
+	Seq int64 `json:"seq,omitempty"`
+	FaultEventReq
+}
+
+// acceptResponse acknowledges an accepted event.
+type acceptResponse struct {
+	Seq    int64 `json:"seq"`
+	Queued int   `json:"queued"`
+	Cap    int   `json:"cap"`
+}
+
+func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
+	var body offerWire
+	if !s.decode(w, r, &body) {
+		return
+	}
+	if s.loop.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: no new offers")
+		return
+	}
+	s.accept(w, Event{Seq: body.Seq, Kind: KindOffer, Offer: &body.OfferReq})
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	var body telemetryWire
+	if !s.decode(w, r, &body) {
+		return
+	}
+	s.accept(w, Event{Seq: body.Seq, Kind: KindTelemetry, Telemetry: &body.TelemetryReq})
+}
+
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var body faultWire
+	if !s.decode(w, r, &body) {
+		return
+	}
+	s.accept(w, Event{Seq: body.Seq, Kind: KindFault, Fault: &body.FaultEventReq})
+}
+
+// accept validates an event and offers it to the bounded intake queue.
+// A full queue is the backpressure path: 429 with Retry-After, and the
+// client's event is NOT accepted — it owns the retry. The send is
+// non-blocking by construction, so a flood of clients can saturate the
+// queue but never grow it.
+func (s *Server) accept(w http.ResponseWriter, ev Event) {
+	if err := ev.Validate(s.loop.sc.Spec.DCs, s.loop.world.NumPMs()); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if ev.Seq < 0 {
+		writeError(w, http.StatusBadRequest, "seq must be >= 0")
+		return
+	}
+	if ev.Seq == 0 {
+		ev.Seq = s.loop.seq.Add(1)
+	}
+	select {
+	case s.loop.events <- ev:
+		writeJSON(w, http.StatusAccepted, acceptResponse{
+			Seq:    ev.Seq,
+			Queued: len(s.loop.events),
+			Cap:    cap(s.loop.events),
+		})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "intake queue full")
+	}
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.TickEvery > 0 {
+		writeError(w, http.StatusConflict, "wall-clock mode: time is not client-driven")
+		return
+	}
+	var body struct {
+		N int `json:"n"`
+	}
+	if !s.decode(w, r, &body) {
+		return
+	}
+	if body.N <= 0 {
+		body.N = 1
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	tick, err := s.Tick(ctx, body.N)
+	if err != nil {
+		writeControlError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"tick": tick})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Dir == "" {
+		writeError(w, http.StatusConflict, "no state directory configured")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.Checkpoint(ctx); err != nil {
+		writeControlError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"checkpoint": CheckpointName})
+}
+
+func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil && !errors.Is(err, errEngineStopped) {
+		writeControlError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// healthResponse is the /healthz body: service status, intake queue
+// occupancy and the latest engine snapshot.
+type healthResponse struct {
+	Status   string `json:"status"` // "ok", "draining" or "error"
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	*Snapshot
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	status := "ok"
+	switch {
+	case snap.Err != "":
+		status = "error"
+	case snap.Draining:
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   status,
+		QueueLen: len(s.loop.events),
+		QueueCap: cap(s.loop.events),
+		Snapshot: snap,
+	})
+}
+
+func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	if name := r.URL.Query().Get("name"); name != "" {
+		vs, ok := snap.VMs[name]
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown vm %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, vs)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap.VMs)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "from must be an integer")
+			return
+		}
+		from = n
+	}
+	lines := s.loop.logTail(from)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, ln := range lines {
+		fmt.Fprintln(w, ln)
+	}
+}
+
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	if snap.Calibration == nil {
+		writeError(w, http.StatusNotFound, "no prediction bundle configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, snap.Calibration)
+}
+
+// decode parses a bounded JSON body, answering 400 on garbage.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeControlError maps control-path failures: deadline pressure means
+// the engine was busy (503, retryable), a stopped engine is 409, and
+// anything else is the engine reporting a real error (500).
+func writeControlError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "engine busy: "+err.Error())
+	case errors.Is(err, errEngineStopped):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client hanging up is its problem
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
