@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -48,7 +49,10 @@ func runServe(args []string) error {
 	retrainEvery := fs.Int("retrain-every", 0, "online refit period in ticks (with -train; 0 = frozen models)")
 	replayPath := fs.String("replay", "", "drive this replay script instead of serving, print the placement log")
 	workers := fs.Int("workers", 4, "concurrent replay senders (with -replay)")
-	report := fs.Bool("report", false, "query a running server's /healthz and print the report")
+	report := fs.Bool("report", false, "query a running server's /healthz and /metrics and print the report")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file at shutdown (enables tracing)")
+	traceSample := fs.Int("trace-sample", 0, "trace one tick in every N (0 = off unless -trace, which implies 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,7 +78,13 @@ func runServe(args []string) error {
 		Restore:         *restore,
 		CheckpointEvery: *checkpointEvery,
 		MinPredictedSLA: *minSLA,
+		EnablePprof:     *pprofOn,
+		TracePath:       *tracePath,
+		TraceSample:     *traceSample,
 		Logf:            log.Printf,
+	}
+	if cfg.TracePath != "" && cfg.TraceSample <= 0 {
+		cfg.TraceSample = 1
 	}
 	if *train {
 		fmt.Fprintln(os.Stderr, "training SLA predictors...")
@@ -215,9 +225,72 @@ func serveReport(addr string) error {
 	} else {
 		fmt.Println("calibration: no prediction bundle configured (-train enables it)")
 	}
+	if h.JournalEntries > 0 || h.LastCheckpoint >= 0 {
+		fmt.Printf("journal: %d entries, %d bytes | last checkpoint at tick %d\n",
+			h.JournalEntries, h.JournalBytes, h.LastCheckpoint)
+	}
+	if err := metricsSummary(addr); err != nil {
+		fmt.Printf("metrics: unavailable (%v)\n", err)
+	}
 	if h.Err != "" {
 		return errors.New("engine error: " + h.Err)
 	}
 	fmt.Printf("log: %d lines, digest %s\n", h.LogLines, h.LogDigest)
+	return nil
+}
+
+// metricsSummary scrapes /metrics and prints the operational core of the
+// registry: intake and engine throughput, scheduler memo efficiency, and
+// the wall-clock latency histograms' means.
+func metricsSummary(addr string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	fams, err := obs.ParseText(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]*obs.Family, len(fams))
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	val := func(name string) float64 {
+		if f, ok := byName[name]; ok {
+			if v, ok := f.Value(); ok {
+				return v
+			}
+		}
+		return 0
+	}
+	mean := func(name string) float64 {
+		if f, ok := byName[name]; ok {
+			if count, sum, ok := f.Histogram(); ok && count > 0 {
+				return sum / float64(count)
+			}
+		}
+		return 0
+	}
+	fmt.Printf("metrics: %d families | intake: %.0f accepted, %.0f applied, %.0f over-capacity 429s\n",
+		len(fams),
+		val("mdcsim_serve_events_accepted_total"),
+		val("mdcsim_serve_events_applied_total"),
+		val("mdcsim_serve_rejected_429_total"))
+	fmt.Printf("metrics: engine %.0f ticks (mean %.3fms) | wal fsync mean %.3fms | sched %.0f rounds, memo %.0f reused / %.0f recomputed\n",
+		val("mdcsim_engine_ticks_total"), mean("mdcsim_serve_tick_seconds")*1e3,
+		mean("mdcsim_serve_wal_fsync_seconds")*1e3,
+		val("mdcsim_sched_rounds_total"),
+		val("mdcsim_sched_memo_rows_reused_total"),
+		val("mdcsim_sched_memo_rows_recomputed_total"))
+	fmt.Printf("metrics: retrain %.0f kicked, %.0f adopted, %.0f failed | runtime %.0f goroutines, %.1f MiB heap\n",
+		val("mdcsim_serve_retrain_kicked_total"),
+		val("mdcsim_serve_retrain_adopted_total"),
+		val("mdcsim_serve_retrain_failed_total"),
+		val("mdcsim_runtime_goroutines"),
+		val("mdcsim_runtime_heap_alloc_bytes")/(1<<20))
 	return nil
 }

@@ -1,0 +1,93 @@
+package lifecycle
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics exports the churn and fault ledgers as monotonic counters.
+// Runner and FaultRunner keep cumulative Stats structs on their own hot
+// paths; Metrics.Observe diffs them against the last sync and adds the
+// deltas, so instrumentation costs one call per tick (a dozen atomic
+// adds, no allocation) and the runners themselves stay untouched. All of
+// these are deterministic counters — pure functions of the event stream.
+type Metrics struct {
+	Offered   *obs.Counter
+	Admitted  *obs.Counter
+	Rejected  *obs.Counter
+	Deferrals *obs.Counter
+	Departed  *obs.Counter
+	Placed    *obs.Counter
+
+	Crashes         *obs.Counter
+	Repairs         *obs.Counter
+	DrainsStarted   *obs.Counter
+	Takedowns       *obs.Counter
+	OutageStarts    *obs.Counter
+	Interruptions   *obs.Counter
+	ForcedEvictions *obs.Counter
+	Rehomed         *obs.Counter
+	Shed            *obs.Counter
+	DowntimeTicks   *obs.Counter
+	DegradedTicks   *obs.Counter
+
+	prev  Stats
+	prevF FaultStats
+}
+
+// NewMetrics registers the lifecycle metric family on a registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Offered:   r.Counter("mdcsim_lifecycle_offered_total", "VMs offered for admission."),
+		Admitted:  r.Counter("mdcsim_lifecycle_admitted_total", "VMs admitted."),
+		Rejected:  r.Counter("mdcsim_lifecycle_rejected_total", "VMs rejected for good."),
+		Deferrals: r.Counter("mdcsim_lifecycle_deferrals_total", "Admission deferrals (one VM may defer many times)."),
+		Departed:  r.Counter("mdcsim_lifecycle_departed_total", "VMs retired at end of lifetime."),
+		Placed:    r.Counter("mdcsim_lifecycle_placed_total", "Admitted VMs that reached a host."),
+
+		Crashes:         r.Counter("mdcsim_fault_crashes_total", "Host crash events."),
+		Repairs:         r.Counter("mdcsim_fault_repairs_total", "Host repair events."),
+		DrainsStarted:   r.Counter("mdcsim_fault_drains_started_total", "Maintenance drains started."),
+		Takedowns:       r.Counter("mdcsim_fault_takedowns_total", "Drained hosts taken down."),
+		OutageStarts:    r.Counter("mdcsim_fault_outage_starts_total", "DC outage events."),
+		Interruptions:   r.Counter("mdcsim_fault_interruptions_total", "VM evictions caused by faults."),
+		ForcedEvictions: r.Counter("mdcsim_fault_forced_evictions_total", "Evictions forced by drain deadlines."),
+		Rehomed:         r.Counter("mdcsim_fault_rehomed_total", "Interrupted VMs placed again."),
+		Shed:            r.Counter("mdcsim_fault_shed_total", "Homeless VMs retired by degraded-mode shedding."),
+		DowntimeTicks:   r.Counter("mdcsim_fault_downtime_vm_ticks_total", "VM-ticks spent homeless after an interruption."),
+		DegradedTicks:   r.Counter("mdcsim_fault_degraded_ticks_total", "Ticks spent in degraded mode."),
+	}
+}
+
+// Observe syncs the counters to the runners' cumulative ledgers, adding
+// only the delta since the previous call. Cumulative stats never
+// decrease, so the deltas are non-negative by construction.
+func (m *Metrics) Observe(s Stats, fs FaultStats) {
+	if m == nil {
+		return
+	}
+	d := func(c *obs.Counter, now, prev int) {
+		if now > prev {
+			c.Add(uint64(now - prev))
+		}
+	}
+	d(m.Offered, s.Offered, m.prev.Offered)
+	d(m.Admitted, s.Admitted, m.prev.Admitted)
+	d(m.Rejected, s.Rejected, m.prev.Rejected)
+	d(m.Deferrals, s.Deferrals, m.prev.Deferrals)
+	d(m.Departed, s.Departed, m.prev.Departed)
+	d(m.Placed, s.Placed, m.prev.Placed)
+	m.prev = s
+
+	d(m.Crashes, fs.Crashes, m.prevF.Crashes)
+	d(m.Repairs, fs.Repairs, m.prevF.Repairs)
+	d(m.DrainsStarted, fs.DrainsStarted, m.prevF.DrainsStarted)
+	d(m.Takedowns, fs.Takedowns, m.prevF.Takedowns)
+	d(m.OutageStarts, fs.OutageStarts, m.prevF.OutageStarts)
+	d(m.Interruptions, fs.Interruptions, m.prevF.Interruptions)
+	d(m.ForcedEvictions, fs.ForcedEvictions, m.prevF.ForcedEvictions)
+	d(m.Rehomed, fs.Rehomed, m.prevF.Rehomed)
+	d(m.Shed, fs.Shed, m.prevF.Shed)
+	d(m.DowntimeTicks, fs.DowntimeTicks, m.prevF.DowntimeTicks)
+	d(m.DegradedTicks, fs.DegradedTicks, m.prevF.DegradedTicks)
+	m.prevF = fs
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a metric value in Prometheus text format with
+// round-trip precision.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format, families sorted by name, histogram buckets
+// cumulative. The output for a fixed set of recorded values is
+// byte-stable, which is what the golden tests pin.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, m := range r.sorted() {
+		typ := "gauge"
+		switch m.kind {
+		case counterKind:
+			typ = "counter"
+		case histogramKind:
+			typ = "histogram"
+		}
+		if m.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typ)
+		switch m.kind {
+		case counterKind:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case gaugeKind:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		case gaugeFuncKind:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fn()))
+		case histogramKind:
+			h := m.hist
+			var cum uint64
+			for i, le := range h.les {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics endpoint over the registry.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client hangup is its problem
+	})
+}
+
+// Sample is one parsed exposition line: a metric name (including any
+// _bucket/_sum/_count suffix), the raw label block ("" when absent) and
+// the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Family groups the parsed samples of one metric family with its
+// declared TYPE (empty when the exposition carried none).
+type Family struct {
+	Name    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition — the subset this package
+// emits plus enough slack for other emitters (labels are kept opaque).
+// It exists so `mdcsim serve -report` can summarise a live /metrics
+// without a scraper. Families come back sorted by name.
+func ParseText(r io.Reader) ([]Family, error) {
+	types := make(map[string]string)
+	samples := make(map[string][]Sample)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		// name[{labels}] value
+		name := line
+		labels := ""
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("obs: malformed sample line %q", line)
+			}
+			name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+		} else if i := strings.IndexAny(line, " \t"); i >= 0 {
+			name, rest = line[:i], line[i:]
+		} else {
+			return nil, fmt.Errorf("obs: malformed sample line %q", line)
+		}
+		val := strings.Fields(rest)
+		if len(val) == 0 {
+			return nil, fmt.Errorf("obs: sample %q has no value", name)
+		}
+		v, err := strconv.ParseFloat(val[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: sample %q: %w", name, err)
+		}
+		fam := familyOf(name)
+		samples[fam] = append(samples[fam], Sample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Family, 0, len(names))
+	for _, n := range names {
+		out = append(out, Family{Name: n, Type: types[n], Samples: samples[n]})
+	}
+	return out, nil
+}
+
+// familyOf strips the histogram sample suffixes off a sample name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+// Histogram reconstructs (count, sum) from a parsed histogram family's
+// _count/_sum samples; ok is false when the family is not a histogram.
+func (f *Family) Histogram() (count uint64, sum float64, ok bool) {
+	var haveCount, haveSum bool
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_count":
+			count, haveCount = uint64(s.Value), true
+		case f.Name + "_sum":
+			sum, haveSum = s.Value, true
+		}
+	}
+	return count, sum, haveCount && haveSum
+}
+
+// Value returns the single-sample value of a counter/gauge family; ok is
+// false for histograms or multi-sample families.
+func (f *Family) Value() (float64, bool) {
+	if len(f.Samples) != 1 || f.Samples[0].Name != f.Name {
+		return 0, false
+	}
+	return f.Samples[0].Value, true
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("hist sum = %g, want %g", got, want)
+	}
+	if got, want := h.Mean(), (0.005+0.05+0.05+0.5+5)/5; got != want {
+		t.Fatalf("hist mean = %g, want %g", got, want)
+	}
+}
+
+func TestNilHandlesNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SampleTick(0) || tr.SampleNext() || tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be fully off")
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second")
+	if a != b {
+		t.Fatal("re-registering a name must return the existing handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash must panic")
+		}
+	}()
+	r.Gauge("dup_total", "clash")
+}
+
+// TestPrometheusExpositionGolden pins the exposition byte-for-byte: a
+// fixed sequence of records must always render the same text.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered out of name order on purpose: exposition sorts.
+	h := r.Histogram("zz_lat_seconds", "latency", []float64{0.25, 0.5})
+	c := r.Counter("aa_events_total", "events seen", WallClock())
+	g := r.Gauge("mm_depth", "queue depth")
+	r.GaugeFunc("nn_live", "liveness", func() float64 { return 3 })
+	c.Add(7)
+	g.Set(1.5)
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_events_total events seen
+# TYPE aa_events_total counter
+aa_events_total 7
+# HELP mm_depth queue depth
+# TYPE mm_depth gauge
+mm_depth 1.5
+# HELP nn_live liveness
+# TYPE nn_live gauge
+nn_live 3
+# HELP zz_lat_seconds latency
+# TYPE zz_lat_seconds histogram
+zz_lat_seconds_bucket{le="0.25"} 1
+zz_lat_seconds_bucket{le="0.5"} 2
+zz_lat_seconds_bucket{le="+Inf"} 3
+zz_lat_seconds_sum 9.4
+zz_lat_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseTextRoundTrip feeds the emitted exposition back through
+// ParseText and checks families, values and histogram reconstruction.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total", "ticks")
+	g := r.Gauge("depth", "depth")
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	c.Add(41)
+	g.Set(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["ticks_total"]; !ok || f.Type != "counter" {
+		t.Fatalf("ticks_total family missing or mistyped: %+v", f)
+	} else if v, ok := f.Value(); !ok || v != 41 {
+		t.Fatalf("ticks_total = %g ok=%t, want 41", v, ok)
+	}
+	if f, ok := byName["depth"]; !ok || f.Type != "gauge" {
+		t.Fatalf("depth family missing or mistyped: %+v", f)
+	}
+	f, ok := byName["lat_seconds"]
+	if !ok || f.Type != "histogram" {
+		t.Fatalf("lat_seconds family missing or mistyped: %+v", f)
+	}
+	count, sum, ok := f.Histogram()
+	if !ok || count != 2 || sum != 0.55 {
+		t.Fatalf("lat_seconds histogram = (%d, %g, %t), want (2, 0.55, true)", count, sum, ok)
+	}
+	if _, ok := f.Value(); ok {
+		t.Fatal("histogram family must not report a scalar Value")
+	}
+}
+
+func TestDeterministicSnapshotExcludesWallClock(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("det_total", "deterministic").Add(3)
+	r.Gauge("det_gauge", "deterministic").Set(7)
+	r.Counter("wall_total", "wall-clock", WallClock()).Add(9)
+	r.Histogram("lat_seconds", "latency", nil, WallClock()).Observe(0.1)
+	r.GaugeFunc("fn_gauge", "scrape-time", func() float64 { return 1 })
+
+	snap := r.DeterministicSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v, want exactly det_total and det_gauge", snap)
+	}
+	if snap["det_total"] != 3 || snap["det_gauge"] != 7 {
+		t.Fatalf("snapshot values wrong: %v", snap)
+	}
+}
+
+// TestRecordZeroAlloc pins the hot-path contract: counter, gauge and
+// histogram records allocate nothing.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.25)
+		g.Add(0.5)
+		h.Observe(0.003)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric records allocate %.1f objects, want 0", allocs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if n := len(DefBuckets()); n != 10 {
+		t.Fatalf("DefBuckets length = %d, want 10", n)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentRecordAndScrape hammers the registry from
+// parallel writers (counters, gauges, histograms), parallel registrars
+// (idempotent re-registration) and parallel scrapers, under -race in CI.
+func TestRegistryConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "hits")
+	g := r.Gauge("level", "level")
+	h := r.Histogram("lat_seconds", "latency", nil)
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%13) * 0.001)
+				if i%100 == 0 {
+					// Re-registration races against scrapes and records.
+					if got := r.Counter("hits_total", "hits"); got != c {
+						t.Error("re-registration returned a different handle")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = r.DeterministicSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %g, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestTracerConcurrent drives SampleNext/Record from many goroutines
+// while another exports, exercising the tracer's locking under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if tr.SampleNext() {
+					tr.Record("req", "serve", 1, tr.epoch, 0, true)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := tr.WriteChromeTrace(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if len(tr.Spans()) != 128 {
+		t.Fatalf("ring should be full at 128 spans, have %d", len(tr.Spans()))
+	}
+}

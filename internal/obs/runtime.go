@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime registers the Go runtime's health gauges: goroutine
+// count, heap occupancy, GC cycle count and the last GC pause. All are
+// GaugeFuncs evaluated at scrape time — ReadMemStats runs only when
+// someone actually looks, never on the engine's hot path — and one
+// MemStats read is shared across the gauges of a scrape burst via a
+// short-lived mutex-guarded cache.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	var at time.Time
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if time.Since(at) > 100*time.Millisecond {
+				runtime.ReadMemStats(&ms)
+				at = time.Now()
+			}
+			return f(&ms)
+		}
+	}
+	r.GaugeFunc("mdcsim_runtime_goroutines",
+		"Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("mdcsim_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("mdcsim_runtime_heap_sys_bytes",
+		"Heap memory obtained from the OS.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.GaugeFunc("mdcsim_runtime_gc_cycles_total",
+		"Completed GC cycles.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.GaugeFunc("mdcsim_runtime_gc_last_pause_seconds",
+		"Most recent GC stop-the-world pause.",
+		read(func(m *runtime.MemStats) float64 {
+			if m.NumGC == 0 {
+				return 0
+			}
+			return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+		}))
+}

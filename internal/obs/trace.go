@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed traced phase: a name, a category, a logical
+// thread row (tid), a unique ID and wall-clock start/duration relative
+// to the tracer's epoch.
+type Span struct {
+	Name    string
+	Cat     string
+	TID     int
+	ID      uint64
+	StartNS int64
+	DurNS   int64
+}
+
+// Tracer records span-style phase traces into a fixed-size ring buffer,
+// exportable as Chrome trace-event JSON (chrome://tracing, Perfetto).
+//
+// Tracing is off by default — a nil Tracer no-ops on every method — and
+// sampled when on: SampleTick(tick) admits one tick in every Sample, and
+// spans recorded between two SampleTick calls belong to the admitted
+// tick (or are dropped when it was not). Request-side callers use
+// SampleNext, an independent every-Nth admission. Sampling decisions are
+// functions of tick numbers and arrival counts, never of the clock, and
+// no traced quantity feeds back into placement — which is why tracing
+// cannot perturb determinism contracts.
+type Tracer struct {
+	sample int
+	epoch  time.Time
+
+	reqN atomic.Uint64 // SampleNext arrival counter
+
+	mu      sync.Mutex
+	spans   []Span // ring buffer, capacity fixed at construction
+	next    int
+	wrapped bool
+	nextID  uint64
+	active  bool // current tick admitted by SampleTick
+	dropped uint64
+}
+
+// NewTracer builds a tracer holding up to capacity spans (older spans
+// are overwritten), admitting one tick in every sample (minimum 1).
+func NewTracer(capacity, sample int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if sample <= 0 {
+		sample = 1
+	}
+	return &Tracer{sample: sample, epoch: time.Now(), spans: make([]Span, 0, capacity)}
+}
+
+// SampleTick decides whether the given tick is traced and reports the
+// decision; Record calls until the next SampleTick follow it.
+func (t *Tracer) SampleTick(tick int) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	t.active = tick%t.sample == 0
+	t.mu.Unlock()
+	return t.active
+}
+
+// SampleNext is the request-side admission: true for one arrival in
+// every sample, decided by an atomic counter so concurrent HTTP
+// handlers can call it without coordination.
+func (t *Tracer) SampleNext() bool {
+	if t == nil {
+		return false
+	}
+	return t.reqN.Add(1)%uint64(t.sample) == 1 || t.sample == 1
+}
+
+// Record stores one completed span on the current tick's timeline. When
+// the current tick was not admitted by SampleTick the span is counted as
+// dropped instead. forced bypasses the tick gate — the request path uses
+// it after winning SampleNext.
+func (t *Tracer) Record(name, cat string, tid int, start time.Time, dur time.Duration, forced bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.active && !forced {
+		t.dropped++
+		return
+	}
+	t.nextID++
+	sp := Span{
+		Name: name, Cat: cat, TID: tid, ID: t.nextID,
+		StartNS: start.Sub(t.epoch).Nanoseconds(),
+		DurNS:   dur.Nanoseconds(),
+	}
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, sp)
+		return
+	}
+	t.spans[t.next] = sp
+	t.next = (t.next + 1) % cap(t.spans)
+	t.wrapped = true
+}
+
+// Spans returns the recorded spans in start order (a copy).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, 0, len(t.spans))
+	if t.wrapped {
+		out = append(out, t.spans[t.next:]...)
+		out = append(out, t.spans[:t.next]...)
+	} else {
+		out = append(out, t.spans...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	return out
+}
+
+// Dropped returns how many spans fell outside sampled ticks.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteChromeTrace writes the recorded spans as a Chrome trace-event
+// JSON array (complete "X" events, microsecond timestamps) — loadable in
+// chrome://tracing or Perfetto for flamegraph-style inspection.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	for i, sp := range t.Spans() {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","pid":1,"tid":%d,"id":%d,"ts":%.3f,"dur":%.3f}`,
+			sp.Name, sp.Cat, sp.TID, sp.ID,
+			float64(sp.StartNS)/1e3, float64(sp.DurNS)/1e3)
+	}
+	bw.WriteString("]\n")
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTracerTickSampling checks the deterministic tick gate: only spans
+// recorded under an admitted tick land in the buffer; the rest are
+// counted as dropped.
+func TestTracerTickSampling(t *testing.T) {
+	tr := NewTracer(64, 3)
+	for tick := 0; tick < 9; tick++ {
+		admitted := tr.SampleTick(tick)
+		if want := tick%3 == 0; admitted != want {
+			t.Fatalf("tick %d admitted=%t, want %t", tick, admitted, want)
+		}
+		tr.Record("tick", "engine", 0, tr.epoch.Add(time.Duration(tick)*time.Millisecond), time.Millisecond, false)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3 (ticks 0, 3, 6)", len(spans))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartNS < spans[i-1].StartNS {
+			t.Fatal("spans must come back in start order")
+		}
+		if spans[i].ID == spans[i-1].ID {
+			t.Fatal("span IDs must be unique")
+		}
+	}
+}
+
+// TestTracerRingOverwrite: the buffer keeps the newest spans.
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4, 1)
+	tr.SampleTick(0)
+	for i := 0; i < 10; i++ {
+		tr.Record("s", "c", 0, tr.epoch.Add(time.Duration(i)*time.Second), time.Second, false)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if spans[0].StartNS != (6 * time.Second).Nanoseconds() {
+		t.Fatalf("oldest surviving span starts at %dns, want 6s", spans[0].StartNS)
+	}
+}
+
+// TestWriteChromeTrace validates the export is well-formed trace-event
+// JSON with the fields chrome://tracing requires.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16, 1)
+	tr.SampleTick(0)
+	tr.Record("tick", "engine", 0, tr.epoch, 2*time.Millisecond, false)
+	tr.Record("wal.fsync", "serve", 0, tr.epoch.Add(time.Millisecond), 500*time.Microsecond, false)
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("exported %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase %v, want complete (X)", ev["ph"])
+		}
+		for _, k := range []string{"name", "cat", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+	}
+	if events[1]["name"] != "wal.fsync" || events[1]["dur"].(float64) != 500 {
+		t.Fatalf("second event wrong: %v", events[1])
+	}
+}

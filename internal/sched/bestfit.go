@@ -65,6 +65,7 @@ type BestFit struct {
 	candScores []float64
 	evalCandFn func(worker, p int)
 	stats      RoundStats
+	met        *Metrics // optional sinks, fed from stats after each round
 }
 
 // RoundStats is the phase instrumentation of one scheduling round: where
@@ -274,6 +275,9 @@ func (b *BestFit) ScheduleInto(p *Problem, placement model.Placement) error {
 		CandidatesScored:   scored,
 		ShortlistRebuilds:  r.PruneRebuilds() - rebuilds0,
 		ShortlistTruncated: truncated,
+	}
+	if b.met != nil {
+		b.met.record(&b.stats)
 	}
 	return nil
 }

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics is the scheduler's observability surface, fed once per round
+// from the RoundStats ScheduleInto already computes — the counters
+// (candidates scored, memo hit/miss rows, shortlist activity) are
+// deterministic, the phase histograms (fill/score/reduce and the whole
+// round) are wall-clock and registered as such. Recording is a handful
+// of atomic operations, so an instrumented round keeps the steady-state
+// zero-alloc contract.
+type Metrics struct {
+	Rounds             *obs.Counter
+	CandidatesScored   *obs.Counter
+	RowsReused         *obs.Counter
+	RowsRecomputed     *obs.Counter
+	ShortlistRebuilds  *obs.Counter
+	ShortlistTruncated *obs.Counter
+	RoundSeconds       *obs.Histogram
+	FillSeconds        *obs.Histogram
+	ScoreSeconds       *obs.Histogram
+	ReduceSeconds      *obs.Histogram
+}
+
+// NewSchedMetrics registers the scheduling metric family on a registry.
+func NewSchedMetrics(r *obs.Registry) *Metrics {
+	buckets := obs.ExpBuckets(1e-4, 4, 10) // 100µs .. ~26s
+	return &Metrics{
+		Rounds: r.Counter("mdcsim_sched_rounds_total",
+			"Scheduling rounds executed."),
+		CandidatesScored: r.Counter("mdcsim_sched_candidates_scored_total",
+			"Per-candidate profit evaluations performed."),
+		RowsReused: r.Counter("mdcsim_sched_memo_rows_reused_total",
+			"Delta-memo (VM, DC) rows served from cache."),
+		RowsRecomputed: r.Counter("mdcsim_sched_memo_rows_recomputed_total",
+			"Delta-memo (VM, DC) rows re-estimated."),
+		ShortlistRebuilds: r.Counter("mdcsim_sched_shortlist_rebuilds_total",
+			"Full prune-index rebuilds."),
+		ShortlistTruncated: r.Counter("mdcsim_sched_shortlist_truncated_total",
+			"Host-state classes dropped by PruneK truncation."),
+		RoundSeconds: r.Histogram("mdcsim_sched_round_seconds",
+			"Whole-round wall latency.", buckets, obs.WallClock()),
+		FillSeconds: r.Histogram("mdcsim_sched_fill_seconds",
+			"Table-fill phase wall latency.", buckets, obs.WallClock()),
+		ScoreSeconds: r.Histogram("mdcsim_sched_score_seconds",
+			"Candidate-scoring phase wall latency.", buckets, obs.WallClock()),
+		ReduceSeconds: r.Histogram("mdcsim_sched_reduce_seconds",
+			"Reduction (argmax/hysteresis/commit) phase wall latency.", buckets, obs.WallClock()),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) the scheduler's metric
+// sinks; every ScheduleInto records its RoundStats into them.
+func (b *BestFit) SetMetrics(m *Metrics) { b.met = m }
+
+// record folds one completed round's stats into the sinks.
+func (m *Metrics) record(st *RoundStats) {
+	m.Rounds.Inc()
+	m.CandidatesScored.Add(uint64(st.CandidatesScored))
+	m.RowsReused.Add(uint64(st.RowsReused))
+	m.RowsRecomputed.Add(uint64(st.RowsRecomputed))
+	m.ShortlistRebuilds.Add(uint64(st.ShortlistRebuilds))
+	m.ShortlistTruncated.Add(uint64(st.ShortlistTruncated))
+	m.RoundSeconds.Observe(float64(st.FillNS+st.ScoreNS+st.ReduceNS) / 1e9)
+	m.FillSeconds.Observe(float64(st.FillNS) / 1e9)
+	m.ScoreSeconds.Observe(float64(st.ScoreNS) / 1e9)
+	m.ReduceSeconds.Observe(float64(st.ReduceNS) / 1e9)
+}

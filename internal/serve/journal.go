@@ -45,6 +45,7 @@ type Journal struct {
 	w       *bufio.Writer
 	digest  uint64
 	entries int
+	bytes   int64
 }
 
 // fnvOffset/fnvPrime are the FNV-1a 64-bit constants (hash/fnv does not
@@ -89,7 +90,7 @@ func OpenJournal(dir string) (*Journal, []entry, error) {
 			return nil, nil, fmt.Errorf("serve: truncating journal tail: %w", err)
 		}
 	}
-	return &Journal{f: f, w: bufio.NewWriter(f), digest: digest, entries: len(prior)}, prior, nil
+	return &Journal{f: f, w: bufio.NewWriter(f), digest: digest, entries: len(prior), bytes: validLen}, prior, nil
 }
 
 // readJournal loads the valid prefix of an existing journal (absent =
@@ -155,6 +156,7 @@ func (j *Journal) Append(e entry) error {
 	}
 	j.digest = fnvAdd(j.digest, line)
 	j.entries++
+	j.bytes += int64(len(line))
 	return nil
 }
 
@@ -167,6 +169,9 @@ func (j *Journal) Digest() uint64 { return j.digest }
 
 // Entries returns how many entries the journal holds.
 func (j *Journal) Entries() int { return j.entries }
+
+// Bytes returns the journal's byte length (valid prefix plus appends).
+func (j *Journal) Bytes() int64 { return j.bytes }
 
 // Close flushes and closes the file.
 func (j *Journal) Close() error {

@@ -17,6 +17,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lifecycle"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/predict"
 	"repro/internal/scenario"
@@ -81,6 +83,15 @@ type Config struct {
 	// shutdown) waiting on the engine loop (0 = 30s): a busy engine turns
 	// into a timely 503, never a hung client.
 	RequestTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default — profiling endpoints are opt-in).
+	EnablePprof bool
+	// TraceSample enables phase tracing: one tick in every TraceSample
+	// is traced (0 = tracing off). Spans are served at GET /debug/trace
+	// and, when TracePath is set, written there as Chrome trace-event
+	// JSON at shutdown.
+	TraceSample int
+	TracePath   string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -166,6 +177,9 @@ type loop struct {
 	calib   *Calibration
 	retr    *Retrainer // wall-clock mode only
 	journal *Journal
+	bf      *sched.BestFit // the manager's scheduler, kept for round-phase spans
+	met     *serveMetrics
+	tr      *obs.Tracer // nil = tracing off
 
 	events chan Event
 	ctl    chan ctlMsg
@@ -187,8 +201,10 @@ type loop struct {
 	restoring  bool
 	fatalErr   error
 
-	sinceCheckpoint int
-	logDigest       uint64
+	sinceCheckpoint    int
+	lastCheckpointTick int
+	logDigest          uint64
+	econ               tickEcon // last tick's economics, kept so off-tick republish keeps them
 
 	// lines is the placement log; the loop appends, /v1/log reads.
 	linesMu sync.Mutex
@@ -212,15 +228,28 @@ func newLoop(cfg Config) (*loop, error) {
 	spec.TickWorkers = cfg.TickWorkers
 
 	l := &loop{
-		cfg:           cfg,
-		deterministic: cfg.TickEvery <= 0,
-		events:        make(chan Event, cfg.QueueDepth),
-		ctl:           make(chan ctlMsg),
-		done:          make(chan struct{}),
-		vms:           make(map[string]*vmState),
-		byID:          make(map[model.VMID]*vmState),
-		nextID:        spec.VMs,
-		logDigest:     fnvOffset,
+		cfg:                cfg,
+		deterministic:      cfg.TickEvery <= 0,
+		events:             make(chan Event, cfg.QueueDepth),
+		ctl:                make(chan ctlMsg),
+		done:               make(chan struct{}),
+		vms:                make(map[string]*vmState),
+		byID:               make(map[model.VMID]*vmState),
+		nextID:             spec.VMs,
+		lastCheckpointTick: -1,
+		logDigest:          fnvOffset,
+	}
+	reg := obs.NewRegistry()
+	l.met = newServeMetrics(reg)
+	l.met.LastCheckpoint.Set(-1)
+	reg.GaugeFunc("mdcsim_serve_queue_depth",
+		"Events waiting in the bounded intake queue.",
+		func() float64 { return float64(len(l.events)) })
+	reg.GaugeFunc("mdcsim_serve_queue_cap",
+		"Intake queue capacity — the service's intake memory bound.",
+		func() float64 { return float64(cap(l.events)) })
+	if cfg.TraceSample > 0 {
+		l.tr = obs.NewTracer(0, cfg.TraceSample)
 	}
 	spec.WrapWorkload = func(base sim.Workload) sim.Workload {
 		sources := spec.DCs
@@ -266,10 +295,13 @@ func newLoop(cfg Config) (*loop, error) {
 	l.runner.OnResolve = l.onResolve
 	l.faults = lifecycle.NewFaultRunner(sc.Faults)
 
+	l.world.SetMetrics(l.met.Engine)
 	cost := sched.NewCostModel(sc.Topology, power.Atom{}, 1.0/6)
+	l.bf = sched.NewBestFit(cost, sched.NewOverbooked())
+	l.bf.SetMetrics(l.met.Sched)
 	l.mgr, err = core.NewManager(core.ManagerConfig{
 		World:      sc.World,
-		Scheduler:  sched.NewBestFit(cost, sched.NewOverbooked()),
+		Scheduler:  l.bf,
 		RoundTicks: cfg.RoundTicks,
 		Lifecycle:  l.runner,
 		Admission:  pol,
@@ -298,6 +330,7 @@ func newLoop(cfg Config) (*loop, error) {
 				return nil, err
 			}
 		}
+		l.met.syncJournal(l.journal)
 	} else if cfg.Restore {
 		return nil, fmt.Errorf("serve: Restore requires Dir")
 	}
@@ -355,6 +388,8 @@ func (l *loop) tickOnce() error {
 	if l.fatalErr != nil {
 		return l.fatalErr
 	}
+	t0 := time.Now()
+	l.tr.SampleTick(l.world.Tick())
 	n := len(l.events)
 	l.batch = l.batch[:0]
 	for i := 0; i < n; i++ {
@@ -371,15 +406,33 @@ func (l *loop) tickOnce() error {
 			return l.fatal(err)
 		}
 		// Durability barrier: apply only what is journaled.
+		f0 := time.Now()
 		if err := l.journal.Flush(); err != nil {
 			return l.fatal(err)
 		}
+		fdur := time.Since(f0)
+		l.met.FsyncSeconds.Observe(fdur.Seconds())
+		l.tr.Record("wal_fsync", "journal", tidJournal, f0, fdur, false)
+		l.met.syncJournal(l.journal)
 	}
 	if err := l.execTick(l.batch); err != nil {
 		return l.fatal(err)
 	}
+	dur := time.Since(t0)
+	l.met.TickSeconds.Observe(dur.Seconds())
+	l.tr.Record("tick", "engine", tidEngine, t0, dur, false)
 	return nil
 }
+
+// Trace timeline rows: one logical "thread" per subsystem so the Chrome
+// trace viewer stacks engine ticks, journal fsyncs, scheduler phases and
+// HTTP intake on separate tracks.
+const (
+	tidEngine  = 1
+	tidJournal = 2
+	tidSched   = 3
+	tidHTTP    = 4
+)
 
 // execTick executes one tick over an already-canonical batch. It is the
 // single code path shared by live ticks and journal restore — which is
@@ -394,6 +447,23 @@ func (l *loop) execTick(batch []Event) error {
 	st, err := l.mgr.Step()
 	if err != nil {
 		return err
+	}
+	l.met.Ticks.Inc()
+	l.met.EventsApplied.Add(uint64(len(batch)))
+	l.met.Life.Observe(l.runner.Stats(), l.faults.Stats())
+	if l.tr != nil && l.mgr.Rounds() > l.prevRounds {
+		// A scheduling round ran inside mgr.Step; synthesize its phase
+		// spans backwards from now out of the RoundStats nanoseconds.
+		end := time.Now()
+		rs := l.bf.LastRoundStats()
+		for _, p := range [...]struct {
+			name string
+			ns   int64
+		}{{"round_reduce", rs.ReduceNS}, {"round_score", rs.ScoreNS}, {"round_fill", rs.FillNS}} {
+			d := time.Duration(p.ns)
+			end = end.Add(-d)
+			l.tr.Record(p.name, "sched", tidSched, end, d, false)
+		}
 	}
 	if err := l.observe(t); err != nil {
 		return err
@@ -497,18 +567,26 @@ func (l *loop) observe(tick int) error {
 	if l.online != nil {
 		l.online.Observe(l.world)
 		if l.deterministic || l.restoring {
-			if _, err := l.online.MaybeRetrain(tick); err != nil {
+			did, err := l.online.MaybeRetrain(tick)
+			if err != nil {
 				return err
+			}
+			if did {
+				l.met.RetrainKicked.Inc()
+				l.met.RetrainAdopted.Inc()
 			}
 		} else {
 			if res := l.retr.Poll(); res != nil {
 				if res.err != nil {
+					l.met.RetrainFailed.Inc()
 					l.cfg.Logf("serve: retrain cycle failed, keeping previous models: %v", res.err)
 				} else {
+					l.met.RetrainAdopted.Inc()
 					l.online.Adopt(res.bundle, tick)
 				}
 			}
 			if l.online.ShouldRetrain(tick) {
+				l.met.RetrainKicked.Inc()
 				// Clone on THIS goroutine: the training data snapshot must
 				// not race the window Observe keeps growing.
 				win := l.online.Window.Clone()
@@ -654,16 +732,25 @@ func (l *loop) logLen() int {
 	return len(l.lines)
 }
 
+// tickEcon is the TickStats-derived slice of the snapshot, retained so
+// snapshots published between ticks (checkpoint, drain) keep reporting
+// the latest tick's economics instead of zeros.
+type tickEcon struct {
+	unplaced                                 int
+	avgSLA, revenue, energy, penalty, profit float64
+}
+
 // publishTick publishes the post-tick snapshot.
 func (l *loop) publishTick(st *sim.TickStats) {
-	s := l.baseSnapshot()
-	s.UnplacedVMs = st.UnplacedVMs
-	s.AvgSLA = st.AvgSLA
-	s.RevenueEUR = st.RevenueEUR
-	s.EnergyEUR = st.EnergyEUR
-	s.PenaltyEUR = st.PenaltyEUR
-	s.ProfitEUR = st.ProfitEUR
-	l.snap.Store(s)
+	l.econ = tickEcon{
+		unplaced: st.UnplacedVMs,
+		avgSLA:   st.AvgSLA,
+		revenue:  st.RevenueEUR,
+		energy:   st.EnergyEUR,
+		penalty:  st.PenaltyEUR,
+		profit:   st.ProfitEUR,
+	}
+	l.publish()
 }
 
 // publish publishes a snapshot outside a tick (startup, fatal error).
@@ -687,8 +774,19 @@ func (l *loop) baseSnapshot() *Snapshot {
 		Faults:           l.faults.Stats(),
 		LogLines:         l.logLen(),
 		LogDigest:        digestString(l.logDigest),
+		LastCheckpoint:   l.lastCheckpointTick,
 		VMs:              make(map[string]VMStatus, len(l.vms)),
 	}
+	if l.journal != nil {
+		s.JournalEntries = l.journal.Entries()
+		s.JournalBytes = l.journal.Bytes()
+	}
+	s.UnplacedVMs = l.econ.unplaced
+	s.AvgSLA = l.econ.avgSLA
+	s.RevenueEUR = l.econ.revenue
+	s.EnergyEUR = l.econ.energy
+	s.PenaltyEUR = l.econ.penalty
+	s.ProfitEUR = l.econ.profit
 	for name, vs := range l.vms {
 		s.VMs[name] = VMStatus{
 			Name:      name,
@@ -753,6 +851,11 @@ func (l *loop) checkpointNow() error {
 		return l.fatal(err)
 	}
 	l.sinceCheckpoint = 0
+	l.lastCheckpointTick = cp.Tick
+	l.met.Checkpoints.Inc()
+	l.met.LastCheckpoint.Set(float64(cp.Tick))
+	l.met.syncJournal(l.journal)
+	l.publish() // health checks see the new certified tick immediately
 	return nil
 }
 
@@ -788,8 +891,29 @@ func (l *loop) drainAndStop() error {
 			err = cerr
 		}
 	}
+	if l.tr != nil && l.cfg.TracePath != "" {
+		if terr := writeTraceFile(l.cfg.TracePath, l.tr); terr != nil {
+			l.cfg.Logf("serve: writing trace file: %v", terr)
+			if err == nil {
+				err = terr
+			}
+		}
+	}
 	l.publish()
 	return err
+}
+
+// writeTraceFile dumps the tracer's ring as Chrome trace-event JSON.
+func writeTraceFile(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // restore replays a journal through execTick — the exact live code path.
@@ -805,6 +929,8 @@ func (l *loop) restore(prior []entry) error {
 		if err := cp.Compatible(l.cfg.Scenario, l.cfg.Seed, l.cfg.RoundTicks); err != nil {
 			return err
 		}
+		l.lastCheckpointTick = cp.Tick
+		l.met.LastCheckpoint.Set(float64(cp.Tick))
 	}
 	l.restoring = true
 	defer func() { l.restoring = false }()

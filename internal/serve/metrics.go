@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// serveMetrics is every sink the placement service feeds: the service's
+// own loop/journal/retrain families plus the engine, scheduler and
+// lifecycle families wired through the same registry. The loop goroutine
+// owns all recording except Rejected429 (HTTP handlers, atomic) and the
+// GaugeFuncs (scrape-time reads of values that are already race-safe).
+type serveMetrics struct {
+	reg *obs.Registry
+
+	Ticks         *obs.Counter
+	EventsApplied *obs.Counter
+	Accepted      *obs.Counter
+	Rejected429   *obs.Counter
+	Checkpoints   *obs.Counter
+
+	RetrainKicked  *obs.Counter
+	RetrainAdopted *obs.Counter
+	RetrainFailed  *obs.Counter
+
+	TickSeconds  *obs.Histogram
+	FsyncSeconds *obs.Histogram
+
+	JournalEntries *obs.Gauge
+	JournalBytes   *obs.Gauge
+	LastCheckpoint *obs.Gauge
+
+	Engine *sim.EngineMetrics
+	Sched  *sched.Metrics
+	Life   *lifecycle.Metrics
+}
+
+// newServeMetrics registers the full service metric surface on one
+// registry, including the process runtime gauges.
+func newServeMetrics(r *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		reg: r,
+		Ticks: r.Counter("mdcsim_serve_ticks_total",
+			"Tick barriers executed (live and replayed)."),
+		EventsApplied: r.Counter("mdcsim_serve_events_applied_total",
+			"Accepted events folded into the engine at tick barriers."),
+		Accepted: r.Counter("mdcsim_serve_events_accepted_total",
+			"Events accepted into the intake queue (202)."),
+		Rejected429: r.Counter("mdcsim_serve_rejected_429_total",
+			"Events refused with 429 because the intake queue was full."),
+		Checkpoints: r.Counter("mdcsim_serve_checkpoints_total",
+			"Checkpoints written."),
+		RetrainKicked: r.Counter("mdcsim_serve_retrain_kicked_total",
+			"Background retrain cycles started."),
+		RetrainAdopted: r.Counter("mdcsim_serve_retrain_adopted_total",
+			"Retrained model bundles adopted at tick barriers."),
+		RetrainFailed: r.Counter("mdcsim_serve_retrain_failed_total",
+			"Retrain cycles that failed (previous models kept)."),
+		TickSeconds: r.Histogram("mdcsim_serve_tick_seconds",
+			"Whole tick-barrier wall latency: drain, journal, fsync, execute.",
+			nil, obs.WallClock()),
+		FsyncSeconds: r.Histogram("mdcsim_serve_wal_fsync_seconds",
+			"WAL durability-barrier (Journal.Flush) wall latency.",
+			nil, obs.WallClock()),
+		JournalEntries: r.Gauge("mdcsim_serve_journal_entries",
+			"Entries in the write-ahead journal."),
+		JournalBytes: r.Gauge("mdcsim_serve_journal_bytes",
+			"Bytes in the write-ahead journal."),
+		LastCheckpoint: r.Gauge("mdcsim_serve_last_checkpoint_tick",
+			"Tick certified by the latest checkpoint (-1 before any)."),
+		Engine: sim.NewEngineMetrics(r),
+		Sched:  sched.NewSchedMetrics(r),
+		Life:   lifecycle.NewMetrics(r),
+	}
+	obs.RegisterRuntime(r)
+	return m
+}
+
+// syncJournal refreshes the journal gauges after a flush or checkpoint.
+func (m *serveMetrics) syncJournal(j *Journal) {
+	if m == nil || j == nil {
+		return
+	}
+	m.JournalEntries.Set(float64(j.Entries()))
+	m.JournalBytes.Set(float64(j.Bytes()))
+}

@@ -6,8 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds every request body — a garbage or hostile client
@@ -136,6 +140,25 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/placements", s.handlePlacements)
 	s.mux.HandleFunc("GET /v1/log", s.handleLog)
 	s.mux.HandleFunc("GET /v1/calibration", s.handleCalibration)
+	s.mux.Handle("GET /metrics", obs.Handler(s.loop.met.reg))
+	if s.loop.tr != nil {
+		s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	}
+	if s.cfg.EnablePprof {
+		// Opt-in only: profiling endpoints expose internals and cost CPU.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// handleTrace serves the tracer ring as Chrome trace-event JSON, ready
+// for chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.loop.tr.WriteChromeTrace(w) //nolint:errcheck // best-effort export
 }
 
 // Wire bodies: the event payloads plus the optional client-assigned
@@ -198,6 +221,11 @@ func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 // non-blocking by construction, so a flood of clients can saturate the
 // queue but never grow it.
 func (s *Server) accept(w http.ResponseWriter, ev Event) {
+	var t0 time.Time
+	traced := s.loop.tr.SampleNext()
+	if traced {
+		t0 = time.Now()
+	}
 	if err := ev.Validate(s.loop.sc.Spec.DCs, s.loop.world.NumPMs()); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -211,14 +239,19 @@ func (s *Server) accept(w http.ResponseWriter, ev Event) {
 	}
 	select {
 	case s.loop.events <- ev:
+		s.loop.met.Accepted.Inc()
 		writeJSON(w, http.StatusAccepted, acceptResponse{
 			Seq:    ev.Seq,
 			Queued: len(s.loop.events),
 			Cap:    cap(s.loop.events),
 		})
 	default:
+		s.loop.met.Rejected429.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "intake queue full")
+	}
+	if traced {
+		s.loop.tr.Record("accept_"+ev.Kind, "http", tidHTTP, t0, time.Since(t0), true)
 	}
 }
 

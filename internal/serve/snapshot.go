@@ -67,6 +67,12 @@ type Snapshot struct {
 	LogLines  int    `json:"log_lines"`
 	LogDigest string `json:"log_digest"`
 
+	// Durability position: write-ahead journal size and the tick the
+	// latest checkpoint certified (-1 before any; zeros with no Dir).
+	JournalEntries int   `json:"journal_entries"`
+	JournalBytes   int64 `json:"journal_bytes"`
+	LastCheckpoint int   `json:"last_checkpoint_tick"`
+
 	VMs map[string]VMStatus `json:"vms"`
 
 	Online      *predict.OnlineStats `json:"online,omitempty"`

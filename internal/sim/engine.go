@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/model"
@@ -114,6 +115,11 @@ type Engine struct {
 	pmByDC  [][]int32
 	shardFn func(w, shard int)
 	rtNoise []float64
+
+	// met, when non-nil, receives per-tick counters/gauges and the tick
+	// latency at the end of every Step (see SetMetrics). Recording is
+	// allocation-free by the obs registry contract.
+	met *EngineMetrics
 }
 
 // TickSummary is the allocation-free per-tick report of the Engine. The
@@ -645,6 +651,10 @@ func (e *Engine) RequiredResources(spec model.VMSpec, total model.Load) model.Re
 // SLA, power and money, feeds the monitoring pipeline and returns the tick
 // summary. Step performs no per-tick map or slice allocations.
 func (e *Engine) Step() TickSummary {
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
+	}
 	p := e.cfg.Params
 	sum := TickSummary{Tick: e.tick, MinSLA: 1}
 	for dc := range e.perDCWatts {
@@ -767,6 +777,9 @@ func (e *Engine) Step() TickSummary {
 	sum.ProfitEUR = e.ledger.Profit()
 	e.tick++
 	e.stepped = true
+	if e.met != nil {
+		e.met.recordTick(&sum, e.nActive, time.Since(t0).Seconds())
+	}
 	return sum
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lifecycle"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -95,6 +96,17 @@ type PolicyRun struct {
 	// MeanPlaceTicks is the mean admission-to-first-host wait of placed
 	// arrivals.
 	MeanPlaceTicks float64
+
+	// Obs is the cell's deterministic metric snapshot: every counter and
+	// gauge of the per-cell obs.Registry that is a pure function of the
+	// event stream (wall-clock histograms and scrape-time gauges are
+	// excluded by construction — see obs.Registry.DeterministicSnapshot).
+	Obs map[string]float64
+	// EngineTicks is the engine tick counter from that registry; TickMS is
+	// the mean engine-tick wall latency in milliseconds (reporting only,
+	// never published to machine-readable output).
+	EngineTicks int
+	TickMS      float64
 
 	// Fault-layer outcomes (zero, with Availability 1, for immortal
 	// fleets).
@@ -253,6 +265,15 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 	if roundTicks <= 0 {
 		roundTicks = DefaultRoundTicks
 	}
+	// Every cell carries its own registry, so cells stay share-nothing and
+	// the deterministic snapshot is per-(scenario, policy, seed).
+	reg := obs.NewRegistry()
+	engMet := sim.NewEngineMetrics(reg)
+	sc.World.SetMetrics(engMet)
+	if ms, ok := s.(interface{ SetMetrics(*sched.Metrics) }); ok {
+		ms.SetMetrics(sched.NewSchedMetrics(reg))
+	}
+	lifeMet := lifecycle.NewMetrics(reg)
 	timed := &timedScheduler{inner: s}
 	mgrCfg := core.ManagerConfig{
 		World: sc.World, Scheduler: timed, RoundTicks: roundTicks,
@@ -336,6 +357,18 @@ func RunSpecOpts(spec scenario.Spec, pol Policy, bundle *predict.Bundle, ticks i
 		run.AdmissionRate = st.AdmissionRate()
 		run.MeanPlaceTicks = st.MeanPlacementTicks()
 	}
+	var lifeStats lifecycle.Stats
+	var faultStats lifecycle.FaultStats
+	if runner != nil {
+		lifeStats = runner.Stats()
+	}
+	if faults != nil {
+		faultStats = faults.Stats()
+	}
+	lifeMet.Observe(lifeStats, faultStats)
+	run.Obs = reg.DeterministicSnapshot()
+	run.EngineTicks = int(engMet.Ticks.Value())
+	run.TickMS = engMet.TickSeconds.Mean() * 1e3
 	if faults != nil {
 		st := faults.Stats()
 		run.Crashes = st.Crashes

@@ -87,10 +87,19 @@ type Cell struct {
 	// performed, prune-index rebuilds and truncated host-state classes.
 	// Deterministic like the row counters — truncation discloses exactly
 	// how far a PruneK policy may diverge from the exhaustive scan.
-	CandidatesScored   int     `json:"candidates_scored"`
-	ShortlistRebuilds  int     `json:"shortlist_rebuilds"`
-	ShortlistTruncated int     `json:"shortlist_truncated"`
-	RoundMS            float64 `json:"-"` // mean scheduling-round wall latency
+	CandidatesScored   int `json:"candidates_scored"`
+	ShortlistRebuilds  int `json:"shortlist_rebuilds"`
+	ShortlistTruncated int `json:"shortlist_truncated"`
+	// EngineTicks is the engine tick counter from the cell's own metric
+	// registry; Obs is that registry's full deterministic snapshot (every
+	// counter and gauge that is a pure function of the event stream —
+	// wall-clock series are excluded by construction, and Go marshals map
+	// keys sorted, so the JSON stays byte-identical across runs).
+	EngineTicks int                `json:"engine_ticks"`
+	Obs         map[string]float64 `json:"obs"`
+	// TickMS is the mean engine-tick wall latency — reporting only.
+	TickMS  float64 `json:"-"`
+	RoundMS float64 `json:"-"` // mean scheduling-round wall latency
 	// Phase breakdown of RoundMS (table fill, candidate scoring,
 	// everything else); wall-clock like RoundMS, so excluded from the
 	// machine-readable output.
@@ -253,6 +262,8 @@ func Run(m Matrix) (*Result, error) {
 			RowsReused:   run.RowsReused, RowsRecomputed: run.RowsRecomputed,
 			CandidatesScored:  run.CandidatesScored,
 			ShortlistRebuilds: run.ShortlistRebuilds, ShortlistTruncated: run.ShortlistTruncated,
+			EngineTicks: run.EngineTicks, Obs: run.Obs,
+			TickMS:  run.TickMS,
 			RoundMS: run.RoundMS,
 			FillMS:  run.FillMS, ScoreMS: run.ScoreMS, ReduceMS: run.ReduceMS,
 		}
@@ -335,7 +346,8 @@ func (r *Result) CellsTable() report.Table {
 			"shed_vms", "degraded_ticks", "mean_rehome_ticks",
 			"max_rehome_ticks", "availability",
 			"rows_reused", "rows_recomputed",
-			"candidates_scored", "shortlist_rebuilds", "shortlist_truncated"},
+			"candidates_scored", "shortlist_rebuilds", "shortlist_truncated",
+			"engine_ticks"},
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
@@ -354,7 +366,7 @@ func (r *Result) CellsTable() report.Table {
 			fmtF(c.Availability),
 			strconv.Itoa(c.RowsReused), strconv.Itoa(c.RowsRecomputed),
 			strconv.Itoa(c.CandidatesScored), strconv.Itoa(c.ShortlistRebuilds),
-			strconv.Itoa(c.ShortlistTruncated))
+			strconv.Itoa(c.ShortlistTruncated), strconv.Itoa(c.EngineTicks))
 	}
 	return t
 }

@@ -480,7 +480,7 @@ func TestHyperscaleSweepDeterminism(t *testing.T) {
 		got := *pr
 		// Wall-clock fields are the only legitimately non-deterministic
 		// outputs; everything else must match bit-for-bit.
-		got.RoundMS, got.FillMS, got.ScoreMS, got.ReduceMS = 0, 0, 0, 0
+		got.RoundMS, got.FillMS, got.ScoreMS, got.ReduceMS, got.TickMS = 0, 0, 0, 0, 0
 		return got
 	}
 	base := cell(4)
@@ -498,5 +498,42 @@ func TestHyperscaleSweepDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(base, got) {
 			t.Errorf("%s: hyperscale cell diverged from the sharded baseline", name)
 		}
+	}
+}
+
+// TestSweepCellObsSnapshot pins the per-cell metric snapshot: every cell
+// carries its registry's deterministic counters (engine ticks matching
+// the cell length, lifecycle churn matching the lifecycle columns), and
+// no wall-clock series ever reaches the map or the JSON/CSV output.
+func TestSweepCellObsSnapshot(t *testing.T) {
+	pol, err := PolicyByName("bf-ob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 40
+	run, err := RunSpecOpts(scenario.MustPreset(scenario.ChurnPoisson, 5), pol, nil, ticks,
+		RunOpts{DefaultInitial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.EngineTicks != ticks {
+		t.Fatalf("engine ticks = %d, want %d", run.EngineTicks, ticks)
+	}
+	if run.Obs["mdcsim_engine_ticks_total"] != ticks {
+		t.Fatalf("obs engine ticks = %v, want %d", run.Obs["mdcsim_engine_ticks_total"], ticks)
+	}
+	if got := run.Obs["mdcsim_lifecycle_offered_total"]; got != float64(run.OfferedVMs) {
+		t.Fatalf("obs offered = %v, lifecycle column says %d", got, run.OfferedVMs)
+	}
+	if got := run.Obs["mdcsim_sched_rounds_total"]; got != float64(run.Rounds) {
+		t.Fatalf("obs rounds = %v, timed scheduler says %d", got, run.Rounds)
+	}
+	for name := range run.Obs {
+		if strings.Contains(name, "_seconds") || strings.Contains(name, "runtime") {
+			t.Fatalf("wall-clock or scrape-time series %q leaked into the deterministic snapshot", name)
+		}
+	}
+	if run.TickMS <= 0 {
+		t.Fatal("mean tick latency not measured")
 	}
 }
